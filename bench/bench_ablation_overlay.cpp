@@ -1,0 +1,70 @@
+// Ablation A5: membership substrate independence.
+//
+// The paper's gossip layer only assumes "a peer sampling service providing
+// an uniform sample of f other nodes" (§3.1), so the reproduced results
+// should not depend on which membership protocol provides it. This
+// ablation runs the same strategies over every substrate this library
+// implements — Cyclon (default), the NeEM connection overlay the paper
+// used, HyParView, a static random graph, and the uniform oracle — and
+// compares the headline metrics.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::OverlayKind;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 300;
+
+  struct Sub {
+    const char* name;
+    OverlayKind kind;
+  };
+  const Sub substrates[] = {
+      {"cyclon", OverlayKind::cyclon},
+      {"neem (paper's)", OverlayKind::neem},
+      {"hyparview", OverlayKind::hyparview},
+      {"static", OverlayKind::static_random},
+      {"oracle", OverlayKind::oracle},
+  };
+
+  Table table("Ablation A5: same strategies over every membership substrate");
+  table.header({"substrate", "strategy", "latency ms", "payload/msg",
+                "top5 %", "deliveries %"});
+  for (const Sub& sub : substrates) {
+    for (const char* strat : {"eager", "ttl", "ranked"}) {
+      ExperimentConfig config = base;
+      config.overlay_kind = sub.kind;
+      if (sub.kind == OverlayKind::hyparview) {
+        config.overlay.view_size = 8;  // HyParView active views are small
+      }
+      config.strategy = std::string(strat) == "eager"
+                            ? StrategySpec::make_flat(1.0)
+                        : std::string(strat) == "ttl"
+                            ? StrategySpec::make_ttl(3)
+                            : StrategySpec::make_ranked(0.2);
+      const auto r = harness::run_experiment(config);
+      table.row({sub.name, strat, Table::num(r.mean_latency_ms, 0),
+                 Table::num(r.load_all.payload_per_msg, 2),
+                 Table::num(100.0 * r.top5_connection_share, 1),
+                 Table::num(100.0 * r.mean_delivery_fraction, 2)});
+    }
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected: latency, payload economy and emergent structure are\n"
+      "substrate-independent to within a few percent (HyParView's small\n"
+      "active views deepen the relay tree slightly) — the Payload\n"
+      "Scheduler composes with any peer sampling service, which is what\n"
+      "makes the paper's architecture (§3) portable.");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation A1: oracle ranking vs gossip-estimated ranking (§4.1: "a
+// ranking can also be computed using local Performance Monitors and a
+// gossip based sorting protocol ... the protocol still works even if
+// ranking is approximate").
+//
+// Runs the Ranked and Hybrid strategies with (i) the oracle closeness
+// ranking and (ii) each node's epidemic rank estimate, and compares
+// latency, payload economy and emergent structure. The claim to validate:
+// approximate ranking preserves the strategy's benefits.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 400;
+
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const double rho = to_ms(metrics.latency_quantile(0.15));
+
+  Table table("Ablation A1: oracle vs gossip-estimated node ranking");
+  table.header({"strategy", "ranking", "latency ms", "payload/msg",
+                "low payload/msg", "top5 %", "deliveries %"});
+
+  auto add = [&](const char* name, StrategySpec spec, bool gossip_rank) {
+    spec.use_gossip_rank = gossip_rank;
+    ExperimentConfig config = base;
+    config.strategy = spec;
+    const auto r = harness::run_experiment(config);
+    table.row({name, gossip_rank ? "gossip" : "oracle",
+               Table::num(r.mean_latency_ms, 0),
+               Table::num(r.load_all.payload_per_msg, 2),
+               Table::num(r.load_low.payload_per_msg, 2),
+               Table::num(100.0 * r.top5_connection_share, 1),
+               Table::num(100.0 * r.mean_delivery_fraction, 2)});
+  };
+
+  add("ranked", StrategySpec::make_ranked(0.2), false);
+  add("ranked", StrategySpec::make_ranked(0.2), true);
+  add("hybrid", StrategySpec::make_hybrid(rho, 3, 0.2), false);
+  add("hybrid", StrategySpec::make_hybrid(rho, 3, 0.2), true);
+  table.print();
+
+  std::puts(
+      "\nClaim check: the gossip-ranked rows should sit close to the oracle\n"
+      "rows on every column — approximate ranking is good enough, which is\n"
+      "what makes the Ranked strategy deployable without global knowledge.");
+  return 0;
+}

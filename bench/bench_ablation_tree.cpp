@@ -1,0 +1,194 @@
+// Ablation A2: structured spanning-tree multicast vs emergent-structure
+// gossip, on the same simulated network.
+//
+// The paper's motivation (§1/§2): structured multicast wins on bandwidth
+// and latency while the network is stable, but must detect failures and
+// rebuild, leaving subtrees dark in the meantime; gossip pays redundancy
+// for unconditional resilience; the hybrid strategy closes most of the
+// gap. This bench quantifies all three on (i) a stable network and (ii) a
+// 20%-failure scenario where messages flow while repair is still underway.
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/latency_model.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "stats/running.hpp"
+#include "tree/tree_multicast.hpp"
+
+namespace {
+
+using namespace esm;
+
+struct TreeRunResult {
+  double mean_latency_ms = 0.0;
+  double payload_per_delivery = 0.0;
+  double mean_delivery_fraction = 0.0;
+  std::uint64_t repairs = 0;
+};
+
+/// Mini-harness for the tree baseline, mirroring run_experiment's phases:
+/// build, (optionally) kill right before traffic, multicast round-robin.
+TreeRunResult run_tree(std::uint32_t n, std::uint32_t num_messages,
+                       double kill_fraction, std::uint64_t seed) {
+  net::TopologyParams params;
+  params.num_clients = n;
+  const net::Topology topo = net::generate_topology(params, seed);
+  net::MatrixLatencyModel latency(net::compute_client_metrics(topo));
+
+  sim::Simulator sim;
+  net::Transport transport(sim, latency, n, {}, Rng(seed).split(1));
+
+  const auto parent =
+      tree::build_spanning_tree(latency.metrics(), 0, /*max_degree=*/11);
+  std::vector<std::vector<NodeId>> neighbors(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] != v) {
+      neighbors[v].push_back(parent[v]);
+      neighbors[parent[v]].push_back(v);
+    }
+  }
+
+  struct Record {
+    std::uint32_t deliveries = 0;
+    stats::RunningStat latency_ms;
+  };
+  std::vector<Record> records(num_messages);
+
+  std::vector<std::unique_ptr<tree::TreeNode>> nodes;
+  std::vector<NodeId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  for (NodeId id = 0; id < n; ++id) {
+    nodes.push_back(std::make_unique<tree::TreeNode>(
+        sim, transport, id, tree::TreeParams{},
+        [&records, &sim, id](const core::AppMessage& m) {
+          Record& rec = records[m.seq];
+          ++rec.deliveries;
+          if (m.origin != id) {
+            rec.latency_ms.add(to_ms(sim.now() - m.multicast_time));
+          }
+        },
+        Rng(seed).split(100 + id)));
+    nodes[id]->set_neighbors(neighbors[id]);
+    nodes[id]->set_reattach_candidates(everyone);
+    transport.register_handler(
+        id, [&nodes, id](NodeId src, const net::PacketPtr& p) {
+          nodes[id]->handle_packet(src, p);
+        });
+  }
+  for (auto& node : nodes) node->start();
+  sim.run_until(5 * kSecond);
+
+  // Failure injection right before traffic (same discipline as the gossip
+  // harness): the tree must detect and repair while messages flow.
+  std::vector<bool> dead(n, false);
+  const auto num_kill =
+      static_cast<std::uint32_t>(kill_fraction * static_cast<double>(n));
+  Rng killer = Rng(seed).split(2);
+  std::vector<NodeId> victims = killer.sample(everyone, num_kill);
+  for (const NodeId v : victims) {
+    if (v == 0) continue;  // keep the original root alive for simplicity
+    transport.silence(v);
+    dead[v] = true;
+  }
+  std::vector<NodeId> live;
+  for (NodeId id = 0; id < n; ++id) {
+    if (!dead[id]) live.push_back(id);
+  }
+
+  transport.stats().reset();
+  Rng traffic = Rng(seed).split(3);
+  SimTime t = sim.now();
+  for (std::uint32_t i = 0; i < num_messages; ++i) {
+    t += traffic.range(0, 1 * kSecond);
+    const NodeId sender = live[i % live.size()];
+    tree::TreeNode* node = nodes[sender].get();
+    sim.schedule_at(t, [node, i, &sim] {
+      node->multicast(256, i, sim.now());
+    });
+  }
+  sim.run_until(t + 10 * kSecond);
+
+  TreeRunResult result;
+  stats::RunningStat latency_all, fraction;
+  std::uint64_t deliveries = 0;
+  for (const Record& rec : records) {
+    deliveries += rec.deliveries;
+    fraction.add(static_cast<double>(rec.deliveries) /
+                 static_cast<double>(live.size()));
+    if (rec.latency_ms.count() > 0) latency_all.merge(rec.latency_ms);
+  }
+  result.mean_latency_ms = latency_all.mean();
+  result.mean_delivery_fraction = fraction.mean();
+  result.payload_per_delivery =
+      deliveries == 0 ? 0.0
+                      : static_cast<double>(
+                            transport.stats().total_payload_packets()) /
+                            static_cast<double>(deliveries);
+  for (const auto& node : nodes) result.repairs += node->repairs_initiated();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  constexpr std::uint32_t kNodes = 100;
+  constexpr std::uint32_t kMessages = 300;
+  constexpr std::uint64_t kSeed = 2007;
+
+  net::TopologyParams topo_params;
+  topo_params.num_clients = kNodes;
+  const net::Topology topo = net::generate_topology(topo_params, kSeed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const double rho = to_ms(metrics.latency_quantile(0.15));
+
+  auto run_gossip = [&](StrategySpec spec, double kill) {
+    ExperimentConfig config;
+    config.seed = kSeed;
+    config.num_nodes = kNodes;
+    config.num_messages = kMessages;
+    config.strategy = spec;
+    config.kill_fraction = kill;
+    config.kill_mode =
+        kill > 0.0 ? harness::KillMode::random : harness::KillMode::none;
+    return harness::run_experiment(config);
+  };
+
+  Table table("Ablation A2: structured tree vs gossip (100 nodes)");
+  table.header({"protocol", "failures", "latency ms", "payload/delivery",
+                "deliveries %", "repairs"});
+
+  for (const double kill : {0.0, 0.2}) {
+    const char* f = kill > 0.0 ? "20% dead" : "stable";
+    const TreeRunResult t = run_tree(kNodes, kMessages, kill, kSeed);
+    table.row({"spanning tree", f, Table::num(t.mean_latency_ms, 0),
+               Table::num(t.payload_per_delivery, 2),
+               Table::num(100.0 * t.mean_delivery_fraction, 1),
+               std::to_string(t.repairs)});
+    const auto eager = run_gossip(StrategySpec::make_flat(1.0), kill);
+    table.row({"gossip eager", f, Table::num(eager.mean_latency_ms, 0),
+               Table::num(eager.payload_per_delivery, 2),
+               Table::num(100.0 * eager.mean_delivery_fraction, 1), "0"});
+    const auto hybrid =
+        run_gossip(StrategySpec::make_hybrid(rho, 3, 0.2), kill);
+    table.row({"gossip hybrid", f, Table::num(hybrid.mean_latency_ms, 0),
+               Table::num(hybrid.payload_per_delivery, 2),
+               Table::num(100.0 * hybrid.mean_delivery_fraction, 1), "0"});
+  }
+  table.print();
+
+  std::puts(
+      "\nClaim check (paper §1/§2): on the stable network the tree is\n"
+      "optimal on payload (1.0/delivery) with competitive latency; under\n"
+      "failures its deliveries drop while repair runs, whereas gossip —\n"
+      "hybrid included — keeps delivering without any repair protocol.");
+  return 0;
+}

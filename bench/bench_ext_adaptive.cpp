@@ -1,0 +1,127 @@
+// Extension E3: the adaptive link strategy (Plumtree-style feedback) —
+// the "large scale adaptive protocols" direction of the paper's §8, and
+// the published successor of this paper's lazy/eager machinery.
+//
+// Semantics (faithful to Plumtree): eager to every neighbor not marked
+// lazy, IHAVE to the rest, never back to the sender; a duplicate demotes
+// its link at both ends (local demotion + PRUNE packet), a pull promotes
+// its link at both ends (IWANT doubles as GRAFT). Plumtree's assumptions
+// are honored by the configuration: a *stable symmetric* partial view
+// (static overlay, the HyParView stand-in) covered completely on every
+// relay (fanout = degree).
+//
+// Two traffic regimes:
+//   * single source — the tree specializes to that source and stabilizes:
+//     near-lazy payload cost at near-eager latency, learned online with no
+//     Performance Monitor;
+//   * round-robin sources (the paper's workload) — the shared tree keeps
+//     being rewired because every source prefers different edges, leaving
+//     a steady rewiring cost (grafts + one duplicate per rewire). That
+//     contrast is the point: feedback learning buys source-specific
+//     structure, while the paper's monitor-driven strategies price links
+//     source-independently.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "stats/running.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::ExperimentResult;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 600;
+
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const double rho = to_ms(metrics.latency_quantile(0.15));
+
+  ExperimentConfig adaptive_base = base;
+  adaptive_base.overlay_kind = harness::OverlayKind::static_random;
+  // Cover *every* neighbor on every relay (the sampler caps at the actual
+  // neighbor count; the static graph's degrees vary around the mean, so
+  // ask for twice the mean).
+  adaptive_base.gossip.fanout = 2 * adaptive_base.overlay.view_size;
+  adaptive_base.gossip.exclude_sender = true;
+  adaptive_base.strategy = StrategySpec::make_adaptive();
+
+  // --- convergence time-series (single source) -------------------------------
+  ExperimentConfig single = adaptive_base;
+  single.single_sender = 0;
+  const ExperimentResult converged = harness::run_experiment(single);
+
+  Table series(
+      "E3: adaptive, single source — payload tx/msg per 50-message window");
+  series.header({"window (msgs)", "payload tx / msg", "per delivery"});
+  constexpr std::size_t kWindow = 50;
+  for (std::size_t start = 0; start < converged.payload_tx_per_message.size();
+       start += kWindow) {
+    stats::RunningStat w;
+    for (std::size_t i = start;
+         i < start + kWindow && i < converged.payload_tx_per_message.size();
+         ++i) {
+      w.add(static_cast<double>(converged.payload_tx_per_message[i]));
+    }
+    series.row({std::to_string(start) + "-" + std::to_string(start + kWindow),
+                Table::num(w.mean(), 1),
+                Table::num(w.mean() / (base.num_nodes - 1), 2)});
+  }
+  series.print();
+
+  // --- comparison table --------------------------------------------------------
+  Table table("E3: adaptive vs the paper's strategies (600 msgs)");
+  table.header({"strategy", "traffic", "latency ms", "payload/delivery",
+                "dup payloads", "grafts", "deliveries %"});
+  auto add = [&](const char* name, const ExperimentConfig& config,
+                 const char* traffic) {
+    const ExperimentResult r = harness::run_experiment(config);
+    table.row({name, traffic, Table::num(r.mean_latency_ms, 0),
+               Table::num(r.payload_per_delivery, 2),
+               std::to_string(r.duplicate_payloads),
+               std::to_string(r.requests_sent),
+               Table::num(100.0 * r.mean_delivery_fraction, 2)});
+  };
+  ExperimentConfig c = base;
+  c.strategy = StrategySpec::make_flat(1.0);
+  add("eager", c, "round-robin");
+  c.strategy = StrategySpec::make_ttl(3);
+  add("ttl u=3", c, "round-robin");
+  c.strategy = StrategySpec::make_hybrid(rho, 3, 0.05);
+  add("hybrid", c, "round-robin");
+  add("adaptive", adaptive_base, "round-robin");
+  add("adaptive", single, "single source");
+  // Over the real HyParView membership (live joins, keepalives, repair)
+  // instead of the static stand-in.
+  ExperimentConfig hpv = adaptive_base;
+  hpv.overlay_kind = harness::OverlayKind::hyparview;
+  hpv.overlay.view_size = 8;  // HyParView active views are small
+  hpv.gossip.fanout = 16;
+  add("adaptive/hyparview", hpv, "round-robin");
+  ExperimentConfig hpv_single = hpv;
+  hpv_single.single_sender = 0;
+  add("adaptive/hyparview", hpv_single, "single source");
+  c.strategy = StrategySpec::make_flat(0.0);
+  add("lazy", c, "round-robin");
+  table.print();
+
+  std::puts(
+      "\nExpected: single-source adaptive converges within ~100 messages to\n"
+      "a stable spanning tree delivering exactly one payload per node per\n"
+      "message (payload/delivery = 1.00, grafts -> 0), at latency *below*\n"
+      "pure eager push — grafting keeps the earliest-advertising parents,\n"
+      "so the tree is built from the fastest first-delivery paths.\n"
+      "Round-robin traffic keeps rewiring the shared tree (steady graft +\n"
+      "duplicate churn) yet still runs at ~1/9th of eager's payload cost —\n"
+      "emergent structure from feedback alone, no monitor, no oracle.");
+  return 0;
+}

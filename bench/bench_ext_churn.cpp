@@ -1,0 +1,82 @@
+// Extension E4: continuous churn.
+//
+// The paper's reliability experiment (§6.3) is a one-shot failure burst.
+// Under *continuous* churn — nodes leaving and rejoining throughout the
+// run — the question becomes whether emergent structure keeps helping
+// while the membership layer is perpetually repairing. Expectation from
+// the paper's argument: the redundant lazy advertisements make gossip
+// deliveries degrade only marginally with churn, for every strategy,
+// while structured approaches would be repairing constantly (the tree
+// ablation quantifies that side).
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 300;
+
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const double rho = to_ms(metrics.latency_quantile(0.15));
+
+  ExperimentConfig adaptive = base;
+  adaptive.strategy = StrategySpec::make_adaptive();
+  adaptive.overlay_kind = harness::OverlayKind::hyparview;
+  adaptive.overlay.view_size = 8;
+  adaptive.gossip.fanout = 16;
+  adaptive.gossip.exclude_sender = true;
+
+  struct Proto {
+    const char* name;
+    ExperimentConfig config;
+  };
+  auto with_strategy = [&](StrategySpec spec) {
+    ExperimentConfig c = base;
+    c.strategy = spec;
+    return c;
+  };
+  const Proto protos[] = {
+      {"eager", with_strategy(StrategySpec::make_flat(1.0))},
+      {"ttl u=3", with_strategy(StrategySpec::make_ttl(3))},
+      {"hybrid", with_strategy(StrategySpec::make_hybrid(rho, 3, 0.05))},
+      {"adaptive/hyparview", adaptive},
+  };
+
+  Table table("E4: deliveries (%) and latency under continuous churn");
+  table.header({"churn (events/s)", "protocol", "deliveries %", "latency ms",
+                "payload/delivery"});
+  for (const double rate : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    for (const Proto& p : protos) {
+      ExperimentConfig config = p.config;
+      config.churn_rate = rate;
+      const auto r = harness::run_experiment(config);
+      table.row({harness::Table::num(rate, 1), p.name,
+                 Table::num(100.0 * r.mean_delivery_fraction, 2),
+                 Table::num(r.mean_latency_ms, 0),
+                 Table::num(r.payload_per_delivery, 2)});
+    }
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected: eager gossip shrugs churn off almost entirely (its\n"
+      "redundancy is the insurance); the scheduled strategies lose only a\n"
+      "few percent of deliveries at aggressive churn because the lazy\n"
+      "advertisements recover what in-flight failures drop; the adaptive\n"
+      "stack keeps its near-optimal payload cost while HyParView repairs\n"
+      "membership and grafts rebuild pruned links.");
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Extension E5: network partitions and anti-entropy repair.
+//
+// Push gossip (eager or lazy) has a bounded dissemination window: a
+// message that cannot cross a partition while its relays and
+// retransmission requests are live is lost to the other side *forever* —
+// the gossip layer's duplicate set K never asks again. Related work (§7)
+// credits Bimodal Multicast with fixing exactly this through an
+// anti-entropy phase. This bench splits a 100-node group in half for a
+// minute of traffic, heals it, and measures how many partition-era
+// messages the far side eventually gets:
+//
+//   * push only        — ~half the group never sees the other half's
+//                        partition-era messages;
+//   * push + pull      — the pull layer's periodic digests discover the
+//     repair layer       missing messages after the heal and fetch them:
+//                        eventual delivery ~100%.
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "core/gossip.hpp"
+#include "core/scheduler.hpp"
+#include "core/strategies.hpp"
+#include "harness/table.hpp"
+#include "net/latency_model.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "overlay/cyclon.hpp"
+#include "pull/pull_gossip.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace esm;
+
+struct PartitionResult {
+  double partition_era_delivery = 0.0;  // fraction over all (msg, node)
+  double post_heal_delivery = 0.0;
+  std::uint64_t partition_drops = 0;
+};
+
+PartitionResult run(bool with_pull_repair, std::uint64_t seed) {
+  constexpr std::uint32_t kN = 100;
+  constexpr std::uint32_t kMessages = 120;  // all multicast mid-partition
+  net::TopologyParams params;
+  params.num_clients = kN;
+  const net::Topology topo = net::generate_topology(params, seed);
+  net::MatrixLatencyModel latency(net::compute_client_metrics(topo));
+
+  sim::Simulator sim;
+  net::Transport transport(sim, latency, kN, {}, Rng(seed).split(1));
+
+  struct Node {
+    std::unique_ptr<overlay::CyclonNode> membership;
+    std::unique_ptr<core::TtlStrategy> strategy;
+    std::unique_ptr<core::PayloadScheduler> scheduler;
+    std::unique_ptr<core::GossipNode> gossip;
+    std::unique_ptr<pull::PullNode> repair;
+    std::unordered_set<MsgId, MsgIdHash> delivered;
+  };
+  std::vector<Node> nodes(kN);
+  std::vector<std::vector<SimTime>> delivery_time(
+      kN, std::vector<SimTime>(kMessages, -1));
+
+  core::RequestPolicy policy;  // T = 400 ms
+  pull::PullParams repair_params;
+  repair_params.period = 1 * kSecond;
+  repair_params.fanout = 1;
+  repair_params.lazy_reply = true;
+
+  Rng boot(seed ^ 0xb007);
+  for (NodeId id = 0; id < kN; ++id) {
+    Node& n = nodes[id];
+    n.membership = std::make_unique<overlay::CyclonNode>(
+        sim, transport, id, overlay::OverlayParams{}, Rng(seed).split(100 + id));
+    std::vector<NodeId> contacts;
+    while (contacts.size() < 15) {
+      const NodeId c = static_cast<NodeId>(boot.below(kN));
+      if (c != id) contacts.push_back(c);
+    }
+    n.membership->bootstrap(contacts);
+    n.strategy = std::make_unique<core::TtlStrategy>(3, policy);
+
+    auto record = [&nodes, &delivery_time, &sim, id](const core::AppMessage& m) {
+      Node& self = nodes[id];
+      if (!self.delivered.insert(m.id).second) return;
+      delivery_time[id][m.seq] = sim.now();
+      if (self.repair) self.repair->insert(m);
+    };
+    n.scheduler = std::make_unique<core::PayloadScheduler>(
+        sim, transport, id, *n.strategy,
+        [&nodes, id](const core::AppMessage& m, Round r, NodeId src) {
+          nodes[id].gossip->l_receive(m, r, src);
+        });
+    n.gossip = std::make_unique<core::GossipNode>(
+        id, core::GossipParams{11, 8}, *n.membership, *n.scheduler, record,
+        Rng(seed).split(200 + id));
+    if (with_pull_repair) {
+      n.repair = std::make_unique<pull::PullNode>(
+          sim, transport, id, repair_params, *n.membership, record,
+          Rng(seed).split(300 + id));
+    }
+    transport.register_handler(id, [&nodes, id](NodeId src,
+                                                const net::PacketPtr& p) {
+      if (nodes[id].membership->handle_packet(src, p)) return;
+      if (nodes[id].scheduler->handle_packet(src, p)) return;
+      if (nodes[id].repair) nodes[id].repair->handle_packet(src, p);
+    });
+  }
+  for (auto& n : nodes) {
+    n.membership->start();
+    if (n.repair) n.repair->start();
+  }
+  sim.run_until(20 * kSecond);
+
+  // Split into halves; all traffic happens during the partition.
+  std::vector<int> group(kN, 0);
+  for (NodeId id = kN / 2; id < kN; ++id) group[id] = 1;
+  transport.set_partition(group);
+
+  Rng traffic(seed ^ 0x7fa);
+  SimTime t = sim.now();
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    t += traffic.range(0, 1 * kSecond);
+    const NodeId sender = static_cast<NodeId>(i % kN);
+    Node* node = &nodes[sender];
+    sim.schedule_at(t, [node, i, &sim] {
+      node->gossip->multicast(256, i, sim.now());
+      node->repair ? (void)node->repair : (void)0;
+    });
+  }
+  const SimTime heal_at = t + 10 * kSecond;
+  sim.run_until(heal_at);
+
+  PartitionResult result;
+  std::uint64_t delivered_during = 0;
+  for (NodeId id = 0; id < kN; ++id) {
+    for (std::uint32_t m = 0; m < kMessages; ++m) {
+      if (delivery_time[id][m] >= 0) ++delivered_during;
+    }
+  }
+  result.partition_era_delivery =
+      static_cast<double>(delivered_during) / (double(kN) * kMessages);
+  result.partition_drops = transport.partition_drops();
+
+  transport.heal_partition();
+  // The overlay itself partitioned too (each side aged the other side's
+  // descriptors out of its views); as after any connectivity event, the
+  // rendezvous service re-seeds each node with one random contact and the
+  // shuffles re-merge the membership from there.
+  Rng reseed_rng(seed ^ 0x5eed5);
+  for (NodeId id = 0; id < kN; ++id) {
+    nodes[id].membership->reseed(
+        static_cast<NodeId>(reseed_rng.below(kN)));
+  }
+  sim.run_until(heal_at + 120 * kSecond);  // anti-entropy repair window
+
+  std::uint64_t delivered_final = 0;
+  for (NodeId id = 0; id < kN; ++id) {
+    for (std::uint32_t m = 0; m < kMessages; ++m) {
+      if (delivery_time[id][m] >= 0) ++delivered_final;
+    }
+  }
+  result.post_heal_delivery =
+      static_cast<double>(delivered_final) / (double(kN) * kMessages);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using harness::Table;
+
+  Table table("E5: 60 s half-partition, then heal (100 nodes, TTL push)");
+  table.header({"stack", "deliveries during partition %",
+                "deliveries 2 min after heal %", "cross-split drops"});
+  const PartitionResult push_only = run(false, 99);
+  table.row({"push only", Table::num(100.0 * push_only.partition_era_delivery, 1),
+             Table::num(100.0 * push_only.post_heal_delivery, 1),
+             std::to_string(push_only.partition_drops)});
+  const PartitionResult with_repair = run(true, 99);
+  table.row({"push + pull repair",
+             Table::num(100.0 * with_repair.partition_era_delivery, 1),
+             Table::num(100.0 * with_repair.post_heal_delivery, 1),
+             std::to_string(with_repair.partition_drops)});
+  table.print();
+
+  std::puts(
+      "\nExpected: during the split both stacks deliver to ~half the group\n"
+      "(the sender's side). Push gossip never recovers — its relays and\n"
+      "request timers are long expired when the network heals. The pull\n"
+      "repair layer's periodic digests notice the gap after the heal and\n"
+      "fetch every missing payload: eventual delivery converges to 100%,\n"
+      "which is the anti-entropy property Bimodal Multicast pioneered and\n"
+      "the paper cites as the origin of gossip reliability (§7).");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Extension E1: throughput stability under constrained bandwidth.
+//
+// The paper's motivation (§1, §7): eager gossip's f-fold payload
+// redundancy is what makes it expensive — under sustained load on limited
+// links the redundancy turns into buffer pressure and purged packets,
+// while lazy/hybrid scheduling keeps the payload volume near optimal and
+// sails through. This bench runs a sustained 4 KiB-message stream over
+// (i) ample and (ii) constrained per-node bandwidth with NeEM-style
+// bounded sender buffers, then adds (iii) heterogeneous capacity where a
+// third of the nodes are 4x slower — with and without the adaptive-fanout
+// extension (§7, [17]) that scales each node's fanout by its bandwidth.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 200;
+  base.payload_bytes = 4096;
+  base.mean_interval = 100 * kMillisecond;  // sustained ~10 msg/s
+  base.egress_buffer_bytes = 64 * 1024;
+  base.drain = 12 * kSecond;
+
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const double rho = to_ms(metrics.latency_quantile(0.15));
+
+  struct Protocol {
+    const char* name;
+    StrategySpec spec;
+  };
+  const Protocol protocols[] = {
+      {"eager", StrategySpec::make_flat(1.0)},
+      {"ttl u=3", StrategySpec::make_ttl(3)},
+      {"hybrid", StrategySpec::make_hybrid(rho, 3, 0.1)},
+      {"lazy", StrategySpec::make_flat(0.0)},
+  };
+
+  Table table("E1: sustained 4 KiB stream, bounded sender buffers");
+  table.header({"bandwidth", "protocol", "deliveries %", "latency ms",
+                "payload/msg", "buffer drops"});
+
+  auto run_case = [&](const char* label, std::uint64_t bw,
+                      const Protocol& p) {
+    ExperimentConfig config = base;
+    config.bandwidth_bps = bw;
+    config.strategy = p.spec;
+    const auto r = harness::run_experiment(config);
+    table.row({label, p.name, Table::num(100.0 * r.mean_delivery_fraction, 2),
+               Table::num(r.mean_latency_ms, 0),
+               Table::num(r.load_all.payload_per_msg, 2),
+               std::to_string(r.buffer_drops)});
+  };
+  for (const Protocol& p : protocols) run_case("20 Mb/s (ample)", 20'000'000, p);
+  for (const Protocol& p : protocols) run_case("2 Mb/s (tight)", 2'000'000, p);
+  table.print();
+
+  // Buffer purge policy ([13]): under overload, does it pay to purge the
+  // stalest queued packets instead of refusing fresh ones?
+  Table purge("E1c: buffer purge policy under overload (eager, 2 Mb/s)");
+  purge.header({"policy", "deliveries %", "latency ms", "p95 ms",
+                "buffer drops"});
+  for (const auto policy :
+       {net::TransportOptions::PurgePolicy::drop_newest,
+        net::TransportOptions::PurgePolicy::drop_oldest}) {
+    ExperimentConfig config = base;
+    config.bandwidth_bps = 2'000'000;
+    config.strategy = StrategySpec::make_flat(1.0);
+    config.purge_policy = policy;
+    const auto r = harness::run_experiment(config);
+    purge.row({policy == net::TransportOptions::PurgePolicy::drop_newest
+                   ? "drop newest (tail drop)"
+                   : "drop oldest (age purge)",
+               Table::num(100.0 * r.mean_delivery_fraction, 2),
+               Table::num(r.mean_latency_ms, 0),
+               Table::num(r.p95_latency_ms, 0),
+               std::to_string(r.buffer_drops)});
+  }
+  purge.print();
+
+  Table hetero("E1b: heterogeneous capacity (1/3 of nodes at 0.5 Mb/s)");
+  hetero.header({"fanout policy", "protocol", "deliveries %", "latency ms",
+                 "buffer drops"});
+  for (const bool adaptive : {false, true}) {
+    for (const Protocol& p : {protocols[0], protocols[1]}) {
+      ExperimentConfig config = base;
+      config.bandwidth_bps = 2'000'000;
+      config.slow_fraction = 0.33;
+      config.slow_bandwidth_bps = 500'000;
+      config.adaptive_fanout = adaptive;
+      config.strategy = p.spec;
+      const auto r = harness::run_experiment(config);
+      hetero.row({adaptive ? "adaptive (bw-scaled)" : "uniform", p.name,
+                  Table::num(100.0 * r.mean_delivery_fraction, 2),
+                  Table::num(r.mean_latency_ms, 0),
+                  std::to_string(r.buffer_drops)});
+    }
+  }
+  hetero.print();
+
+  std::puts(
+      "\nExpected: with ample bandwidth all protocols deliver ~100%. On\n"
+      "tight links eager gossip's 11x payload redundancy overflows the\n"
+      "sender buffers (drops, latency blow-up, lost deliveries) while the\n"
+      "scheduled strategies stay healthy — the paper's bandwidth argument\n"
+      "under sustained load. Scaling fanout by capacity (adaptive) shifts\n"
+      "relay work away from slow nodes and reduces their buffer drops.");
+  return 0;
+}

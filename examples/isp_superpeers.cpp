@@ -1,0 +1,157 @@
+// ISP super-peers: explicitly configured best nodes (paper §4.1: "some
+// nodes can be explicitly configured as best nodes, for instance, by an
+// Internet Service Provider that wants to improve performance to local
+// users").
+//
+// Unlike the other examples this one wires the protocol stack directly
+// from the library's public API — transport, Cyclon membership, payload
+// scheduler, gossip layer — instead of going through the experiment
+// harness, which is what an adopting application would do. Three
+// provisioned nodes are designated super-peers; everything else is a
+// regular client.
+//
+// Run: ./isp_superpeers
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/gossip.hpp"
+#include "core/scheduler.hpp"
+#include "core/strategies.hpp"
+#include "harness/table.hpp"
+#include "net/latency_model.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+#include "overlay/cyclon.hpp"
+#include "sim/simulator.hpp"
+#include "stats/running.hpp"
+
+int main() {
+  using namespace esm;
+  constexpr std::uint32_t kNodes = 60;
+  constexpr std::uint32_t kMessages = 200;
+  constexpr std::uint64_t kSeed = 42;
+
+  // --- network: synthetic WAN with ~50 ms mean client latency -------------
+  net::TopologyParams topo_params;
+  topo_params.num_clients = kNodes;
+  topo_params.num_underlay_vertices = 800;
+  const net::Topology topo = net::generate_topology(topo_params, kSeed);
+  net::MatrixLatencyModel latency(net::compute_client_metrics(topo));
+
+  sim::Simulator sim;
+  net::Transport transport(sim, latency, kNodes, {}, Rng(kSeed).split(1));
+
+  // --- the ISP provisions three super-peers --------------------------------
+  const core::StaticBestSet super_peers({3, 17, 42});
+
+  // --- per-node protocol stacks ---------------------------------------------
+  struct Node {
+    std::unique_ptr<overlay::CyclonNode> membership;
+    std::unique_ptr<core::RankedStrategy> strategy;
+    std::unique_ptr<core::PayloadScheduler> scheduler;
+    std::unique_ptr<core::GossipNode> gossip;
+  };
+  std::vector<Node> nodes(kNodes);
+  stats::RunningStat latency_ms;
+  std::uint64_t deliveries = 0;
+
+  core::RequestPolicy policy;  // defaults: immediate first request, T=400 ms
+  Rng boot(kSeed);
+  for (NodeId id = 0; id < kNodes; ++id) {
+    Node& node = nodes[id];
+    node.membership = std::make_unique<overlay::CyclonNode>(
+        sim, transport, id, overlay::OverlayParams{}, Rng(kSeed).split(100 + id));
+    std::vector<NodeId> contacts;
+    while (contacts.size() < 10) {
+      const NodeId c = static_cast<NodeId>(boot.below(kNodes));
+      if (c != id) contacts.push_back(c);
+    }
+    node.membership->bootstrap(contacts);
+
+    node.strategy =
+        std::make_unique<core::RankedStrategy>(id, super_peers, policy);
+    node.scheduler = std::make_unique<core::PayloadScheduler>(
+        sim, transport, id, *node.strategy,
+        [&nodes, id](const core::AppMessage& msg, Round r, NodeId src) {
+          nodes[id].gossip->l_receive(msg, r, src);
+        });
+    node.gossip = std::make_unique<core::GossipNode>(
+        id, core::GossipParams{/*fanout=*/9, /*max_rounds=*/7},
+        *node.membership, *node.scheduler,
+        [&, id](const core::AppMessage& msg) {
+          ++deliveries;
+          if (msg.origin != id) {
+            latency_ms.add(to_ms(sim.now() - msg.multicast_time));
+          }
+        },
+        Rng(kSeed).split(200 + id));
+    transport.register_handler(id, [&nodes, id](NodeId src,
+                                                const net::PacketPtr& p) {
+      if (nodes[id].membership->handle_packet(src, p)) return;
+      nodes[id].scheduler->handle_packet(src, p);
+    });
+  }
+
+  // --- run: join, warm up, then multicast from random clients ---------------
+  for (auto& node : nodes) node.membership->start();
+  sim.run_until(15 * kSecond);
+  transport.stats().reset();
+
+  Rng traffic(kSeed ^ 0x5eed);
+  SimTime t = sim.now();
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    t += traffic.range(0, kSecond);
+    const NodeId sender = static_cast<NodeId>(traffic.below(kNodes));
+    sim.schedule_at(t, [&nodes, sender, i, &sim] {
+      nodes[sender].gossip->multicast(512, i, sim.now());
+    });
+  }
+  sim.run_until(t + 5 * kSecond);
+
+  // --- report ----------------------------------------------------------------
+  const auto& stats = transport.stats();
+  harness::Table table("ISP super-peers: per-node payload contribution");
+  table.header({"node class", "nodes", "payload sent/msg", "share %"});
+  std::uint64_t super_payload = 0;
+  for (const NodeId sp : {3u, 17u, 42u}) {
+    super_payload += stats.node_sent_payload(sp);
+  }
+  const std::uint64_t total_payload = stats.total_payload_packets();
+  table.row({"super-peers", "3",
+             harness::Table::num(static_cast<double>(super_payload) / 3.0 /
+                                     kMessages,
+                                 2),
+             harness::Table::num(total_payload ? 100.0 * static_cast<double>(
+                                                     super_payload) /
+                                                     static_cast<double>(
+                                                         total_payload)
+                                               : 0.0,
+                                 1)});
+  table.row(
+      {"regular clients", std::to_string(kNodes - 3),
+       harness::Table::num(static_cast<double>(total_payload - super_payload) /
+                               static_cast<double>(kNodes - 3) / kMessages,
+                           2),
+       harness::Table::num(total_payload ? 100.0 * static_cast<double>(
+                                               total_payload - super_payload) /
+                                               static_cast<double>(
+                                                   total_payload)
+                                         : 0.0,
+                           1)});
+  table.print();
+
+  std::printf(
+      "\n%llu deliveries (expected %u), mean latency %.0f ms, "
+      "%.2f payloads per delivery.\n",
+      static_cast<unsigned long long>(deliveries), kNodes * kMessages,
+      latency_ms.mean(),
+      static_cast<double>(total_payload) / static_cast<double>(deliveries));
+  std::puts(
+      "Three provisioned super-peers carry a disproportionate share of the\n"
+      "payload traffic, yet the protocol stays plain gossip: if they fail,\n"
+      "dissemination degrades gracefully to the lazy-push baseline.");
+  return 0;
+}

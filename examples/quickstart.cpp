@@ -1,0 +1,52 @@
+// Quickstart: multicast over an emergent-structure gossip group.
+//
+// Builds a 50-node group on a synthetic wide-area network, disseminates a
+// few hundred messages with the TTL strategy (eager for the first rounds,
+// lazy afterwards — the paper's best simple tradeoff), and prints the
+// latency/bandwidth outcome next to pure eager and pure lazy gossip.
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::StrategySpec;
+
+  harness::ExperimentConfig config;
+  config.seed = 7;
+  config.num_nodes = 50;
+  config.num_messages = 150;
+  config.warmup = 20 * kSecond;
+
+  harness::Table table("quickstart: 50 nodes, 150 multicasts, fanout 11");
+  table.header({"strategy", "latency ms", "payload/msg", "deliveries %",
+                "dup payloads"});
+
+  struct Case {
+    const char* name;
+    StrategySpec spec;
+  };
+  const Case cases[] = {
+      {"eager (flat pi=1)", StrategySpec::make_flat(1.0)},
+      {"lazy  (flat pi=0)", StrategySpec::make_flat(0.0)},
+      {"ttl u=2", StrategySpec::make_ttl(2)},
+  };
+
+  for (const Case& c : cases) {
+    config.strategy = c.spec;
+    const harness::ExperimentResult r = harness::run_experiment(config);
+    table.row({c.name, harness::Table::num(r.mean_latency_ms, 1),
+               harness::Table::num(r.load_all.payload_per_msg, 2),
+               harness::Table::num(100.0 * r.mean_delivery_fraction, 2),
+               std::to_string(r.duplicate_payloads)});
+  }
+  table.print();
+
+  std::puts(
+      "\nThe TTL row should sit near eager latency at a fraction of its\n"
+      "payload cost — the emergent-structure tradeoff of the paper.");
+  return 0;
+}

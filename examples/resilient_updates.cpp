@@ -1,0 +1,85 @@
+// Resilient software-update dissemination.
+//
+// Scenario: a control plane pushes configuration/update bundles to a fleet
+// of 100 edge nodes over a lossy wide-area network while machines keep
+// failing. The operator wants (i) every live node to get every update,
+// (ii) modest egress cost on regular nodes, and (iii) no tree to repair at
+// 3 a.m. This example compares pure eager gossip, pure lazy gossip and
+// the paper's hybrid strategy under increasingly hostile conditions.
+//
+// Run: ./resilient_updates
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::StrategySpec;
+  using harness::Table;
+
+  ExperimentConfig base;
+  base.seed = 77;
+  base.num_nodes = 100;
+  base.num_messages = 150;
+  base.payload_bytes = 1024;  // update chunks, not chat messages
+
+  net::TopologyParams topo_params = base.topology;
+  topo_params.num_clients = base.num_nodes;
+  const net::Topology topo = net::generate_topology(topo_params, base.seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const double rho = to_ms(metrics.latency_quantile(0.10));
+
+  struct Scenario {
+    const char* name;
+    double loss;
+    double dead;
+  };
+  const Scenario scenarios[] = {
+      {"healthy network", 0.0, 0.0},
+      {"1% packet loss", 0.01, 0.0},
+      {"loss + 20% nodes dead", 0.01, 0.2},
+      {"loss + 40% nodes dead", 0.01, 0.4},
+  };
+  struct Protocol {
+    const char* name;
+    StrategySpec spec;
+  };
+  const Protocol protocols[] = {
+      {"eager gossip", StrategySpec::make_flat(1.0)},
+      {"lazy gossip", StrategySpec::make_flat(0.0)},
+      {"hybrid (paper)", StrategySpec::make_hybrid(rho, 3, 0.1)},
+  };
+
+  Table table("fleet update dissemination: 100 nodes, 1 KiB updates");
+  table.header({"scenario", "protocol", "deliveries %", "latency ms",
+                "payload/msg", "regular-node payload/msg"});
+
+  for (const Scenario& s : scenarios) {
+    for (const Protocol& p : protocols) {
+      ExperimentConfig config = base;
+      config.strategy = p.spec;
+      config.loss_rate = s.loss;
+      config.kill_fraction = s.dead;
+      config.kill_mode =
+          s.dead > 0.0 ? harness::KillMode::random : harness::KillMode::none;
+      const auto r = harness::run_experiment(config);
+      table.row({s.name, p.name,
+                 Table::num(100.0 * r.mean_delivery_fraction, 2),
+                 Table::num(r.mean_latency_ms, 0),
+                 Table::num(r.load_all.payload_per_msg, 2),
+                 Table::num(r.load_low.payload_per_msg, 2)});
+    }
+  }
+  table.print();
+
+  std::puts(
+      "\nReading the table: eager gossip is fast and bulletproof but costs\n"
+      "~11 uploads per node per update; lazy gossip is cheap but slow; the\n"
+      "hybrid keeps regular-node egress near the lazy optimum with latency\n"
+      "close to eager — and failures never require structural repair.");
+  return 0;
+}

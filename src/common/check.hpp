@@ -1,0 +1,34 @@
+// Invariant checking.
+//
+// ESM_CHECK is always on (it guards protocol invariants whose violation
+// would silently corrupt experiment results); the cost is negligible next
+// to event-queue churn. Failures throw `esm::CheckFailure` so tests can
+// assert on them and examples can fail with a readable message instead of
+// a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace esm {
+
+/// Thrown when an ESM_CHECK invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* msg,
+                                      const char* file, int line) {
+  throw CheckFailure(std::string(file) + ":" + std::to_string(line) +
+                     ": check `" + expr + "` failed: " + msg);
+}
+
+}  // namespace esm
+
+#define ESM_CHECK(expr, msg)                                \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::esm::check_failed(#expr, (msg), __FILE__, __LINE__); \
+    }                                                       \
+  } while (false)

@@ -1,0 +1,17 @@
+#include "common/types.hpp"
+
+#include <array>
+
+namespace esm {
+
+std::string to_string(const MsgId& id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(id.hi >> (4 * i)) & 0xF];
+    out[31 - i] = kHex[(id.lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace esm

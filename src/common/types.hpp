@@ -1,0 +1,61 @@
+// Fundamental value types shared by every module of the library.
+//
+// The simulation uses a single global virtual clock expressed in integer
+// microseconds (`SimTime`). All protocol timers and network delays are
+// expressed in this unit; helper constants make call sites readable
+// (`400 * kMillisecond`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace esm {
+
+/// Identifier of a protocol participant (a "client" / virtual node in the
+/// paper's terminology). Dense indices in [0, num_nodes) so they can be used
+/// directly as vector subscripts.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Virtual time in microseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1'000'000;
+
+/// Largest representable time; used as "never".
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::max();
+
+/// Converts a SimTime to fractional milliseconds (for reporting).
+inline double to_ms(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Gossip round counter (number of times a message has been relayed).
+using Round = std::uint32_t;
+
+/// Probabilistically-unique 128-bit message identifier (paper §3.1: "a
+/// random bit-string with sufficient length"; §5.2: "128 bit strings").
+struct MsgId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const MsgId&, const MsgId&) = default;
+  friend auto operator<=>(const MsgId&, const MsgId&) = default;
+};
+
+/// Renders a MsgId as fixed-width hex, e.g. for logs and test diagnostics.
+std::string to_string(const MsgId& id);
+
+struct MsgIdHash {
+  std::size_t operator()(const MsgId& id) const noexcept {
+    // hi and lo are independently uniform, so mixing them with a
+    // multiply-xor is enough for unordered containers.
+    return static_cast<std::size_t>(id.hi * 0x9e3779b97f4a7c15ULL ^ id.lo);
+  }
+};
+
+}  // namespace esm

@@ -1,0 +1,82 @@
+#include "core/monitor.hpp"
+
+#include <limits>
+
+#include "core/message.hpp"
+
+namespace esm::core {
+
+PingMonitor::PingMonitor(sim::Simulator& sim, net::Transport& transport,
+                         NodeId self, overlay::PeerSampler& sampler,
+                         Params params, Rng rng)
+    : sim_(sim),
+      transport_(transport),
+      self_(self),
+      sampler_(sampler),
+      params_(params),
+      rng_(rng),
+      timer_(sim, [this] { tick(); }) {
+  ESM_CHECK(params.alpha > 0.0 && params.alpha <= 1.0,
+            "EWMA gain must be in (0, 1]");
+}
+
+void PingMonitor::start() {
+  timer_.start(rng_.range(0, params_.period - 1), params_.period);
+}
+
+void PingMonitor::stop() { timer_.stop(); }
+
+void PingMonitor::tick() {
+  for (const NodeId peer : sampler_.sample(params_.fanout)) {
+    auto ping = std::make_shared<PingPacket>();
+    ping->sent_at = sim_.now();
+    ping->is_pong = false;
+    transport_.send(self_, peer, std::move(ping), kControlBytes,
+                    /*is_payload=*/false);
+  }
+}
+
+bool PingMonitor::handle_packet(NodeId src, const net::PacketPtr& packet) {
+  const auto* ping = dynamic_cast<const PingPacket*>(packet.get());
+  if (ping == nullptr) return false;
+
+  if (!ping->is_pong) {
+    auto pong = std::make_shared<PingPacket>();
+    pong->sent_at = ping->sent_at;  // echoed so the pinger needs no state
+    pong->is_pong = true;
+    transport_.send(self_, src, std::move(pong), kControlBytes,
+                    /*is_payload=*/false);
+    return true;
+  }
+
+  const auto rtt = static_cast<double>(sim_.now() - ping->sent_at);
+  auto [it, inserted] = srtt_us_.try_emplace(src, rtt);
+  if (!inserted) {
+    it->second += params_.alpha * (rtt - it->second);
+  }
+  return true;
+}
+
+double PingMonitor::metric(NodeId self, NodeId peer) const {
+  ESM_CHECK(self == self_, "PingMonitor is per-node");
+  const auto it = srtt_us_.find(peer);
+  if (it == srtt_us_.end()) return std::numeric_limits<double>::infinity();
+  return to_ms(static_cast<SimTime>(it->second / 2.0));
+}
+
+void PiggybackMonitor::observe(NodeId peer, SimTime rtt) {
+  const auto sample = static_cast<double>(rtt);
+  auto [it, inserted] = srtt_us_.try_emplace(peer, sample);
+  if (!inserted) {
+    it->second += alpha_ * (sample - it->second);
+  }
+}
+
+double PiggybackMonitor::metric(NodeId self, NodeId peer) const {
+  ESM_CHECK(self == self_, "PiggybackMonitor is per-node");
+  const auto it = srtt_us_.find(peer);
+  if (it == srtt_us_.end()) return std::numeric_limits<double>::infinity();
+  return it->second / 2.0 / kMillisecond;
+}
+
+}  // namespace esm::core

@@ -1,0 +1,31 @@
+#include "core/noise.hpp"
+
+#include "common/check.hpp"
+
+namespace esm::core {
+
+NoisyStrategy::NoisyStrategy(std::unique_ptr<TransmissionStrategy> inner,
+                             double noise,
+                             std::shared_ptr<NoiseCalibration> calibration,
+                             Rng rng)
+    : inner_(std::move(inner)),
+      noise_(noise),
+      calibration_(std::move(calibration)),
+      rng_(rng) {
+  ESM_CHECK(static_cast<bool>(inner_), "wrapped strategy must not be null");
+  ESM_CHECK(noise >= 0.0 && noise <= 1.0, "noise ratio must be in [0, 1]");
+  if (!calibration_) calibration_ = std::make_shared<NoiseCalibration>();
+}
+
+bool NoisyStrategy::eager(const MsgId& id, Round round, NodeId peer) {
+  const bool raw = inner_->eager(id, round, peer);
+  calibration_->observe(raw);
+  if (noise_ <= 0.0) return raw;  // exact identity at o = 0
+
+  const double c = calibration_->eager_rate();
+  const double v = raw ? 1.0 : 0.0;
+  const double blurred = c + (v - c) * (1.0 - noise_);
+  return rng_.chance(blurred);
+}
+
+}  // namespace esm::core

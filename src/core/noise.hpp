@@ -1,0 +1,84 @@
+// Noise injection decorator (paper §4.3).
+//
+// Wraps any strategy and blurs its Eager? answers while preserving the
+// total amount of eager traffic:
+//
+//   v  = 1.0 if the wrapped strategy says eager, else 0.0
+//   v' = c + (v - c) * (1 - o)
+//   answer = Bernoulli(v')
+//
+// where o is the noise ratio and c the *system-wide* eager probability
+// ("Constant c is set such that the overall probability of Eager? returning
+// true is unchanged"). o = 0 leaves the strategy intact; o = 1 makes every
+// node behave as Flat with pi = c, "completely erasing structure" — which
+// requires c to be one global constant: a per-node constant would preserve
+// per-node load differences and keep part of the structure.
+//
+// c is maintained in a `NoiseCalibration` shared by all nodes of an
+// experiment, as a running estimate of the raw eager rate (with a
+// symmetric Beta(1,1) prior so early queries are sane). This mirrors the
+// paper's setup, which reads c from global knowledge of the model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/strategy.hpp"
+
+namespace esm::core {
+
+/// Shared running estimate of the raw (pre-noise) eager rate c.
+class NoiseCalibration {
+ public:
+  void observe(bool raw_eager) {
+    ++total_;
+    if (raw_eager) ++trues_;
+  }
+
+  /// Current estimate of c with a Beta(1,1) prior.
+  double eager_rate() const {
+    return (static_cast<double>(trues_) + 1.0) /
+           (static_cast<double>(total_) + 2.0);
+  }
+
+  std::uint64_t observations() const { return total_; }
+
+ private:
+  std::uint64_t trues_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class NoisyStrategy final : public TransmissionStrategy {
+ public:
+  /// `noise` in [0, 1]. Takes ownership of the wrapped strategy. All nodes
+  /// of one experiment should share the same `calibration`; passing
+  /// nullptr gives the instance a private calibration (useful in tests).
+  NoisyStrategy(std::unique_ptr<TransmissionStrategy> inner, double noise,
+                std::shared_ptr<NoiseCalibration> calibration, Rng rng);
+
+  /// Convenience: private calibration.
+  NoisyStrategy(std::unique_ptr<TransmissionStrategy> inner, double noise,
+                Rng rng)
+      : NoisyStrategy(std::move(inner), noise, nullptr, rng) {}
+
+  bool eager(const MsgId& id, Round round, NodeId peer) override;
+  RequestPolicy request_policy() const override {
+    return inner_->request_policy();
+  }
+  std::size_t pick_source(const std::vector<NodeId>& sources) override {
+    return inner_->pick_source(sources);
+  }
+
+  /// Current estimate of the system-wide eager rate (c).
+  double eager_rate_estimate() const { return calibration_->eager_rate(); }
+  double noise() const { return noise_; }
+
+ private:
+  std::unique_ptr<TransmissionStrategy> inner_;
+  double noise_;
+  std::shared_ptr<NoiseCalibration> calibration_;
+  Rng rng_;
+};
+
+}  // namespace esm::core

@@ -1,0 +1,192 @@
+#include "core/scheduler.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace esm::core {
+
+PayloadScheduler::PayloadScheduler(sim::Simulator& sim,
+                                   net::Transport& transport, NodeId self,
+                                   TransmissionStrategy& strategy,
+                                   ReceiveFn receive)
+    : sim_(sim),
+      transport_(transport),
+      self_(self),
+      strategy_(strategy),
+      receive_(std::move(receive)) {
+  ESM_CHECK(static_cast<bool>(receive_), "receive up-call must be callable");
+}
+
+void PayloadScheduler::send_data(const AppMessage& msg, Round round,
+                                 NodeId dst, bool eager) {
+  auto packet = std::make_shared<DataPacket>();
+  packet->msg = msg;
+  packet->round = round;
+  transport_.send(self_, dst, std::move(packet), wire_bytes(msg),
+                  /*is_payload=*/true);
+  if (eager) {
+    ++stats_.eager_payloads_sent;
+  } else {
+    ++stats_.requested_payloads_sent;
+  }
+  if (send_listener_) send_listener_(msg, dst, eager);
+}
+
+void PayloadScheduler::l_send(const AppMessage& msg, Round round, NodeId dst) {
+  // The sender always remembers the payload: it may be asked for it later
+  // by *any* peer it advertised to, and the gossip layer has already
+  // recorded the id in K, so this node will never re-enter here for the
+  // same message after forwarding once.
+  received_.insert(msg.id);
+  if (strategy_.eager(msg.id, round, dst)) {
+    cache_.try_emplace(msg.id, msg, round);  // may still be IWANTed by others
+    send_data(msg, round, dst, /*eager=*/true);
+  } else {
+    cache_.try_emplace(msg.id, msg, round);
+    enqueue_ihave(msg.id, dst);
+  }
+}
+
+void PayloadScheduler::enqueue_ihave(const MsgId& id, NodeId dst) {
+  if (ihave_batch_window_ <= 0) {
+    auto ihave = std::make_shared<IHavePacket>();
+    ihave->ids.push_back(id);
+    transport_.send(self_, dst, std::move(ihave), ihave_bytes(1),
+                    /*is_payload=*/false);
+    ++stats_.advertisements_sent;
+    return;
+  }
+  IHaveBatch& batch = ihave_outbox_[dst];
+  batch.ids.push_back(id);
+  if (!batch.timer.valid() || !sim_.pending(batch.timer)) {
+    batch.timer = sim_.schedule_after(ihave_batch_window_,
+                                      [this, dst] { flush_ihaves(dst); });
+  }
+}
+
+void PayloadScheduler::flush_ihaves(NodeId dst) {
+  const auto it = ihave_outbox_.find(dst);
+  if (it == ihave_outbox_.end() || it->second.ids.empty()) return;
+  auto ihave = std::make_shared<IHavePacket>();
+  ihave->ids = std::move(it->second.ids);
+  const std::size_t bytes = ihave_bytes(ihave->ids.size());
+  ihave_outbox_.erase(it);
+  transport_.send(self_, dst, std::move(ihave), bytes, /*is_payload=*/false);
+  ++stats_.advertisements_sent;
+}
+
+void PayloadScheduler::queue_source(const MsgId& id, NodeId src) {
+  Pending& p = pending_[id];
+  if (!p.seen.insert(src).second) return;  // duplicate advertisement
+  p.sources.push_back(src);
+  if (!p.timer.valid() || !sim_.pending(p.timer)) {
+    const RequestPolicy policy = strategy_.request_policy();
+    // After at least one request has gone out, fresh advertisements wait a
+    // full period: the outstanding request is likely to be answered.
+    const SimTime delay = p.requested_before ? policy.retransmission_period
+                                             : policy.first_request_delay;
+    p.timer = sim_.schedule_after(delay, [this, id] { request_timer_fired(id); });
+  }
+}
+
+void PayloadScheduler::request_timer_fired(const MsgId& id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.sources.empty()) return;  // queue drained; a new IHAVE re-arms
+
+  const std::size_t pick = strategy_.pick_source(p.sources);
+  ESM_CHECK(pick < p.sources.size(), "strategy picked an invalid source");
+  const NodeId target = p.sources[pick];
+  p.sources.erase(p.sources.begin() + static_cast<std::ptrdiff_t>(pick));
+  p.requested_before = true;
+  p.last_request_target = target;
+  p.last_request_time = sim_.now();
+
+  auto iwant = std::make_shared<IWantPacket>();
+  iwant->id = id;
+  transport_.send(self_, target, std::move(iwant), kControlBytes,
+                  /*is_payload=*/false);
+  ++stats_.requests_sent;
+  // Plumtree GRAFT promotes the recovering edge at both ends: the serving
+  // peer promotes us on receiving the IWANT; we promote it here.
+  if (strategy_.wants_feedback()) strategy_.on_graft(target);
+
+  if (!p.sources.empty()) {
+    const RequestPolicy policy = strategy_.request_policy();
+    p.timer = sim_.schedule_after(policy.retransmission_period,
+                                  [this, id] { request_timer_fired(id); });
+  }
+}
+
+void PayloadScheduler::clear(const MsgId& id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  if (it->second.timer.valid()) sim_.cancel(it->second.timer);
+  pending_.erase(it);
+}
+
+bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
+  if (const auto* data = dynamic_cast<const DataPacket*>(packet.get())) {
+    if (!received_.insert(data->msg.id).second) {
+      ++stats_.duplicate_payloads;
+      if (strategy_.wants_feedback()) {
+        // Plumtree PRUNE demotes the redundant edge at *both* ends: we
+        // stop pushing eagerly to the sender, and the PRUNE packet tells
+        // the sender to stop pushing eagerly to us.
+        strategy_.on_prune(src);
+        auto prune = std::make_shared<PrunePacket>();
+        prune->id = data->msg.id;
+        transport_.send(self_, src, std::move(prune), kControlBytes,
+                        /*is_payload=*/false);
+        ++stats_.prunes_sent;
+      }
+      return true;
+    }
+    // Free RTT sample: the payload answered our latest request to `src`.
+    if (rtt_observer_) {
+      const auto pending = pending_.find(data->msg.id);
+      if (pending != pending_.end() &&
+          pending->second.last_request_target == src) {
+        rtt_observer_(src, sim_.now() - pending->second.last_request_time);
+      }
+    }
+    clear(data->msg.id);
+    receive_(data->msg, data->round, src);
+    return true;
+  }
+  if (dynamic_cast<const PrunePacket*>(packet.get()) != nullptr) {
+    strategy_.on_prune(src);
+    return true;
+  }
+  if (const auto* ihave = dynamic_cast<const IHavePacket*>(packet.get())) {
+    for (const MsgId& id : ihave->ids) {
+      if (!received_.contains(id)) queue_source(id, src);
+    }
+    return true;
+  }
+  if (const auto* iwant = dynamic_cast<const IWantPacket*>(packet.get())) {
+    // The pull itself is the graft signal: this peer lacked data we hold.
+    strategy_.on_graft(src);
+    const auto it = cache_.find(iwant->id);
+    if (it == cache_.end()) {
+      // Only possible after garbage collection: a request can only follow
+      // our own advertisement, so the payload was cached at some point.
+      ++stats_.requests_unserved;
+      return true;
+    }
+    send_data(it->second.first, it->second.second, src, /*eager=*/false);
+    return true;
+  }
+  return false;
+}
+
+void PayloadScheduler::garbage_collect(const std::vector<MsgId>& ids) {
+  for (const MsgId& id : ids) {
+    cache_.erase(id);
+    clear(id);
+  }
+}
+
+}  // namespace esm::core

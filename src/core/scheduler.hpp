@@ -1,0 +1,154 @@
+// Lazy Point-to-Point module of the Payload Scheduler (paper Fig. 3).
+//
+// Sits transparently between the gossip layer's L-Send/L-Receive and the
+// unreliable transport. For every outgoing transmission it asks the
+// Transmission Strategy whether to send the full MSG eagerly or an IHAVE
+// advertisement; advertised-but-missing payloads are pulled with IWANT
+// requests under a negative-acknowledgement discipline:
+//
+//   * the first IWANT for a message fires `first_request_delay` after its
+//     first IHAVE (immediately for Flat/TTL/Ranked, after T0 for Radius);
+//   * while other advertisers remain known, further IWANTs fire every
+//     `retransmission_period` (the paper's T = 400 ms), each aimed at a
+//     source chosen by the strategy (FIFO or nearest) and not asked before;
+//   * payload arrival clears all pending requests for that message.
+//
+// From the correctness point of view any schedule is safe as long as every
+// queued source is eventually asked unless the payload arrives first —
+// which this implementation guarantees (each timer fire consumes one
+// source; the timer keeps running while sources remain).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/message.hpp"
+#include "core/strategy.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::core {
+
+/// Counters the scheduler exposes for evaluation.
+struct SchedulerStats {
+  /// MSG packets received for an id already in R (redundant payload).
+  std::uint64_t duplicate_payloads = 0;
+  /// IWANT packets sent.
+  std::uint64_t requests_sent = 0;
+  /// IHAVE packets sent.
+  std::uint64_t advertisements_sent = 0;
+  /// MSG packets sent eagerly (strategy said eager).
+  std::uint64_t eager_payloads_sent = 0;
+  /// MSG packets sent in response to IWANT.
+  std::uint64_t requested_payloads_sent = 0;
+  /// IWANTs that found no cached payload (only possible after cache GC).
+  std::uint64_t requests_unserved = 0;
+  /// PRUNE feedback packets sent (adaptive strategies only).
+  std::uint64_t prunes_sent = 0;
+};
+
+class PayloadScheduler {
+ public:
+  /// Up-call to the gossip layer: L-Receive(i, d, r, s).
+  using ReceiveFn =
+      std::function<void(const AppMessage&, Round, NodeId source)>;
+
+  PayloadScheduler(sim::Simulator& sim, net::Transport& transport, NodeId self,
+                   TransmissionStrategy& strategy, ReceiveFn receive);
+
+  /// L-Send(i, d, r, p): transmit `msg` at round `round` to `dst`, eagerly
+  /// or lazily per the strategy.
+  void l_send(const AppMessage& msg, Round round, NodeId dst);
+
+  /// Consumes MSG/IHAVE/IWANT packets addressed to this node. Returns
+  /// false if the packet belongs to another protocol.
+  bool handle_packet(NodeId src, const net::PacketPtr& packet);
+
+  /// True if payload for `id` has been received (or originated) here.
+  bool has_payload(const MsgId& id) const { return received_.contains(id); }
+
+  /// Number of messages with outstanding lazy requests (test helper).
+  std::size_t pending_requests() const { return pending_.size(); }
+
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Drops cached payloads and request state for messages the application
+  /// has finished with. In the paper this is the garbage collection of C/R
+  /// (§3.2), which "is similar to the management of set K".
+  void garbage_collect(const std::vector<MsgId>& ids);
+
+  /// Batches IHAVE advertisements per destination within this window
+  /// (0 = advertise immediately, one id per packet, as the paper does).
+  /// Batching trades a small advertisement delay for fewer control
+  /// packets; see bench_ablation_timers for the measured tradeoff.
+  void set_ihave_batch_window(SimTime window) {
+    ESM_CHECK(window >= 0, "batch window must be non-negative");
+    ihave_batch_window_ = window;
+  }
+
+  /// Observation hook: invoked for every payload transmission this node
+  /// performs (eager or requested). Used by the harness for per-message
+  /// accounting and tracing; not part of the protocol.
+  using SendListener =
+      std::function<void(const AppMessage&, NodeId dst, bool eager)>;
+  void set_send_listener(SendListener listener) {
+    send_listener_ = std::move(listener);
+  }
+
+  /// Observation hook: invoked with (peer, rtt) whenever a payload arrives
+  /// from the peer our latest IWANT for that message targeted — a free RTT
+  /// sample from traffic the protocol exchanges anyway (§3.2 notes the
+  /// monitor may measure round-trip delays; this needs no extra packets).
+  using RttObserver = std::function<void(NodeId peer, SimTime rtt)>;
+  void set_rtt_observer(RttObserver observer) {
+    rtt_observer_ = std::move(observer);
+  }
+
+ private:
+  struct Pending {
+    std::vector<NodeId> sources;          // advertisers, in arrival order
+    std::unordered_set<NodeId> seen;      // advertisers ever queued
+    sim::EventHandle timer{};
+    bool requested_before = false;        // at least one IWANT sent
+    NodeId last_request_target = kInvalidNode;
+    SimTime last_request_time = 0;
+  };
+
+  void queue_source(const MsgId& id, NodeId src);
+  void request_timer_fired(const MsgId& id);
+  void clear(const MsgId& id);
+  void send_data(const AppMessage& msg, Round round, NodeId dst, bool eager);
+  void enqueue_ihave(const MsgId& id, NodeId dst);
+  void flush_ihaves(NodeId dst);
+
+  sim::Simulator& sim_;
+  net::Transport& transport_;
+  NodeId self_;
+  TransmissionStrategy& strategy_;
+  ReceiveFn receive_;
+
+  /// R: ids whose payload was received here (or originated here).
+  std::unordered_set<MsgId, MsgIdHash> received_;
+  /// C: cached payload + round, for answering IWANTs.
+  std::unordered_map<MsgId, std::pair<AppMessage, Round>, MsgIdHash> cache_;
+  /// Outstanding lazy requests.
+  std::unordered_map<MsgId, Pending, MsgIdHash> pending_;
+
+  /// Per-destination advertisement batches awaiting flush.
+  struct IHaveBatch {
+    std::vector<MsgId> ids;
+    sim::EventHandle timer{};
+  };
+  SimTime ihave_batch_window_ = 0;
+  std::unordered_map<NodeId, IHaveBatch> ihave_outbox_;
+
+  SchedulerStats stats_;
+  SendListener send_listener_;
+  RttObserver rtt_observer_;
+};
+
+}  // namespace esm::core

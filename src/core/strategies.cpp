@@ -1,0 +1,64 @@
+#include "core/strategies.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace esm::core {
+
+FlatStrategy::FlatStrategy(double pi, RequestPolicy policy, Rng rng)
+    : pi_(pi), policy_(policy), rng_(rng) {
+  ESM_CHECK(pi >= 0.0 && pi <= 1.0, "pi must be a probability");
+}
+
+bool FlatStrategy::eager(const MsgId&, Round, NodeId) {
+  return rng_.chance(pi_);
+}
+
+bool TtlStrategy::eager(const MsgId&, Round round, NodeId) {
+  return round < u_;
+}
+
+bool RadiusStrategy::eager(const MsgId&, Round, NodeId peer) {
+  return monitor_.metric(self_, peer) < rho_;
+}
+
+std::size_t RadiusStrategy::pick_source(const std::vector<NodeId>& sources) {
+  return nearest_source(self_, monitor_, sources);
+}
+
+bool RankedStrategy::eager(const MsgId&, Round, NodeId peer) {
+  return best_.is_best(self_) || best_.is_best(peer);
+}
+
+bool HybridStrategy::eager(const MsgId&, Round round, NodeId peer) {
+  if (best_.is_best(self_) || best_.is_best(peer)) return true;
+  const double m = monitor_.metric(self_, peer);
+  if (round < u_ && m < 2.0 * rho_) return true;
+  return m < rho_;
+}
+
+std::size_t HybridStrategy::pick_source(const std::vector<NodeId>& sources) {
+  return nearest_source(self_, monitor_, sources);
+}
+
+bool AdaptiveLinkStrategy::eager(const MsgId&, Round, NodeId peer) {
+  return !lazy_peers_.contains(peer);
+}
+
+std::size_t nearest_source(NodeId self, const PerformanceMonitor& monitor,
+                           const std::vector<NodeId>& sources) {
+  ESM_CHECK(!sources.empty(), "pick_source requires at least one source");
+  std::size_t best = 0;
+  double best_metric = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const double m = monitor.metric(self, sources[i]);
+    if (m < best_metric) {
+      best_metric = m;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace esm::core

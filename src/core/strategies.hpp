@@ -1,0 +1,169 @@
+// The paper's concrete transmission strategies (§4.1) and the hybrid
+// heuristic of §6.4.
+//
+//   Flat    — eager with probability pi (pi=1: pure eager; pi=0: pure lazy).
+//   TTL     — eager while round < u (first rounds rarely hit duplicates).
+//   Radius  — eager iff Metric(p) < rho; requests delayed by T0 and sent to
+//             the nearest known source (emergent mesh of short links).
+//   Ranked  — eager iff either endpoint is a "best node" (emergent
+//             hubs-and-spokes; Fig. 4(c)).
+//   Hybrid  — Ranked ∪ shrinking-Radius ∪ TTL (§6.4): eager iff an endpoint
+//             is best, or Metric(p) < 2*rho while round < u, or
+//             Metric(p) < rho.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/monitor.hpp"
+#include "core/strategy.hpp"
+
+namespace esm::core {
+
+/// Flat strategy: Eager? is an independent coin flip with probability pi.
+class FlatStrategy final : public TransmissionStrategy {
+ public:
+  FlatStrategy(double pi, RequestPolicy policy, Rng rng);
+
+  bool eager(const MsgId& id, Round round, NodeId peer) override;
+  RequestPolicy request_policy() const override { return policy_; }
+  double pi() const { return pi_; }
+
+ private:
+  double pi_;
+  RequestPolicy policy_;
+  Rng rng_;
+};
+
+/// TTL strategy: eager while round < u.
+class TtlStrategy final : public TransmissionStrategy {
+ public:
+  TtlStrategy(Round u, RequestPolicy policy) : u_(u), policy_(policy) {}
+
+  bool eager(const MsgId& id, Round round, NodeId peer) override;
+  RequestPolicy request_policy() const override { return policy_; }
+  Round u() const { return u_; }
+
+ private:
+  Round u_;
+  RequestPolicy policy_;
+};
+
+/// Radius strategy: eager iff Metric(p) < rho. Requests: first after T0
+/// (policy.first_request_delay), nearest known source first.
+class RadiusStrategy final : public TransmissionStrategy {
+ public:
+  RadiusStrategy(NodeId self, const PerformanceMonitor& monitor, double rho,
+                 RequestPolicy policy)
+      : self_(self), monitor_(monitor), rho_(rho), policy_(policy) {}
+
+  bool eager(const MsgId& id, Round round, NodeId peer) override;
+  RequestPolicy request_policy() const override { return policy_; }
+  std::size_t pick_source(const std::vector<NodeId>& sources) override;
+
+ private:
+  NodeId self_;
+  const PerformanceMonitor& monitor_;
+  double rho_;
+  RequestPolicy policy_;
+};
+
+/// Membership oracle for the Ranked/Hybrid strategies: which nodes are
+/// currently "best nodes". Implementations: a fixed configured set (e.g.
+/// ISP-designated super-nodes, §4.1) or the gossip-based rank estimator
+/// (src/rank) that each node runs locally.
+class BestSet {
+ public:
+  virtual ~BestSet() = default;
+  virtual bool is_best(NodeId node) const = 0;
+};
+
+/// Fixed best-node set.
+class StaticBestSet final : public BestSet {
+ public:
+  explicit StaticBestSet(std::vector<NodeId> best)
+      : best_(best.begin(), best.end()) {}
+
+  bool is_best(NodeId node) const override { return best_.contains(node); }
+  std::size_t size() const { return best_.size(); }
+
+ private:
+  std::unordered_set<NodeId> best_;
+};
+
+/// Ranked strategy: at node q, Eager?(i,d,r,p) iff q or p is a best node.
+class RankedStrategy final : public TransmissionStrategy {
+ public:
+  RankedStrategy(NodeId self, const BestSet& best, RequestPolicy policy)
+      : self_(self), best_(best), policy_(policy) {}
+
+  bool eager(const MsgId& id, Round round, NodeId peer) override;
+  RequestPolicy request_policy() const override { return policy_; }
+
+ private:
+  NodeId self_;
+  const BestSet& best_;
+  RequestPolicy policy_;
+};
+
+/// Hybrid strategy (§6.4): radius shrinks with the round number and best
+/// nodes always push eagerly. Scheduling behaves like Radius.
+class HybridStrategy final : public TransmissionStrategy {
+ public:
+  HybridStrategy(NodeId self, const BestSet& best,
+                 const PerformanceMonitor& monitor, double rho, Round u,
+                 RequestPolicy policy)
+      : self_(self),
+        best_(best),
+        monitor_(monitor),
+        rho_(rho),
+        u_(u),
+        policy_(policy) {}
+
+  bool eager(const MsgId& id, Round round, NodeId peer) override;
+  RequestPolicy request_policy() const override { return policy_; }
+  std::size_t pick_source(const std::vector<NodeId>& sources) override;
+
+ private:
+  NodeId self_;
+  const BestSet& best_;
+  const PerformanceMonitor& monitor_;
+  double rho_;
+  Round u_;
+  RequestPolicy policy_;
+};
+
+/// Adaptive link strategy (extension; Plumtree-style, the lineage this
+/// paper precedes). Starts fully eager; every redundant payload a receiver
+/// reports back (PRUNE) demotes that receiver to lazy pushes, and every
+/// payload a peer has to pull (IWANT = GRAFT) promotes it back. Per-peer
+/// link state thus converges toward the implicit first-delivery spanning
+/// tree: near-eager latency at near-lazy payload cost, learned from
+/// protocol feedback instead of a Performance Monitor — the "large scale
+/// adaptive protocols" direction the paper's conclusion points at (§8).
+class AdaptiveLinkStrategy final : public TransmissionStrategy {
+ public:
+  explicit AdaptiveLinkStrategy(RequestPolicy policy) : policy_(policy) {}
+
+  bool eager(const MsgId& id, Round round, NodeId peer) override;
+  RequestPolicy request_policy() const override { return policy_; }
+  bool wants_feedback() const override { return true; }
+  void on_prune(NodeId from) override { lazy_peers_.insert(from); }
+  void on_graft(NodeId from) override { lazy_peers_.erase(from); }
+
+  std::size_t lazy_peer_count() const { return lazy_peers_.size(); }
+  bool is_lazy(NodeId peer) const { return lazy_peers_.contains(peer); }
+
+ private:
+  RequestPolicy policy_;
+  std::unordered_set<NodeId> lazy_peers_;
+};
+
+/// Picks the source with the lowest monitor metric (shared by Radius and
+/// Hybrid).
+std::size_t nearest_source(NodeId self, const PerformanceMonitor& monitor,
+                           const std::vector<NodeId>& sources);
+
+}  // namespace esm::core

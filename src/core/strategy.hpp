@@ -1,0 +1,78 @@
+// Transmission Strategy interface — the core policy component of the
+// Payload Scheduler (paper §3.2).
+//
+// A strategy answers two questions:
+//   * Eager?(i, d, r, p): ship the payload now, or advertise it lazily?
+//     (paper Fig. 3, line 20)
+//   * how should queued lazy requests be scheduled? — here split into a
+//     static `RequestPolicy` (first-request delay and retransmission
+//     period, §4.1) plus `pick_source`, which orders known sources
+//     ("if multiple sources are known, the nearest neighbor is selected",
+//     Radius strategy).
+//
+// Correctness never depends on the strategy: any mixture of eager/lazy
+// answers yields the same delivery guarantees, only the latency/bandwidth
+// tradeoff changes (§6.4). That property is what makes strategies safely
+// pluggable — including the deliberately wrong ones used in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esm::core {
+
+/// Scheduling parameters for lazy retransmission requests (paper §4.1).
+struct RequestPolicy {
+  /// Delay before the first IWANT after the first IHAVE for a message.
+  /// Flat/TTL/Ranked: 0 ("the first retransmission request is scheduled
+  /// immediately when queued"). Radius: T0, an estimate of the latency to
+  /// nodes within the radius.
+  SimTime first_request_delay = 0;
+  /// Period between subsequent requests while sources remain known
+  /// (paper T, an estimate of maximum end-to-end latency; §5.2: 400 ms).
+  SimTime retransmission_period = 400 * kMillisecond;
+};
+
+/// Per-node transmission strategy.
+class TransmissionStrategy {
+ public:
+  virtual ~TransmissionStrategy() = default;
+
+  /// Eager?(i, d, r, p): true to transmit payload immediately to `peer`,
+  /// false to advertise with IHAVE. `round` is the round counter the
+  /// message will carry (1 for the multicast originator's sends).
+  virtual bool eager(const MsgId& id, Round round, NodeId peer) = 0;
+
+  /// Request scheduling parameters.
+  virtual RequestPolicy request_policy() const = 0;
+
+  /// Chooses which known source to request from; `sources` is non-empty,
+  /// ordered by IHAVE arrival. Default: first advertiser (FIFO).
+  virtual std::size_t pick_source(const std::vector<NodeId>& sources) {
+    (void)sources;
+    return 0;
+  }
+
+  // --- optional feedback channel (adaptive strategies) ---------------------
+  // The paper closes by noting the approach is "a promising base for
+  // building large scale adaptive protocols" (§8). These hooks let a
+  // strategy learn from protocol events, Plumtree-style: a receiver that
+  // got a redundant payload asks the sender to demote it (PRUNE); a
+  // receiver that had to pull a payload promotes the serving peer (GRAFT,
+  // signalled by the IWANT itself). The scheduler only emits PRUNE control
+  // packets when `wants_feedback()` is true, so non-adaptive strategies
+  // pay nothing.
+
+  /// Enables PRUNE emission on duplicate payload receptions.
+  virtual bool wants_feedback() const { return false; }
+
+  /// A peer told us our eager push to it was redundant.
+  virtual void on_prune(NodeId from) { (void)from; }
+
+  /// A peer pulled a payload from us (it was missing data we had).
+  virtual void on_graft(NodeId from) { (void)from; }
+};
+
+}  // namespace esm::core

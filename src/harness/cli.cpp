@@ -1,0 +1,363 @@
+#include "harness/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace esm::harness {
+
+std::string cli_help_text() {
+  return R"(esm_run — run one emergent-structure multicast experiment
+
+Strategy selection:
+  --strategy NAME     flat | ttl | radius | ranked | hybrid | adaptive
+                                                               (default flat)
+  --pi P              flat: eager probability                  (default 1.0)
+  --u N               ttl/hybrid: eager while round < N
+  --rho MS            radius/hybrid: metric radius (ms, or coordinate units
+                      with --monitor distance)
+  --best F            ranked/hybrid: best-node fraction        (default 0.2)
+  --gossip-rank       estimate the best set epidemically instead of oracle
+  --monitor NAME      oracle | distance | ping | piggyback    (default oracle)
+  --noise O           noise ratio of Eager? decisions, 0..1    (default 0)
+  --t0 MS             radius/hybrid first-request delay (0 = 2*rho)
+
+Workload and network:
+  --nodes N           virtual nodes                            (default 100)
+  --messages N        multicasts                               (default 400)
+  --payload BYTES     application payload per message          (default 256)
+  --interval-ms MS    mean multicast spacing                   (default 500)
+  --seed S            experiment seed                          (default 42)
+  --sender N          single-source mode: node N sends everything
+  --loss P            packet loss probability                  (default 0)
+  --bandwidth BPS     per-node egress bandwidth                (default 100M)
+  --buffer BYTES      egress buffer bound, 0 = unbounded       (default 0)
+  --purge POLICY      newest | oldest: what to drop when full  (default newest)
+  --slow F            fraction of nodes provisioned slow       (default 0)
+  --slow-bandwidth B  bandwidth of slow nodes
+  --adaptive-fanout   scale fanout by node bandwidth
+
+Protocol parameters:
+  --fanout F          gossip fanout                            (default 11)
+  --rounds T          max relay rounds                         (default 8)
+  --degree D          overlay view size                        (default 15)
+  --period-ms MS      retransmission period T                  (default 400)
+  --batch-ms MS       IHAVE aggregation window                 (default 0)
+  --overlay NAME      cyclon | static | hyparview | neem | oracle
+                                                               (default cyclon)
+  --oracle-sampler    alias for --overlay oracle
+  --static-overlay    alias for --overlay static
+  --exclude-sender    never relay a message back to the peer it came from
+  --wire              serialize every packet through the real wire codec
+
+Failures:
+  --kill F            fraction of nodes silenced after warm-up (default 0)
+  --kill-mode MODE    random | best                            (default random)
+  --churn RATE        continuous churn: RATE membership events per second
+
+Output:
+  --kv                print key=value lines instead of the table
+  --help              this text
+)";
+}
+
+namespace {
+
+bool parse_double(const std::string& s, double& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
+                                    std::string& error) {
+  CliOptions options;
+  ExperimentConfig& c = options.config;
+  StrategySpec& s = c.strategy;
+
+  std::size_t i = 0;
+  auto next_value = [&](const std::string& flag, std::string& out) {
+    if (i + 1 >= args.size()) {
+      error = flag + " requires a value";
+      return false;
+    }
+    out = args[++i];
+    return true;
+  };
+  auto next_double = [&](const std::string& flag, double& out) {
+    std::string v;
+    if (!next_value(flag, v)) return false;
+    if (!parse_double(v, out)) {
+      error = flag + ": not a number: " + v;
+      return false;
+    }
+    return true;
+  };
+  auto next_u64 = [&](const std::string& flag, std::uint64_t& out) {
+    std::string v;
+    if (!next_value(flag, v)) return false;
+    if (!parse_u64(v, out)) {
+      error = flag + ": not an unsigned integer: " + v;
+      return false;
+    }
+    return true;
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    std::uint64_t u64 = 0;
+    double d = 0.0;
+    std::string v;
+    if (flag == "--help") {
+      options.help = true;
+      return options;
+    } else if (flag == "--kv") {
+      options.json = true;
+    } else if (flag == "--strategy") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "flat") {
+        s.kind = StrategyKind::flat;
+      } else if (v == "ttl") {
+        s.kind = StrategyKind::ttl;
+      } else if (v == "radius") {
+        s.kind = StrategyKind::radius;
+      } else if (v == "ranked") {
+        s.kind = StrategyKind::ranked;
+      } else if (v == "hybrid") {
+        s.kind = StrategyKind::hybrid;
+      } else if (v == "adaptive") {
+        s.kind = StrategyKind::adaptive;
+      } else {
+        error = "--strategy: unknown strategy: " + v;
+        return std::nullopt;
+      }
+    } else if (flag == "--monitor") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "oracle") {
+        s.monitor = MonitorKind::oracle_latency;
+      } else if (v == "distance") {
+        s.monitor = MonitorKind::distance;
+      } else if (v == "ping") {
+        s.monitor = MonitorKind::ping;
+      } else if (v == "piggyback") {
+        s.monitor = MonitorKind::piggyback;
+      } else {
+        error = "--monitor: unknown monitor: " + v;
+        return std::nullopt;
+      }
+    } else if (flag == "--kill-mode") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "random") {
+        c.kill_mode = KillMode::random;
+      } else if (v == "best") {
+        c.kill_mode = KillMode::best_ranked;
+      } else {
+        error = "--kill-mode: unknown mode: " + v;
+        return std::nullopt;
+      }
+    } else if (flag == "--pi") {
+      if (!next_double(flag, s.pi)) return std::nullopt;
+    } else if (flag == "--u") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      s.u = static_cast<Round>(u64);
+    } else if (flag == "--rho") {
+      if (!next_double(flag, s.rho)) return std::nullopt;
+    } else if (flag == "--best") {
+      if (!next_double(flag, s.best_fraction)) return std::nullopt;
+    } else if (flag == "--noise") {
+      if (!next_double(flag, s.noise)) return std::nullopt;
+    } else if (flag == "--t0") {
+      if (!next_double(flag, d)) return std::nullopt;
+      s.t0 = static_cast<SimTime>(d * kMillisecond);
+    } else if (flag == "--gossip-rank") {
+      s.use_gossip_rank = true;
+    } else if (flag == "--nodes") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.num_nodes = static_cast<std::uint32_t>(u64);
+    } else if (flag == "--messages") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.num_messages = static_cast<std::uint32_t>(u64);
+    } else if (flag == "--payload") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.payload_bytes = static_cast<std::uint32_t>(u64);
+    } else if (flag == "--interval-ms") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.mean_interval = static_cast<SimTime>(u64) * kMillisecond;
+    } else if (flag == "--seed") {
+      if (!next_u64(flag, c.seed)) return std::nullopt;
+    } else if (flag == "--sender") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.single_sender = static_cast<NodeId>(u64);
+    } else if (flag == "--loss") {
+      if (!next_double(flag, c.loss_rate)) return std::nullopt;
+    } else if (flag == "--bandwidth") {
+      if (!next_u64(flag, c.bandwidth_bps)) return std::nullopt;
+    } else if (flag == "--buffer") {
+      if (!next_u64(flag, c.egress_buffer_bytes)) return std::nullopt;
+    } else if (flag == "--purge") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "newest") {
+        c.purge_policy = net::TransportOptions::PurgePolicy::drop_newest;
+      } else if (v == "oldest") {
+        c.purge_policy = net::TransportOptions::PurgePolicy::drop_oldest;
+      } else {
+        error = "--purge: unknown policy: " + v;
+        return std::nullopt;
+      }
+    } else if (flag == "--slow") {
+      if (!next_double(flag, c.slow_fraction)) return std::nullopt;
+    } else if (flag == "--slow-bandwidth") {
+      if (!next_u64(flag, c.slow_bandwidth_bps)) return std::nullopt;
+    } else if (flag == "--adaptive-fanout") {
+      c.adaptive_fanout = true;
+    } else if (flag == "--fanout") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.gossip.fanout = static_cast<std::uint32_t>(u64);
+    } else if (flag == "--rounds") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.gossip.max_rounds = static_cast<Round>(u64);
+    } else if (flag == "--degree") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.overlay.view_size = static_cast<std::uint32_t>(u64);
+    } else if (flag == "--period-ms") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.retransmission_period = static_cast<SimTime>(u64) * kMillisecond;
+    } else if (flag == "--batch-ms") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.ihave_batch_window = static_cast<SimTime>(u64) * kMillisecond;
+    } else if (flag == "--overlay") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "cyclon") {
+        c.overlay_kind = OverlayKind::cyclon;
+      } else if (v == "static") {
+        c.overlay_kind = OverlayKind::static_random;
+      } else if (v == "hyparview") {
+        c.overlay_kind = OverlayKind::hyparview;
+      } else if (v == "neem") {
+        c.overlay_kind = OverlayKind::neem;
+      } else if (v == "oracle") {
+        c.overlay_kind = OverlayKind::oracle;
+      } else {
+        error = "--overlay: unknown overlay: " + v;
+        return std::nullopt;
+      }
+    } else if (flag == "--oracle-sampler") {  // alias for --overlay oracle
+      c.overlay_kind = OverlayKind::oracle;
+    } else if (flag == "--wire") {
+      c.use_wire_codec = true;
+    } else if (flag == "--static-overlay") {  // alias for --overlay static
+      c.overlay_kind = OverlayKind::static_random;
+    } else if (flag == "--exclude-sender") {
+      c.gossip.exclude_sender = true;
+    } else if (flag == "--churn") {
+      if (!next_double(flag, c.churn_rate)) return std::nullopt;
+    } else if (flag == "--kill") {
+      if (!next_double(flag, c.kill_fraction)) return std::nullopt;
+      if (c.kill_mode == KillMode::none) c.kill_mode = KillMode::random;
+    } else {
+      error = "unknown flag: " + flag;
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
+                       double value, std::string& error) {
+  if (name == "pi") {
+    config.strategy.pi = value;
+  } else if (name == "u") {
+    config.strategy.u = static_cast<Round>(value);
+  } else if (name == "rho") {
+    config.strategy.rho = value;
+  } else if (name == "best") {
+    config.strategy.best_fraction = value;
+  } else if (name == "noise") {
+    config.strategy.noise = value;
+  } else if (name == "t0-ms") {
+    config.strategy.t0 = static_cast<SimTime>(value * kMillisecond);
+  } else if (name == "loss") {
+    config.loss_rate = value;
+  } else if (name == "kill") {
+    config.kill_fraction = value;
+    if (config.kill_mode == KillMode::none && value > 0.0) {
+      config.kill_mode = KillMode::random;
+    }
+  } else if (name == "churn") {
+    config.churn_rate = value;
+  } else if (name == "batch-ms") {
+    config.ihave_batch_window = static_cast<SimTime>(value * kMillisecond);
+  } else if (name == "interval-ms") {
+    config.mean_interval = static_cast<SimTime>(value * kMillisecond);
+  } else if (name == "period-ms") {
+    config.retransmission_period = static_cast<SimTime>(value * kMillisecond);
+  } else if (name == "fanout") {
+    config.gossip.fanout = static_cast<std::uint32_t>(value);
+  } else if (name == "nodes") {
+    config.num_nodes = static_cast<std::uint32_t>(value);
+  } else if (name == "messages") {
+    config.num_messages = static_cast<std::uint32_t>(value);
+  } else if (name == "seed") {
+    config.seed = static_cast<std::uint64_t>(value);
+  } else {
+    error = "unknown sweep parameter: " + name;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<double>> parse_value_list(const std::string& text,
+                                                    std::string& error) {
+  std::vector<double> values;
+  std::string token;
+  std::istringstream stream(text);
+  while (std::getline(stream, token, ',')) {
+    double v = 0.0;
+    if (!parse_double(token, v)) {
+      error = "not a number in value list: " + token;
+      return std::nullopt;
+    }
+    values.push_back(v);
+  }
+  if (values.empty()) {
+    error = "empty value list";
+    return std::nullopt;
+  }
+  return values;
+}
+
+std::string format_result_kv(const ExperimentResult& result) {
+  std::ostringstream os;
+  os << "mean_latency_ms=" << result.mean_latency_ms << "\n"
+     << "latency_ci95_ms=" << result.latency_ci95_ms << "\n"
+     << "p50_latency_ms=" << result.p50_latency_ms << "\n"
+     << "p95_latency_ms=" << result.p95_latency_ms << "\n"
+     << "payload_per_delivery=" << result.payload_per_delivery << "\n"
+     << "payload_per_msg_all=" << result.load_all.payload_per_msg << "\n"
+     << "payload_per_msg_low=" << result.load_low.payload_per_msg << "\n"
+     << "payload_per_msg_best=" << result.load_best.payload_per_msg << "\n"
+     << "mean_delivery_fraction=" << result.mean_delivery_fraction << "\n"
+     << "atomic_delivery_fraction=" << result.atomic_delivery_fraction << "\n"
+     << "top5_connection_share=" << result.top5_connection_share << "\n"
+     << "payload_packets=" << result.payload_packets << "\n"
+     << "control_packets=" << result.control_packets << "\n"
+     << "total_bytes=" << result.total_bytes << "\n"
+     << "duplicate_payloads=" << result.duplicate_payloads << "\n"
+     << "requests_sent=" << result.requests_sent << "\n"
+     << "packets_lost=" << result.packets_lost << "\n"
+     << "buffer_drops=" << result.buffer_drops << "\n"
+     << "live_nodes=" << result.live_nodes << "\n"
+     << "events_executed=" << result.events_executed << "\n";
+  return os.str();
+}
+
+}  // namespace esm::harness

@@ -1,0 +1,49 @@
+// Command-line front end for the experiment harness.
+//
+// Parsing is a pure function from argv to ExperimentConfig so it can be
+// unit-tested; the `esm_run` tool is a thin wrapper that parses, runs and
+// prints. Flags mirror the paper's knobs one-to-one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/experiment.hpp"
+
+namespace esm::harness {
+
+struct CliOptions {
+  ExperimentConfig config;
+  /// Print machine-readable key=value lines instead of the table.
+  bool json = false;
+  /// --help was requested; `help_text` should be printed.
+  bool help = false;
+};
+
+/// Usage text for `esm_run --help`.
+std::string cli_help_text();
+
+/// Parses CLI arguments (excluding argv[0]). On error returns nullopt and
+/// sets `error` to a one-line diagnostic naming the offending flag.
+std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
+                                    std::string& error);
+
+/// Renders an ExperimentResult as `key=value` lines (stable interface for
+/// scripts; one metric per line).
+std::string format_result_kv(const ExperimentResult& result);
+
+/// Applies one named sweep parameter to a config (used by `esm_sweep`).
+/// Supported names: pi, u, rho, best, noise, t0-ms, loss, kill, churn,
+/// batch-ms, interval-ms, period-ms, fanout, nodes, messages, seed.
+/// Returns false and sets `error` for unknown names.
+bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
+                       double value, std::string& error);
+
+/// Parses a comma-separated list of numbers ("0,0.5,1"). Returns nullopt
+/// and sets `error` on malformed input.
+std::optional<std::vector<double>> parse_value_list(const std::string& text,
+                                                    std::string& error);
+
+}  // namespace esm::harness

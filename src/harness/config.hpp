@@ -1,0 +1,178 @@
+// Experiment configuration mirroring the paper's setup (§5.2, §5.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/gossip.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+#include "overlay/cyclon.hpp"
+
+namespace esm::harness {
+
+/// Which transmission strategy to instantiate per node (§4.1, §6.4;
+/// `adaptive` is the Plumtree-style feedback extension).
+enum class StrategyKind { flat, ttl, radius, ranked, hybrid, adaptive };
+
+/// Which Performance Monitor feeds metric-based strategies (§4.2, §4.3).
+enum class MonitorKind { oracle_latency, distance, ping, piggyback };
+
+/// Node failure selection for the reliability experiment (§6.3).
+enum class KillMode { none, random, best_ranked };
+
+/// Membership substrate under the gossip layer.
+enum class OverlayKind {
+  /// Cyclon-style mixing partial views (the default; uniform sampling as
+  /// the paper's NeEM overlay provides).
+  cyclon,
+  /// Fixed symmetric random graph (stable views; no protocol traffic).
+  static_random,
+  /// HyParView: symmetric active views with reactive repair from a
+  /// passive view — the published substrate of Plumtree-style protocols.
+  hyparview,
+  /// NeEM-style connection-oriented membership — the overlay the paper's
+  /// implementation runs on (§5.2).
+  neem,
+  /// Oracle uniform sampling over live nodes (ablation only).
+  oracle,
+};
+
+const char* to_string(OverlayKind kind);
+
+const char* to_string(StrategyKind kind);
+const char* to_string(MonitorKind kind);
+const char* to_string(KillMode mode);
+
+struct StrategySpec {
+  StrategyKind kind = StrategyKind::flat;
+  /// Flat: eager probability pi.
+  double pi = 1.0;
+  /// TTL / Hybrid: eager while round < u.
+  Round u = 0;
+  /// Radius / Hybrid: metric radius rho (milliseconds for latency
+  /// monitors; coordinate units for the distance monitor).
+  double rho = 0.0;
+  /// Ranked / Hybrid: fraction of nodes considered "best".
+  double best_fraction = 0.2;
+  /// Ranked / Hybrid: estimate the best set with the gossip rank protocol
+  /// instead of the oracle ranking.
+  bool use_gossip_rank = false;
+  /// Noise ratio o of §4.3 (0 = exact strategy, 1 = structure erased).
+  double noise = 0.0;
+  /// Monitor backing Radius/Hybrid metrics and nearest-source selection.
+  MonitorKind monitor = MonitorKind::oracle_latency;
+  /// Radius/Hybrid first-request delay T0; 0 derives 2*rho (an RTT within
+  /// the radius).
+  SimTime t0 = 0;
+
+  // --- named constructors for readable bench code ---
+  static StrategySpec make_flat(double pi);
+  static StrategySpec make_ttl(Round u);
+  static StrategySpec make_radius(double rho_ms);
+  static StrategySpec make_ranked(double best_fraction);
+  static StrategySpec make_hybrid(double rho_ms, Round u,
+                                  double best_fraction);
+  /// Adaptive link strategy; t0_ms is the lazy-recovery delay (the
+  /// Plumtree IHAVE timeout), default 100 ms.
+  static StrategySpec make_adaptive(double t0_ms = 100.0);
+
+  std::string describe() const;
+};
+
+struct ExperimentConfig {
+  std::uint64_t seed = 42;
+  /// Virtual nodes (paper: 100, low-bandwidth configs also at 200).
+  std::uint32_t num_nodes = 100;
+  net::TopologyParams topology{};  // num_clients is overwritten by num_nodes
+
+  // Transport.
+  double loss_rate = 0.0;
+  /// Per-node egress bandwidth (paper testbed: 100 Mb/s Ethernet).
+  std::uint64_t bandwidth_bps = 100'000'000;
+  double jitter = 0.0;
+  /// Sender-side buffer bound (0 = unbounded); under sustained overload
+  /// packets are purged at the sender, as NeEM's user-space buffering does.
+  std::uint64_t egress_buffer_bytes = 0;
+  /// Purge policy when the buffer is full (drop newest vs drop oldest;
+  /// NeEM's age-based purging corresponds to drop_oldest, [13]).
+  net::TransportOptions::PurgePolicy purge_policy =
+      net::TransportOptions::PurgePolicy::drop_newest;
+  /// Fraction of nodes (chosen at random) provisioned with
+  /// slow_bandwidth_bps instead of bandwidth_bps — the heterogeneous-
+  /// capacity setting of §1/§7.
+  double slow_fraction = 0.0;
+  std::uint64_t slow_bandwidth_bps = 0;
+  /// Extension (§7, [17]): scale each node's gossip fanout by its
+  /// provisioned bandwidth (mean fanout preserved, clamped to [3, 2f]),
+  /// instead of the uniform fanout the paper uses throughout.
+  bool adaptive_fanout = false;
+
+  // Protocol stack.
+  core::GossipParams gossip{/*fanout=*/11, /*max_rounds=*/8};
+  overlay::OverlayParams overlay{/*view_size=*/15, /*shuffle_length=*/6,
+                                 /*shuffle_period=*/1 * kSecond};
+  StrategySpec strategy{};
+  /// Retransmission period T (§5.2: 400 ms).
+  SimTime retransmission_period = 400 * kMillisecond;
+  /// IHAVE aggregation window (0 = one advertisement per packet, as the
+  /// paper; >0 batches ids per destination to amortize headers).
+  SimTime ihave_batch_window = 0;
+
+  // Traffic (§5.3).
+  std::uint32_t num_messages = 400;
+  std::uint32_t payload_bytes = 256;
+  /// Mean of the uniform inter-multicast interval (500 ms).
+  SimTime mean_interval = 500 * kMillisecond;
+  /// kInvalidNode: round-robin senders (§5.3). Otherwise every message
+  /// originates at this node (single-source streaming; the regime where a
+  /// shared dissemination tree can be optimal for all traffic).
+  NodeId single_sender = kInvalidNode;
+
+  // Phases.
+  SimTime warmup = 30 * kSecond;
+  /// Extra time after the last multicast for retransmissions to settle.
+  SimTime drain = 8 * kSecond;
+
+  // Failure injection (§6.3): kill_fraction of nodes silenced right after
+  // warm-up, before logging starts.
+  double kill_fraction = 0.0;
+  KillMode kill_mode = KillMode::none;
+
+  /// Continuous churn during the measurement phase: this many membership
+  /// events per second; each event kills a random live node or revives a
+  /// random dead one (kept balanced so the live population hovers around
+  /// its initial size). Revived HyParView nodes re-join through a live
+  /// contact; Cyclon re-absorbs them through shuffling. 0 disables churn.
+  double churn_rate = 0.0;
+
+  /// Membership substrate. The adaptive (Plumtree-style) strategy needs
+  /// stable symmetric neighbors: static_random or hyparview.
+  OverlayKind overlay_kind = OverlayKind::cyclon;
+
+  /// Collect a full event trace (every delivery and payload transmission)
+  /// into ExperimentResult::trace, as the paper's testbed logged every
+  /// multicast and delivery for offline processing (§5.3).
+  bool collect_trace = false;
+
+  /// Serialize every packet through the real wire codec (src/wire): byte
+  /// accounting uses exact encoded sizes and receivers get freshly decoded
+  /// objects. Slower; off by default.
+  bool use_wire_codec = false;
+
+  /// Garbage-collect protocol state (K, C, R and request queues) for
+  /// messages older than this; 0 disables GC. The paper's §3.1/§3.2 note
+  /// that efficient schemes exist which, with high probability, never
+  /// collect an active message — a lifetime of many seconds is far beyond
+  /// any message's dissemination time, so this models that regime.
+  SimTime message_lifetime = 0;
+
+  /// Node-class split used when *reporting* per-class payload loads
+  /// ("best" vs "low" rows). 0 means "use strategy.best_fraction". The
+  /// paper's Fig. 5(c) reports an 80/20 contribution split even though the
+  /// strategy's configured best set can be smaller.
+  double report_best_fraction = 0.0;
+};
+
+}  // namespace esm::harness

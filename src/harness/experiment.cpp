@@ -1,0 +1,853 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "core/gossip.hpp"
+#include "core/monitor.hpp"
+#include "core/noise.hpp"
+#include "core/scheduler.hpp"
+#include "core/strategies.hpp"
+#include "net/latency_model.hpp"
+#include "net/transport.hpp"
+#include "overlay/cyclon.hpp"
+#include "overlay/hyparview.hpp"
+#include "overlay/neem.hpp"
+#include "overlay/static_overlay.hpp"
+#include "rank/rank_estimator.hpp"
+#include "sim/simulator.hpp"
+#include "wire/codec.hpp"
+
+namespace esm::harness {
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::flat: return "flat";
+    case StrategyKind::ttl: return "ttl";
+    case StrategyKind::radius: return "radius";
+    case StrategyKind::ranked: return "ranked";
+    case StrategyKind::hybrid: return "hybrid";
+    case StrategyKind::adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+const char* to_string(MonitorKind kind) {
+  switch (kind) {
+    case MonitorKind::oracle_latency: return "oracle-latency";
+    case MonitorKind::distance: return "distance";
+    case MonitorKind::ping: return "ping";
+    case MonitorKind::piggyback: return "piggyback";
+  }
+  return "?";
+}
+
+const char* to_string(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::cyclon: return "cyclon";
+    case OverlayKind::static_random: return "static";
+    case OverlayKind::hyparview: return "hyparview";
+    case OverlayKind::neem: return "neem";
+    case OverlayKind::oracle: return "oracle";
+  }
+  return "?";
+}
+
+const char* to_string(KillMode mode) {
+  switch (mode) {
+    case KillMode::none: return "none";
+    case KillMode::random: return "random";
+    case KillMode::best_ranked: return "best-ranked";
+  }
+  return "?";
+}
+
+StrategySpec StrategySpec::make_flat(double pi) {
+  StrategySpec s;
+  s.kind = StrategyKind::flat;
+  s.pi = pi;
+  return s;
+}
+
+StrategySpec StrategySpec::make_ttl(Round u) {
+  StrategySpec s;
+  s.kind = StrategyKind::ttl;
+  s.u = u;
+  return s;
+}
+
+StrategySpec StrategySpec::make_radius(double rho_ms) {
+  StrategySpec s;
+  s.kind = StrategyKind::radius;
+  s.rho = rho_ms;
+  return s;
+}
+
+StrategySpec StrategySpec::make_ranked(double best_fraction) {
+  StrategySpec s;
+  s.kind = StrategyKind::ranked;
+  s.best_fraction = best_fraction;
+  return s;
+}
+
+StrategySpec StrategySpec::make_hybrid(double rho_ms, Round u,
+                                       double best_fraction) {
+  StrategySpec s;
+  s.kind = StrategyKind::hybrid;
+  s.rho = rho_ms;
+  s.u = u;
+  s.best_fraction = best_fraction;
+  return s;
+}
+
+namespace {
+std::string trim_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+}  // namespace
+
+StrategySpec StrategySpec::make_adaptive(double t0_ms) {
+  StrategySpec s;
+  s.kind = StrategyKind::adaptive;
+  s.t0 = static_cast<SimTime>(t0_ms * kMillisecond);
+  return s;
+}
+
+std::string StrategySpec::describe() const {
+  std::string out = to_string(kind);
+  switch (kind) {
+    case StrategyKind::flat:
+      out += " pi=" + trim_num(pi);
+      break;
+    case StrategyKind::ttl:
+      out += " u=" + std::to_string(u);
+      break;
+    case StrategyKind::radius:
+      out += " rho=" + trim_num(rho);
+      break;
+    case StrategyKind::ranked:
+      out += " best=" + trim_num(best_fraction);
+      break;
+    case StrategyKind::hybrid:
+      out += " rho=" + trim_num(rho) + " u=" + std::to_string(u) +
+             " best=" + trim_num(best_fraction);
+      break;
+    case StrategyKind::adaptive:
+      out += " t0=" + trim_num(to_ms(t0)) + "ms";
+      break;
+  }
+  if (use_gossip_rank) out += " gossip-rank";
+  if (noise > 0.0) out += " noise=" + trim_num(noise);
+  return out;
+}
+
+std::vector<NodeId> rank_by_closeness(const net::ClientMetrics& metrics) {
+  const std::uint32_t n = metrics.num_clients();
+  std::vector<double> mean_latency(n, 0.0);
+  for (NodeId a = 0; a < n; ++a) {
+    double sum = 0.0;
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) sum += static_cast<double>(metrics.latency(a, b));
+    }
+    mean_latency[a] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+  }
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (mean_latency[a] != mean_latency[b]) {
+      return mean_latency[a] < mean_latency[b];
+    }
+    return a < b;
+  });
+  return order;
+}
+
+namespace {
+
+/// Everything one virtual node runs. Pointers give address stability for
+/// the cross-layer callbacks.
+struct NodeStack {
+  std::unique_ptr<overlay::CyclonNode> cyclon;
+  std::unique_ptr<overlay::FullMembershipSampler> oracle_sampler;
+  std::unique_ptr<overlay::StaticNeighborSampler> static_sampler;
+  std::unique_ptr<overlay::HyParViewNode> hyparview;
+  std::unique_ptr<overlay::NeemNode> neem;
+  overlay::PeerSampler* sampler = nullptr;
+  std::unique_ptr<core::PingMonitor> ping;
+  std::unique_ptr<core::PiggybackMonitor> piggyback;
+  std::unique_ptr<rank::GossipRankEstimator> rank_estimator;
+  std::unique_ptr<core::TransmissionStrategy> strategy;
+  core::NoisyStrategy* noisy = nullptr;  // view into strategy when wrapped
+  std::unique_ptr<core::PayloadScheduler> scheduler;
+  std::unique_ptr<core::GossipNode> gossip;
+};
+
+std::unique_ptr<core::TransmissionStrategy> make_strategy(
+    const ExperimentConfig& config, NodeId self,
+    const core::PerformanceMonitor* monitor, const core::BestSet* best,
+    Rng rng) {
+  const StrategySpec& spec = config.strategy;
+  core::RequestPolicy policy;
+  policy.retransmission_period = config.retransmission_period;
+  policy.first_request_delay = 0;
+  if (spec.kind == StrategyKind::radius || spec.kind == StrategyKind::hybrid) {
+    if (spec.t0 > 0) {
+      policy.first_request_delay = spec.t0;
+    } else if (spec.monitor == MonitorKind::distance) {
+      policy.first_request_delay = 100 * kMillisecond;
+    } else {
+      // T0 ~ one RTT within the radius (rho is in milliseconds here).
+      policy.first_request_delay =
+          static_cast<SimTime>(2.0 * spec.rho * kMillisecond);
+    }
+  } else if (spec.kind == StrategyKind::adaptive) {
+    // The Plumtree IHAVE timer: give the eager copy a chance to arrive
+    // before pulling (a pull grafts the serving link eager).
+    policy.first_request_delay =
+        spec.t0 > 0 ? spec.t0 : 100 * kMillisecond;
+  }
+
+  switch (spec.kind) {
+    case StrategyKind::flat:
+      return std::make_unique<core::FlatStrategy>(spec.pi, policy, rng);
+    case StrategyKind::ttl:
+      return std::make_unique<core::TtlStrategy>(spec.u, policy);
+    case StrategyKind::radius:
+      ESM_CHECK(monitor != nullptr, "radius strategy requires a monitor");
+      return std::make_unique<core::RadiusStrategy>(self, *monitor, spec.rho,
+                                                    policy);
+    case StrategyKind::ranked:
+      ESM_CHECK(best != nullptr, "ranked strategy requires a best set");
+      return std::make_unique<core::RankedStrategy>(self, *best, policy);
+    case StrategyKind::hybrid:
+      ESM_CHECK(monitor != nullptr && best != nullptr,
+                "hybrid strategy requires a monitor and a best set");
+      return std::make_unique<core::HybridStrategy>(self, *best, *monitor,
+                                                    spec.rho, spec.u, policy);
+    case StrategyKind::adaptive:
+      return std::make_unique<core::AdaptiveLinkStrategy>(policy);
+  }
+  ESM_CHECK(false, "unknown strategy kind");
+  return nullptr;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ESM_CHECK(config.num_nodes >= 2, "need at least two nodes");
+  ESM_CHECK(config.kill_fraction >= 0.0 && config.kill_fraction < 1.0,
+            "kill fraction must be in [0, 1)");
+  Rng root(config.seed);
+
+  // --- 1. Underlay, routing, ranking --------------------------------------
+  net::TopologyParams topo_params = config.topology;
+  topo_params.num_clients = config.num_nodes;
+  const net::Topology topo = generate_topology(topo_params, config.seed);
+  net::MatrixLatencyModel latency(net::compute_client_metrics(topo));
+  const net::ClientMetrics& metrics = latency.metrics();
+  const std::vector<NodeId> closeness_order = rank_by_closeness(metrics);
+
+  const auto num_best = static_cast<std::uint32_t>(std::lround(
+      config.strategy.best_fraction * static_cast<double>(config.num_nodes)));
+  std::vector<NodeId> oracle_best(
+      closeness_order.begin(),
+      closeness_order.begin() +
+          std::min<std::uint32_t>(num_best, config.num_nodes));
+
+  sim::Simulator sim;
+  net::TransportOptions topts;
+  topts.loss_rate = config.loss_rate;
+  topts.bandwidth_bps = config.bandwidth_bps;
+  topts.jitter = config.jitter;
+  topts.egress_buffer_bytes = config.egress_buffer_bytes;
+  topts.purge_policy = config.purge_policy;
+  if (config.slow_fraction > 0.0) {
+    topts.node_bandwidth_bps.assign(config.num_nodes, config.bandwidth_bps);
+    std::vector<NodeId> everyone(config.num_nodes);
+    std::iota(everyone.begin(), everyone.end(), 0);
+    Rng slow_rng = root.split(0x736c6f77ULL);
+    const auto num_slow = static_cast<std::uint32_t>(std::lround(
+        config.slow_fraction * static_cast<double>(config.num_nodes)));
+    for (const NodeId s : slow_rng.sample(everyone, num_slow)) {
+      topts.node_bandwidth_bps[s] = config.slow_bandwidth_bps;
+    }
+  }
+  const wire::WireCodec wire_codec;
+  if (config.use_wire_codec) topts.codec = &wire_codec;
+  net::Transport transport(sim, latency, config.num_nodes, topts,
+                           root.split(0x7472616eULL));
+
+  // Shared oracle components.
+  core::OracleLatencyMonitor oracle_monitor(latency);
+  core::DistanceMonitor distance_monitor(topo.client_coords);
+  core::StaticBestSet static_best(oracle_best);
+
+  const bool needs_monitor = config.strategy.kind == StrategyKind::radius ||
+                             config.strategy.kind == StrategyKind::hybrid;
+  const bool needs_best = config.strategy.kind == StrategyKind::ranked ||
+                          config.strategy.kind == StrategyKind::hybrid;
+  const bool use_gossip_rank = needs_best && config.strategy.use_gossip_rank;
+
+  // One system-wide noise calibration (paper §4.3: a single constant c).
+  auto noise_calibration = std::make_shared<core::NoiseCalibration>();
+
+  // --- 2. Per-node stacks ---------------------------------------------------
+  struct MsgRecord {
+    std::uint32_t deliveries = 0;
+    /// Nodes alive when the message was multicast (the reliability
+    /// denominator; only differs from the global live count under churn).
+    std::uint32_t live_at_send = 0;
+    stats::RunningStat latency_ms;  // non-origin deliveries
+  };
+  std::vector<MsgRecord> messages(config.num_messages);
+  stats::Samples all_latency_ms;
+  std::vector<std::uint32_t> payload_tx_per_message(config.num_messages, 0);
+  std::shared_ptr<trace::TraceLog> trace_log =
+      config.collect_trace ? std::make_shared<trace::TraceLog>() : nullptr;
+
+  std::vector<std::unique_ptr<NodeStack>> nodes;
+  nodes.reserve(config.num_nodes);
+
+  std::vector<double> closeness_score(config.num_nodes, 0.0);
+  for (NodeId n = 0; n < config.num_nodes; ++n) {
+    double sum = 0.0;
+    for (NodeId m = 0; m < config.num_nodes; ++m) {
+      if (m != n) sum += static_cast<double>(metrics.latency(n, m));
+    }
+    closeness_score[n] = -sum;  // higher = closer to everyone = better node
+  }
+
+  // Fixed symmetric neighbor sets, when requested.
+  std::vector<std::vector<NodeId>> static_adj;
+  if (config.overlay_kind == OverlayKind::static_random) {
+    static_adj = overlay::build_symmetric_overlay(
+        config.num_nodes, config.overlay.view_size,
+        root.split(0x73746174ULL));
+  }
+
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    auto stack = std::make_unique<NodeStack>();
+    Rng node_rng = root.split(0x100000ULL + id);
+
+    switch (config.overlay_kind) {
+      case OverlayKind::static_random:
+        stack->static_sampler =
+            std::make_unique<overlay::StaticNeighborSampler>(
+                static_adj[id], node_rng.split(1));
+        stack->sampler = stack->static_sampler.get();
+        break;
+      case OverlayKind::oracle:
+        stack->oracle_sampler =
+            std::make_unique<overlay::FullMembershipSampler>(
+                transport, id, node_rng.split(1));
+        stack->sampler = stack->oracle_sampler.get();
+        break;
+      case OverlayKind::hyparview: {
+        overlay::HyParViewParams hpv;
+        hpv.active_size = config.overlay.view_size;
+        stack->hyparview = std::make_unique<overlay::HyParViewNode>(
+            sim, transport, id, hpv, node_rng.split(1));
+        stack->sampler = stack->hyparview.get();
+        break;
+      }
+      case OverlayKind::neem: {
+        overlay::NeemParams np;
+        np.target_degree = config.overlay.view_size;
+        np.max_degree = config.overlay.view_size + config.overlay.view_size / 3;
+        stack->neem = std::make_unique<overlay::NeemNode>(
+            sim, transport, id, np, node_rng.split(1));
+        stack->sampler = stack->neem.get();
+        break;
+      }
+      case OverlayKind::cyclon:
+        stack->cyclon = std::make_unique<overlay::CyclonNode>(
+            sim, transport, id, config.overlay, node_rng.split(1));
+        stack->sampler = stack->cyclon.get();
+        break;
+    }
+
+    const core::PerformanceMonitor* monitor = nullptr;
+    if (needs_monitor) {
+      switch (config.strategy.monitor) {
+        case MonitorKind::oracle_latency:
+          monitor = &oracle_monitor;
+          break;
+        case MonitorKind::distance:
+          monitor = &distance_monitor;
+          break;
+        case MonitorKind::ping:
+          stack->ping = std::make_unique<core::PingMonitor>(
+              sim, transport, id, *stack->sampler, core::PingMonitor::Params{},
+              node_rng.split(2));
+          monitor = stack->ping.get();
+          break;
+        case MonitorKind::piggyback:
+          stack->piggyback = std::make_unique<core::PiggybackMonitor>(id);
+          monitor = stack->piggyback.get();
+          break;
+      }
+    }
+
+    const core::BestSet* best = nullptr;
+    if (needs_best) {
+      if (use_gossip_rank) {
+        stack->rank_estimator = std::make_unique<rank::GossipRankEstimator>(
+            sim, transport, id, *stack->sampler, closeness_score[id],
+            config.strategy.best_fraction, rank::RankParams{},
+            node_rng.split(3));
+        best = stack->rank_estimator.get();
+      } else {
+        best = &static_best;
+      }
+    }
+
+    stack->strategy =
+        make_strategy(config, id, monitor, best, node_rng.split(4));
+    if (config.strategy.noise > 0.0) {
+      auto noisy = std::make_unique<core::NoisyStrategy>(
+          std::move(stack->strategy), config.strategy.noise,
+          noise_calibration, node_rng.split(5));
+      stack->noisy = noisy.get();
+      stack->strategy = std::move(noisy);
+    }
+
+    NodeStack* raw = stack.get();
+    stack->scheduler = std::make_unique<core::PayloadScheduler>(
+        sim, transport, id, *stack->strategy,
+        [raw](const core::AppMessage& msg, Round round, NodeId src) {
+          raw->gossip->l_receive(msg, round, src);
+        });
+    stack->scheduler->set_ihave_batch_window(config.ihave_batch_window);
+    if (stack->piggyback) {
+      core::PiggybackMonitor* piggyback = stack->piggyback.get();
+      stack->scheduler->set_rtt_observer(
+          [piggyback](NodeId peer, SimTime rtt) {
+            piggyback->observe(peer, rtt);
+          });
+    }
+    stack->scheduler->set_send_listener(
+        [&payload_tx_per_message, trace_log, id, &sim](
+            const core::AppMessage& msg, NodeId dst, bool eager) {
+          if (msg.seq < payload_tx_per_message.size()) {
+            ++payload_tx_per_message[msg.seq];
+          }
+          if (trace_log) {
+            trace_log->record_payload(
+                {sim.now(), id, dst, msg.seq, eager});
+          }
+        });
+
+    core::GossipParams gossip_params = config.gossip;
+    if (config.adaptive_fanout) {
+      // Fanout proportional to provisioned bandwidth, mean preserved.
+      double mean_bw = 0.0;
+      for (NodeId n = 0; n < config.num_nodes; ++n) {
+        mean_bw += static_cast<double>(transport.node_bandwidth(n));
+      }
+      mean_bw /= static_cast<double>(config.num_nodes);
+      if (mean_bw > 0.0) {
+        const double scaled =
+            static_cast<double>(config.gossip.fanout) *
+            static_cast<double>(transport.node_bandwidth(id)) / mean_bw;
+        gossip_params.fanout = static_cast<std::uint32_t>(std::clamp(
+            std::lround(scaled), 3L,
+            2L * static_cast<long>(config.gossip.fanout)));
+      }
+    }
+    stack->gossip = std::make_unique<core::GossipNode>(
+        id, gossip_params, *stack->sampler, *stack->scheduler,
+        [&messages, &all_latency_ms, &sim, id,
+         trace_log](const core::AppMessage& msg) {
+          MsgRecord& rec = messages.at(msg.seq);
+          ++rec.deliveries;
+          if (msg.origin != id) {
+            const double ms = to_ms(sim.now() - msg.multicast_time);
+            rec.latency_ms.add(ms);
+            all_latency_ms.add(ms);
+          }
+          if (trace_log) {
+            trace_log->record_delivery({sim.now(), id, msg.origin, msg.seq,
+                                        sim.now() - msg.multicast_time});
+          }
+        },
+        node_rng.split(6));
+
+    nodes.push_back(std::move(stack));
+  }
+
+  // Packet mux: overlay -> ping -> rank -> scheduler.
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    NodeStack* stack = nodes[id].get();
+    transport.register_handler(
+        id, [stack](NodeId src, const net::PacketPtr& packet) {
+          if (stack->cyclon && stack->cyclon->handle_packet(src, packet)) return;
+          if (stack->hyparview && stack->hyparview->handle_packet(src, packet)) {
+            return;
+          }
+          if (stack->neem && stack->neem->handle_packet(src, packet)) return;
+          if (stack->ping && stack->ping->handle_packet(src, packet)) return;
+          if (stack->rank_estimator &&
+              stack->rank_estimator->handle_packet(src, packet)) {
+            return;
+          }
+          if (stack->scheduler->handle_packet(src, packet)) return;
+          // Unknown packet type: drop (future protocols may coexist).
+        });
+  }
+
+  // --- 3. Bootstrap + warm-up ------------------------------------------------
+  if (config.overlay_kind == OverlayKind::cyclon) {
+    Rng boot = root.split(0x626f6f74ULL);
+    for (NodeId id = 0; id < config.num_nodes; ++id) {
+      std::vector<NodeId> contacts;
+      while (contacts.size() < config.overlay.view_size &&
+             contacts.size() + 1 < config.num_nodes) {
+        const NodeId c = static_cast<NodeId>(boot.below(config.num_nodes));
+        if (c != id &&
+            std::find(contacts.begin(), contacts.end(), c) == contacts.end()) {
+          contacts.push_back(c);
+        }
+      }
+      nodes[id]->cyclon->bootstrap(contacts);
+      nodes[id]->cyclon->start();
+    }
+  } else if (config.overlay_kind == OverlayKind::neem) {
+    // Each node bootstraps toward a few random contacts; shuffles then mix
+    // the connection graph toward the target degree.
+    Rng boot = root.split(0x626f6f74ULL);
+    for (NodeId id = 0; id < config.num_nodes; ++id) {
+      std::vector<NodeId> contacts;
+      while (contacts.size() < 5 && contacts.size() + 1 < config.num_nodes) {
+        const NodeId c = static_cast<NodeId>(boot.below(config.num_nodes));
+        if (c != id &&
+            std::find(contacts.begin(), contacts.end(), c) == contacts.end()) {
+          contacts.push_back(c);
+        }
+      }
+      nodes[id]->neem->bootstrap(contacts);
+      nodes[id]->neem->start();
+    }
+  } else if (config.overlay_kind == OverlayKind::hyparview) {
+    // Staggered joins, each through a random already-joined contact.
+    Rng boot = root.split(0x626f6f74ULL);
+    for (NodeId id = 0; id < config.num_nodes; ++id) {
+      nodes[id]->hyparview->start();
+      if (id == 0) continue;
+      const NodeId contact = static_cast<NodeId>(boot.below(id));
+      const SimTime when = 50 * kMillisecond * id;
+      ESM_CHECK(when < config.warmup, "warmup too short for staggered joins");
+      overlay::HyParViewNode* hpv = nodes[id]->hyparview.get();
+      sim.schedule_at(when, [hpv, contact] { hpv->join(contact); });
+    }
+  }
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    if (nodes[id]->ping) nodes[id]->ping->start();
+    if (nodes[id]->rank_estimator) nodes[id]->rank_estimator->start();
+  }
+  sim.run_until(config.warmup);
+
+  // --- 4. Failure injection ---------------------------------------------------
+  std::vector<bool> dead(config.num_nodes, false);
+  const auto num_kill = static_cast<std::uint32_t>(std::lround(
+      config.kill_fraction * static_cast<double>(config.num_nodes)));
+  if (num_kill > 0 && config.kill_mode != KillMode::none) {
+    std::vector<NodeId> victims;
+    if (config.kill_mode == KillMode::random) {
+      std::vector<NodeId> everyone(config.num_nodes);
+      std::iota(everyone.begin(), everyone.end(), 0);
+      Rng killer = root.split(0x6b696c6cULL);
+      victims = killer.sample(everyone, num_kill);
+    } else {  // best_ranked: exactly the biggest contributors (§6.3)
+      victims.assign(closeness_order.begin(),
+                     closeness_order.begin() +
+                         std::min<std::uint32_t>(num_kill, config.num_nodes));
+    }
+    for (const NodeId v : victims) {
+      transport.silence(v);
+      dead[v] = true;
+    }
+  }
+  std::vector<NodeId> live;
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    if (!dead[id]) live.push_back(id);
+  }
+  ESM_CHECK(!live.empty(), "all nodes were killed");
+
+  // --- 5. Traffic --------------------------------------------------------------
+  transport.stats().reset();  // measure only the logged phase
+  Rng traffic = root.split(0x74726166ULL);
+  std::deque<std::pair<SimTime, MsgId>> active_messages;
+  SimTime t = config.warmup;
+  SimTime last_send = t;
+  if (config.single_sender != kInvalidNode) {
+    ESM_CHECK(config.single_sender < config.num_nodes &&
+                  !dead[config.single_sender],
+              "single sender must be a live node");
+  }
+  for (std::uint32_t i = 0; i < config.num_messages; ++i) {
+    t += traffic.range(0, 2 * config.mean_interval);
+    last_send = t;
+    const NodeId planned = config.single_sender != kInvalidNode
+                               ? config.single_sender
+                               : live[i % live.size()];
+    const std::uint32_t bytes = config.payload_bytes;
+    sim.schedule_at(t, [planned, bytes, i, &sim, &active_messages, &nodes,
+                        &transport, &messages, &config] {
+      // Under churn the planned sender may be down at fire time: fall
+      // forward to the next live node.
+      NodeId sender = planned;
+      for (std::uint32_t step = 0;
+           transport.is_silenced(sender) && step < config.num_nodes; ++step) {
+        sender = (sender + 1) % config.num_nodes;
+      }
+      if (transport.is_silenced(sender)) return;  // everyone down
+      std::uint32_t live_now = 0;
+      for (NodeId n = 0; n < config.num_nodes; ++n) {
+        if (!transport.is_silenced(n)) ++live_now;
+      }
+      messages[i].live_at_send = live_now;
+      const core::AppMessage msg =
+          nodes[sender]->gossip->multicast(bytes, i, sim.now());
+      active_messages.emplace_back(sim.now(), msg.id);
+    });
+  }
+
+  // Continuous churn (extension): alternate kills and revivals, keeping
+  // the live population near its initial size.
+  Rng churn_rng = root.split(0x6368726eULL);
+  std::vector<NodeId> churn_dead;
+  sim::PeriodicTimer churn_timer(sim, [&] {
+    const std::uint32_t live_min = std::max<std::uint32_t>(
+        2, static_cast<std::uint32_t>(live.size()) / 2);
+    std::uint32_t live_now = 0;
+    for (NodeId n = 0; n < config.num_nodes; ++n) {
+      if (!transport.is_silenced(n)) ++live_now;
+    }
+    const bool revive = !churn_dead.empty() &&
+                        (live_now <= live_min || churn_rng.chance(0.5));
+    if (revive) {
+      const std::size_t pick = churn_rng.below(churn_dead.size());
+      const NodeId back = churn_dead[pick];
+      churn_dead.erase(churn_dead.begin() + static_cast<std::ptrdiff_t>(pick));
+      transport.revive(back);
+      if (nodes[back]->neem) {
+        for (int attempt = 0; attempt < 5; ++attempt) {
+          const NodeId contact =
+              static_cast<NodeId>(churn_rng.below(config.num_nodes));
+          if (contact != back && !transport.is_silenced(contact)) {
+            nodes[back]->neem->bootstrap({contact});
+            break;
+          }
+        }
+      }
+      if (nodes[back]->hyparview) {
+        // Re-join through a random live contact.
+        for (int attempt = 0; attempt < 5; ++attempt) {
+          const NodeId contact =
+              static_cast<NodeId>(churn_rng.below(config.num_nodes));
+          if (contact != back && !transport.is_silenced(contact)) {
+            nodes[back]->hyparview->join(contact);
+            break;
+          }
+        }
+      }
+    } else {
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        const NodeId victim =
+            static_cast<NodeId>(churn_rng.below(config.num_nodes));
+        if (victim == config.single_sender || transport.is_silenced(victim)) {
+          continue;
+        }
+        transport.silence(victim);
+        churn_dead.push_back(victim);
+        break;
+      }
+    }
+  });
+  if (config.churn_rate > 0.0) {
+    const auto period =
+        static_cast<SimTime>(static_cast<double>(kSecond) / config.churn_rate);
+    churn_timer.start(period, std::max<SimTime>(period, 1));
+  }
+
+  // Optional garbage collection: periodically drop protocol state for
+  // messages past their lifetime, on every node (§3.1/§3.2).
+  std::uint64_t gc_collected = 0;
+  sim::PeriodicTimer gc_timer(sim, [&] {
+    if (config.message_lifetime <= 0) return;
+    std::vector<MsgId> expired;
+    while (!active_messages.empty() &&
+           active_messages.front().first + config.message_lifetime <
+               sim.now()) {
+      expired.push_back(active_messages.front().second);
+      active_messages.pop_front();
+    }
+    if (expired.empty()) return;
+    gc_collected += expired.size();
+    for (const auto& stack : nodes) {
+      stack->gossip->garbage_collect(expired);
+      stack->scheduler->garbage_collect(expired);
+    }
+  });
+  if (config.message_lifetime > 0) {
+    gc_timer.start(config.message_lifetime, config.message_lifetime / 2);
+  }
+
+  // Connection census (§5.4): sample simultaneous NeEM connections once
+  // per second; each symmetric connection is held by two endpoints.
+  std::uint64_t peak_simultaneous = 0;
+  sim::PeriodicTimer census_timer(sim, [&] {
+    std::uint64_t endpoints = 0;
+    for (const auto& stack : nodes) {
+      if (stack->neem) endpoints += stack->neem->connections().size();
+    }
+    peak_simultaneous = std::max(peak_simultaneous, endpoints / 2);
+  });
+  if (config.overlay_kind == OverlayKind::neem) {
+    census_timer.start(0, 1 * kSecond);
+  }
+
+  sim.run_until(last_send + config.drain);
+  gc_timer.stop();
+  churn_timer.stop();
+  census_timer.stop();
+
+  // --- 6. Aggregate --------------------------------------------------------------
+  ExperimentResult result;
+  result.live_nodes = static_cast<std::uint32_t>(live.size());
+  result.events_executed = sim.events_executed();
+
+  stats::RunningStat per_msg_latency;
+  stats::RunningStat delivery_fraction;
+  std::uint64_t total_deliveries = 0;
+  std::uint32_t atomic = 0;
+  for (const MsgRecord& rec : messages) {
+    total_deliveries += rec.deliveries;
+    // Under churn the denominator is the live population at send time;
+    // nodes revived mid-flight can push the raw ratio past 1.
+    const std::uint32_t denom =
+        rec.live_at_send > 0 ? rec.live_at_send
+                             : static_cast<std::uint32_t>(live.size());
+    delivery_fraction.add(std::min(
+        1.0, static_cast<double>(rec.deliveries) / static_cast<double>(denom)));
+    if (rec.deliveries >= denom) ++atomic;
+    if (rec.latency_ms.count() > 0) per_msg_latency.add(rec.latency_ms.mean());
+  }
+  result.mean_latency_ms = all_latency_ms.mean();
+  result.latency_ci95_ms = per_msg_latency.ci95_half_width();
+  result.p50_latency_ms = all_latency_ms.quantile(0.50);
+  result.p95_latency_ms = all_latency_ms.quantile(0.95);
+  result.mean_delivery_fraction = delivery_fraction.mean();
+  result.delivery_ci95 = delivery_fraction.ci95_half_width();
+  result.atomic_delivery_fraction =
+      static_cast<double>(atomic) / static_cast<double>(config.num_messages);
+
+  const net::TrafficStats& tstats = transport.stats();
+  result.payload_packets = tstats.total_payload_packets();
+  result.control_packets = tstats.total_packets() - tstats.total_payload_packets();
+  result.total_bytes = tstats.total_bytes();
+  result.packets_lost = transport.packets_lost();
+  result.buffer_drops = transport.buffer_drops();
+  result.payload_per_delivery =
+      total_deliveries == 0
+          ? 0.0
+          : static_cast<double>(result.payload_packets) /
+                static_cast<double>(total_deliveries);
+
+  // Per-node-class payload contribution. Classes use the oracle ranking so
+  // "(low)" is comparable across oracle-rank and gossip-rank runs; the
+  // reporting split may be wider than the strategy's best set (Fig. 5(c)
+  // reports an 80/20 contribution split).
+  const double report_fraction = config.report_best_fraction > 0.0
+                                     ? config.report_best_fraction
+                                     : config.strategy.best_fraction;
+  const auto report_best = static_cast<std::uint32_t>(std::lround(
+      report_fraction * static_cast<double>(config.num_nodes)));
+  std::vector<bool> is_best(config.num_nodes, false);
+  for (std::uint32_t i = 0;
+       i < report_best && i < closeness_order.size(); ++i) {
+    is_best[closeness_order[i]] = true;
+  }
+  stats::RunningStat all_load, low_load, best_load;
+  for (const NodeId id : live) {
+    const double per_msg =
+        static_cast<double>(tstats.node_sent_payload(id)) /
+        static_cast<double>(config.num_messages);
+    all_load.add(per_msg);
+    if (needs_best && is_best[id]) {
+      best_load.add(per_msg);
+    } else {
+      low_load.add(per_msg);
+    }
+  }
+  result.load_all = {all_load.mean(),
+                     static_cast<std::uint32_t>(all_load.count())};
+  result.load_low = {low_load.mean(),
+                     static_cast<std::uint32_t>(low_load.count())};
+  result.load_best = {best_load.mean(),
+                      static_cast<std::uint32_t>(best_load.count())};
+
+  result.top5_connection_share = tstats.top_connection_payload_share(0.05);
+  result.connection_payloads = tstats.undirected_payload_counts();
+  std::sort(result.connection_payloads.begin(),
+            result.connection_payloads.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  result.node_payloads.resize(config.num_nodes);
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    result.node_payloads[id] = tstats.node_sent_payload(id);
+  }
+  result.client_coords = topo.client_coords;
+  if (needs_best) result.best_nodes = oracle_best;
+
+  for (const MsgRecord& rec : messages) {
+    ESM_CHECK(rec.deliveries <= config.num_nodes,
+              "a node delivered the same message twice");
+  }
+
+  std::uint64_t dups = 0, reqs = 0, prunes = 0;
+  for (const auto& stack : nodes) {
+    dups += stack->scheduler->stats().duplicate_payloads;
+    reqs += stack->scheduler->stats().requests_sent;
+    prunes += stack->scheduler->stats().prunes_sent;
+  }
+  result.duplicate_payloads = dups;
+  result.requests_sent = reqs;
+  result.prunes_sent = prunes;
+  result.payload_tx_per_message = std::move(payload_tx_per_message);
+  result.trace = trace_log;
+  result.peak_simultaneous_connections = peak_simultaneous;
+  for (const auto& stack : nodes) {
+    // Each opened symmetric connection is counted at both endpoints.
+    if (stack->neem) {
+      result.connections_opened += stack->neem->connections_opened();
+    }
+  }
+  result.connections_opened /= 2;
+  result.messages_garbage_collected = gc_collected;
+  for (const auto& stack : nodes) {
+    result.max_known_messages =
+        std::max(result.max_known_messages, stack->gossip->known_count());
+  }
+
+  if (config.strategy.noise > 0.0) {
+    stats::RunningStat c_est;
+    for (const auto& stack : nodes) {
+      if (stack->noisy) c_est.add(stack->noisy->eager_rate_estimate());
+    }
+    result.mean_eager_rate_estimate = c_est.mean();
+  } else {
+    result.mean_eager_rate_estimate =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  return result;
+}
+
+}  // namespace esm::harness

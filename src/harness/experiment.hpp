@@ -1,0 +1,119 @@
+// Experiment driver: assembles underlay, transport, overlay and protocol
+// stacks for every node, runs the paper's traffic pattern, and extracts the
+// metrics reported in §6.
+//
+// Phases:
+//   1. build topology, route client latency matrix, rank nodes;
+//   2. bootstrap the overlay; start shuffling / monitors / rank gossip;
+//   3. warm up (paper: nodes "join the overlay and warm up");
+//   4. optionally silence a fraction of nodes (§6.3);
+//   5. reset traffic counters, multicast num_messages from live senders in
+//      round-robin with uniform random spacing (§5.3), then drain;
+//   6. aggregate deliveries, latency, payload counts, structure measures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "net/routing.hpp"
+#include "stats/running.hpp"
+#include "trace/trace_log.hpp"
+
+namespace esm::harness {
+
+/// Per-node-class payload contribution (the paper's "ranked (all)" vs
+/// "ranked (low)" series split).
+struct ClassLoad {
+  /// Mean payload transmissions per multicast message, per node in class.
+  double payload_per_msg = 0.0;
+  std::uint32_t nodes = 0;
+};
+
+struct ExperimentResult {
+  // --- latency (over deliveries at nodes other than the origin) ---
+  double mean_latency_ms = 0.0;
+  double latency_ci95_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+
+  // --- payload economy ---
+  /// Payload transmissions per message delivery (1.0 = optimal lazy,
+  /// ~fanout = pure eager).
+  double payload_per_delivery = 0.0;
+  /// Per-node payload transmissions per multicast message: all nodes, the
+  /// non-best ("low") class, and the best class (Fig. 5(a)/(c) axes).
+  ClassLoad load_all;
+  ClassLoad load_low;
+  ClassLoad load_best;
+
+  // --- reliability (Fig. 5(b)) ---
+  /// Mean over messages of (deliveries / live nodes).
+  double mean_delivery_fraction = 0.0;
+  /// Fraction of messages delivered by every live node.
+  double atomic_delivery_fraction = 0.0;
+  double delivery_ci95 = 0.0;
+
+  // --- emergent structure (Fig. 4, Fig. 6(c)) ---
+  /// Payload share of the top 5% connections.
+  double top5_connection_share = 0.0;
+
+  // --- traffic accounting ---
+  std::uint64_t payload_packets = 0;
+  std::uint64_t control_packets = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t duplicate_payloads = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t packets_lost = 0;
+  /// Packets purged at senders because the bounded egress buffer was full.
+  std::uint64_t buffer_drops = 0;
+  /// Messages garbage-collected during the run (0 when GC is disabled).
+  std::uint64_t messages_garbage_collected = 0;
+  /// Largest per-node known-set size at the end of the run — bounded when
+  /// GC is on, ~num_messages when off.
+  std::size_t max_known_messages = 0;
+
+  // --- bookkeeping ---
+  std::uint32_t live_nodes = 0;
+  std::uint64_t events_executed = 0;
+  /// Noise calibration check (Fig. 6(a)): eager-rate estimate c averaged
+  /// over nodes; NaN when noise is off.
+  double mean_eager_rate_estimate = 0.0;
+
+  // --- structure dump for Fig. 4 style plots ---
+  /// (undirected connection endpoints, payload packets), descending.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, std::uint64_t>>
+      connection_payloads;
+  /// Payload packets sent per node.
+  std::vector<std::uint64_t> node_payloads;
+  /// Client coordinates (for rendering emergent structure).
+  std::vector<net::Point> client_coords;
+  /// Oracle best-node ranking actually used (empty when not ranked).
+  std::vector<NodeId> best_nodes;
+  /// Payload transmissions attributed to each message (index = seq). Lets
+  /// benches plot convergence over time (e.g. the adaptive strategy's
+  /// payload cost decaying as links are pruned).
+  std::vector<std::uint32_t> payload_tx_per_message;
+  /// PRUNE feedback packets sent (adaptive strategies; 0 otherwise).
+  std::uint64_t prunes_sent = 0;
+  /// Full event trace (only when config.collect_trace).
+  std::shared_ptr<trace::TraceLog> trace;
+
+  // --- NeEM connection accounting (§5.4; only for OverlayKind::neem) ---
+  /// Distinct connections opened over the whole run (paper: ~15000).
+  std::uint64_t connections_opened = 0;
+  /// Peak simultaneous connections, sampled once per second during the
+  /// measurement phase (paper: ~550).
+  std::uint64_t peak_simultaneous_connections = 0;
+};
+
+/// Runs one experiment. Deterministic given the config (including seed).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Ranks nodes by closeness centrality over the latency matrix (lower mean
+/// latency to all others = better), best first. This is the oracle node
+/// "capacity" ranking used by Ranked/Hybrid and by KillMode::best_ranked.
+std::vector<NodeId> rank_by_closeness(const net::ClientMetrics& metrics);
+
+}  // namespace esm::harness

@@ -1,0 +1,67 @@
+// Fixed-width table rendering for the benchmark harness: every bench binary
+// prints the rows/series of the paper table or figure it regenerates.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace esm::harness {
+
+/// Column-aligned text table with a title and header row.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> names) {
+    header_ = std::move(names);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Formats a double with `prec` decimals.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    os << "\n== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        os << "  " << std::left << std::setw(static_cast<int>(width[i])) << c;
+      }
+      os << "\n";
+    };
+    print_row(header_);
+    std::string rule;
+    for (const std::size_t w : width) rule += "  " + std::string(w, '-');
+    os << rule << "\n";
+    for (const auto& r : rows_) print_row(r);
+    os.flush();
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace esm::harness

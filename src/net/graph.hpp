@@ -1,0 +1,67 @@
+// Undirected weighted graph used for the underlay network model.
+//
+// Vertices are the routers of the synthetic transit-stub internet plus one
+// access vertex per protocol participant; edges carry a geometric length
+// (scaled into latency during calibration) or a fixed latency (the 1 ms
+// client access links of §5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace esm::net {
+
+using VertexId = std::uint32_t;
+
+/// One directed half of an undirected edge.
+struct Edge {
+  VertexId to = 0;
+  /// Geometric length in coordinate units; latency = length * scale.
+  double length = 0.0;
+  /// Fixed latency component in microseconds (used for access links whose
+  /// latency does not scale with geometry, e.g. the 1 ms client-stub link).
+  SimTime fixed_latency = 0;
+};
+
+/// Adjacency-list graph. Vertex count is fixed at construction; edges are
+/// appended during topology generation.
+class Graph {
+ public:
+  explicit Graph(std::size_t num_vertices) : adj_(num_vertices) {}
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge. Self-loops are rejected.
+  void add_edge(VertexId a, VertexId b, double length,
+                SimTime fixed_latency = 0) {
+    ESM_CHECK(a < adj_.size() && b < adj_.size(), "edge endpoint out of range");
+    ESM_CHECK(a != b, "self-loops are not allowed");
+    adj_[a].push_back(Edge{b, length, fixed_latency});
+    adj_[b].push_back(Edge{a, length, fixed_latency});
+    ++num_edges_;
+  }
+
+  const std::vector<Edge>& neighbors(VertexId v) const {
+    ESM_CHECK(v < adj_.size(), "vertex out of range");
+    return adj_[v];
+  }
+
+  /// True if `a` already has an edge to `b` (linear in degree; only used
+  /// during generation where degrees are small).
+  bool has_edge(VertexId a, VertexId b) const {
+    for (const Edge& e : neighbors(a)) {
+      if (e.to == b) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace esm::net

@@ -1,0 +1,64 @@
+// Shortest-path routing over the underlay.
+//
+// The simulated transport does not route packets hop-by-hop; instead the
+// one-way delay between every pair of clients is precomputed here with
+// Dijkstra over the underlay graph (latency edge weights), exactly as
+// ModelNet pre-computes paths through its emulator core. Hop counts along
+// the latency-shortest paths are kept for validating the topology against
+// the paper's §5.1 statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace esm::net {
+
+/// Dense client-to-client one-way latency and hop-count matrices.
+class ClientMetrics {
+ public:
+  ClientMetrics(std::uint32_t n)
+      : n_(n), latency_(std::size_t(n) * n, 0), hops_(std::size_t(n) * n, 0) {}
+
+  std::uint32_t num_clients() const { return n_; }
+
+  SimTime latency(NodeId a, NodeId b) const { return latency_[idx(a, b)]; }
+  std::uint16_t hops(NodeId a, NodeId b) const { return hops_[idx(a, b)]; }
+
+  void set(NodeId a, NodeId b, SimTime lat, std::uint16_t h) {
+    latency_[idx(a, b)] = lat;
+    hops_[idx(a, b)] = h;
+  }
+
+  /// Mean one-way latency over ordered pairs (a != b).
+  double mean_latency_us() const;
+  /// Mean hop count over ordered pairs (a != b).
+  double mean_hops() const;
+  /// Fraction of ordered pairs whose hop count is in [lo, hi].
+  double hop_fraction(std::uint16_t lo, std::uint16_t hi) const;
+  /// Fraction of ordered pairs whose latency is in [lo, hi] microseconds.
+  double latency_fraction(SimTime lo, SimTime hi) const;
+  /// p-quantile (0..1) of the pairwise one-way latency distribution.
+  SimTime latency_quantile(double p) const;
+
+ private:
+  std::size_t idx(NodeId a, NodeId b) const {
+    ESM_CHECK(a < n_ && b < n_, "client id out of range");
+    return std::size_t(a) * n_ + b;
+  }
+
+  std::uint32_t n_;
+  std::vector<SimTime> latency_;
+  std::vector<std::uint16_t> hops_;
+};
+
+/// Runs Dijkstra from every client leaf and fills the client matrices,
+/// using `topo.latency_scale` to convert edge lengths to microseconds.
+ClientMetrics compute_client_metrics(const Topology& topo);
+
+/// Same, with an explicit scale (used by calibration).
+ClientMetrics compute_client_metrics(const Topology& topo, double scale);
+
+}  // namespace esm::net

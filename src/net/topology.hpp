@@ -1,0 +1,92 @@
+// Synthetic transit-stub internet topology.
+//
+// Substitute for the Inet-3.0 generated model of §5.1: a two-level
+// transit-stub hierarchy with pseudo-geographic coordinates in the unit
+// square. Link latency is proportional to Euclidean distance (as ModelNet
+// assigns latency "according to pseudo-geographical distance"); client
+// nodes are attached to distinct stub vertices through fixed 1 ms access
+// links. After generation the distance->latency scale is calibrated so the
+// mean client-to-client latency matches a target (the paper's 49.83 ms).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/graph.hpp"
+
+namespace esm::net {
+
+/// A point in the unit square.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points.
+double distance(const Point& a, const Point& b);
+
+/// Generation parameters. Defaults approximate the Inet-3.0 default used by
+/// the paper: ~3037 underlay vertices, client mean end-to-end latency
+/// ~49.83 ms and mean shortest-path hop count ~5.5.
+struct TopologyParams {
+  /// Number of protocol participants attached to the underlay.
+  std::uint32_t num_clients = 100;
+  /// Total underlay (router) vertices, split into transit + stub.
+  std::uint32_t num_underlay_vertices = 3037;
+  /// Number of transit domains (autonomous-system cores).
+  std::uint32_t num_transit_domains = 4;
+  /// Transit routers per transit domain.
+  std::uint32_t transit_per_domain = 8;
+  /// Stub domains hosted by each transit router (stub sizes are derived so
+  /// total vertex count matches num_underlay_vertices).
+  std::uint32_t stubs_per_transit = 3;
+  /// Spread of transit routers around their domain centre.
+  double transit_spread = 0.12;
+  /// Spread of stub routers around their transit router.
+  double stub_spread = 0.04;
+  /// Extra random intra-transit-domain chords (beyond the ring), as a
+  /// fraction of domain size. A dense core keeps client paths at the
+  /// paper's ~5.5 mean hops.
+  double transit_chord_fraction = 2.5;
+  /// Peering links between each pair of transit domains.
+  std::uint32_t inter_domain_links = 8;
+  /// Probability that a stub router has a second (multi-homing) intra-stub
+  /// peer link.
+  double stub_peer_link_prob = 0.15;
+  /// Fixed latency of the client access link (paper: 1 ms).
+  SimTime client_access_latency = 1 * kMillisecond;
+  /// Calibration target for mean client-to-client one-way latency.
+  SimTime target_mean_latency = 49'830;  // 49.83 ms in microseconds
+};
+
+/// Role of an underlay vertex.
+enum class VertexKind : std::uint8_t { transit, stub, client_leaf };
+
+/// A generated topology: underlay graph + geometry + client attachment.
+struct Topology {
+  Graph graph{0};
+  /// Role of each graph vertex.
+  std::vector<VertexKind> kind;
+  /// Coordinates per vertex (clients share their access vertex's location,
+  /// perturbed slightly so plots can distinguish them).
+  std::vector<Point> coords;
+  /// Underlay vertex each client attaches to (distinct stub vertices, §5.1).
+  std::vector<VertexId> client_vertex;
+  /// Graph vertex representing each client itself (leaf behind the access
+  /// link); `client_vertex[i]` is its single neighbor.
+  std::vector<VertexId> client_leaf;
+  /// Coordinates of each client (for the Distance monitor and Fig. 4 plots).
+  std::vector<Point> client_coords;
+  /// Multiplier from edge `length` to microseconds, set by calibration.
+  double latency_scale = 1.0;
+  TopologyParams params;
+};
+
+/// Generates a transit-stub topology. Deterministic given (params, seed).
+/// Throws CheckFailure on inconsistent parameters (e.g. more clients than
+/// stub vertices).
+Topology generate_topology(const TopologyParams& params, std::uint64_t seed);
+
+}  // namespace esm::net

@@ -1,0 +1,259 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esm::net {
+
+RandomLatencyModel::RandomLatencyModel(std::uint32_t n, SimTime lo, SimTime hi,
+                                       std::uint64_t seed)
+    : n_(n), delays_(std::size_t(n) * n, 0) {
+  ESM_CHECK(lo >= 0 && lo <= hi, "invalid latency range");
+  Rng rng(seed);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const SimTime d = rng.range(lo, hi);
+      delays_[std::size_t(a) * n + b] = d;
+      delays_[std::size_t(b) * n + a] = d;
+    }
+  }
+}
+
+SimTime RandomLatencyModel::one_way(NodeId a, NodeId b) const {
+  ESM_CHECK(a < n_ && b < n_, "node id out of range");
+  return delays_[std::size_t(a) * n_ + b];
+}
+
+void TrafficStats::record_send(NodeId src, NodeId dst, std::size_t bytes,
+                               bool is_payload) {
+  LinkCounters& c = links_[key(src, dst)];
+  ++c.packets;
+  c.bytes += bytes;
+  ++total_packets_;
+  total_bytes_ += bytes;
+  ++node_sent_packets_.at(src);
+  if (is_payload) {
+    ++c.payload_packets;
+    c.payload_bytes += bytes;
+    ++total_payload_packets_;
+    ++node_sent_payload_.at(src);
+  }
+}
+
+void TrafficStats::reset() {
+  links_.clear();
+  std::fill(node_sent_payload_.begin(), node_sent_payload_.end(), 0);
+  std::fill(node_sent_packets_.begin(), node_sent_packets_.end(), 0);
+  total_payload_packets_ = 0;
+  total_packets_ = 0;
+  total_bytes_ = 0;
+}
+
+const LinkCounters& TrafficStats::link(NodeId src, NodeId dst) const {
+  static const LinkCounters kEmpty{};
+  const auto it = links_.find(key(src, dst));
+  return it == links_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::pair<std::pair<NodeId, NodeId>, std::uint64_t>>
+TrafficStats::undirected_payload_counts() const {
+  std::unordered_map<std::uint64_t, std::uint64_t> undirected;
+  for (const auto& [k, counters] : links_) {
+    const NodeId src = static_cast<NodeId>(k >> 32);
+    const NodeId dst = static_cast<NodeId>(k & 0xffffffffu);
+    const NodeId lo = std::min(src, dst);
+    const NodeId hi = std::max(src, dst);
+    undirected[key(lo, hi)] += counters.payload_packets;
+  }
+  std::vector<std::pair<std::pair<NodeId, NodeId>, std::uint64_t>> out;
+  out.reserve(undirected.size());
+  for (const auto& [k, payload] : undirected) {
+    out.push_back({{static_cast<NodeId>(k >> 32),
+                    static_cast<NodeId>(k & 0xffffffffu)},
+                   payload});
+  }
+  return out;
+}
+
+double TrafficStats::top_connection_payload_share(double fraction) const {
+  auto connections = undirected_payload_counts();
+  if (connections.empty() || total_payload_packets_ == 0) return 0.0;
+  std::sort(connections.begin(), connections.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  const auto take = static_cast<std::size_t>(std::ceil(
+      fraction * static_cast<double>(connections.size())));
+  std::uint64_t top_payload = 0;
+  for (std::size_t i = 0; i < take && i < connections.size(); ++i) {
+    top_payload += connections[i].second;
+  }
+  return static_cast<double>(top_payload) /
+         static_cast<double>(total_payload_packets_);
+}
+
+Transport::Transport(sim::Simulator& sim, const LatencyModel& latency,
+                     std::uint32_t num_nodes, TransportOptions options, Rng rng)
+    : sim_(sim),
+      latency_(latency),
+      options_(options),
+      rng_(rng),
+      handlers_(num_nodes),
+      silenced_(num_nodes, false),
+      egress_(num_nodes),
+      stats_(num_nodes) {
+  ESM_CHECK(options.loss_rate >= 0.0 && options.loss_rate < 1.0,
+            "loss rate must be in [0, 1)");
+  ESM_CHECK(options.jitter >= 0.0 && options.jitter < 1.0,
+            "jitter must be in [0, 1)");
+}
+
+void Transport::register_handler(NodeId node, Handler handler) {
+  ESM_CHECK(node < handlers_.size(), "node id out of range");
+  handlers_[node] = std::move(handler);
+}
+
+void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
+                     std::size_t bytes, bool is_payload) {
+  ESM_CHECK(src < handlers_.size() && dst < handlers_.size(),
+            "node id out of range");
+  ESM_CHECK(src != dst, "transport does not loop back to self");
+  ESM_CHECK(static_cast<bool>(packet), "packet must not be null");
+
+  if (silenced_[src]) return;  // firewalled: nothing leaves the node
+  if (!partition_.empty() && partition_[src] != partition_[dst]) {
+    ++partition_drops_;
+    return;  // the split swallows cross-group traffic
+  }
+
+  Queued item;
+  item.dst = dst;
+  item.is_payload = is_payload;
+  // Optional real serialization: exercise the wire codec on all traffic
+  // and bill exact encoded sizes. The receiver gets a freshly decoded
+  // object, so no in-memory state can leak across the "network".
+  if (options_.codec != nullptr) {
+    item.encoded = options_.codec->encode(*packet, src, dst);
+    item.bytes = item.encoded.size();
+  } else {
+    item.packet = std::move(packet);
+    item.bytes = bytes;
+  }
+
+  const std::uint64_t bandwidth = node_bandwidth(src);
+  if (bandwidth == 0) {
+    transmit(src, std::move(item));  // no serialization delay
+    return;
+  }
+
+  // Egress queueing with bounded buffer and purge policy (§5.2, [13]).
+  Egress& egress = egress_[src];
+  if (options_.egress_buffer_bytes > 0) {
+    if (item.bytes > options_.egress_buffer_bytes) {
+      ++buffer_drops_;
+      return;  // can never fit
+    }
+    if (options_.purge_policy == TransportOptions::PurgePolicy::drop_newest) {
+      if (egress.queued_bytes + item.bytes > options_.egress_buffer_bytes) {
+        ++buffer_drops_;
+        return;
+      }
+    } else {  // drop_oldest: purge stale packets until the fresh one fits.
+      // The head is already transmitting when draining: protect it.
+      const std::size_t protect = egress.draining ? 1 : 0;
+      while (egress.queue.size() > protect &&
+             egress.queued_bytes + item.bytes >
+                 options_.egress_buffer_bytes) {
+        const auto victim =
+            egress.queue.begin() + static_cast<std::ptrdiff_t>(protect);
+        egress.queued_bytes -= victim->bytes;
+        egress.queue.erase(victim);
+        ++buffer_drops_;
+      }
+      if (egress.queued_bytes + item.bytes > options_.egress_buffer_bytes) {
+        ++buffer_drops_;
+        return;  // even an empty (modulo head) buffer cannot take it
+      }
+    }
+  }
+  egress.queued_bytes += item.bytes;
+  egress.queue.push_back(std::move(item));
+  if (!egress.draining) drain(src);
+}
+
+void Transport::drain(NodeId src) {
+  Egress& egress = egress_[src];
+  if (egress.queue.empty()) {
+    egress.draining = false;
+    return;
+  }
+  egress.draining = true;
+  const std::uint64_t bandwidth = node_bandwidth(src);
+  const SimTime tx_time = std::max<SimTime>(
+      static_cast<SimTime>(
+          (static_cast<double>(egress.queue.front().bytes) * 8.0 * kSecond) /
+          static_cast<double>(bandwidth)),
+      1);
+  sim_.schedule_after(tx_time, [this, src] {
+    Egress& e = egress_[src];
+    ESM_CHECK(!e.queue.empty(), "drain fired on an empty egress queue");
+    Queued item = std::move(e.queue.front());
+    e.queue.pop_front();
+    e.queued_bytes -= item.bytes;
+    if (!silenced_[src]) transmit(src, std::move(item));
+    drain(src);
+  });
+}
+
+void Transport::transmit(NodeId src, Queued item) {
+  stats_.record_send(src, item.dst, item.bytes, item.is_payload);
+
+  if (options_.loss_rate > 0.0 && rng_.chance(options_.loss_rate)) {
+    ++packets_lost_;
+    return;
+  }
+
+  SimTime delay = latency_.one_way(src, item.dst);
+  if (options_.jitter > 0.0) {
+    delay = static_cast<SimTime>(static_cast<double>(delay) *
+                                 rng_.uniform(1.0 - options_.jitter,
+                                              1.0 + options_.jitter));
+  }
+  const SimTime arrival = sim_.now() + std::max<SimTime>(delay, 1);
+  const NodeId dst = item.dst;
+  sim_.schedule_at(arrival, [this, src, dst, item = std::move(item)] {
+    if (silenced_[dst]) return;  // firewalled: nothing gets in
+    if (handlers_[dst] == nullptr) return;
+    if (options_.codec != nullptr) {
+      handlers_[dst](src, options_.codec->decode(item.encoded));
+    } else {
+      handlers_[dst](src, item.packet);
+    }
+  });
+}
+
+std::uint64_t Transport::node_bandwidth(NodeId node) const {
+  ESM_CHECK(node < silenced_.size(), "node id out of range");
+  if (node < options_.node_bandwidth_bps.size()) {
+    return options_.node_bandwidth_bps[node];
+  }
+  return options_.bandwidth_bps;
+}
+
+void Transport::set_partition(const std::vector<int>& group_of_node) {
+  ESM_CHECK(group_of_node.size() == silenced_.size(),
+            "partition must assign a group to every node");
+  partition_ = group_of_node;
+}
+
+void Transport::heal_partition() { partition_.clear(); }
+
+void Transport::silence(NodeId node) {
+  ESM_CHECK(node < silenced_.size(), "node id out of range");
+  silenced_[node] = true;
+}
+
+void Transport::revive(NodeId node) {
+  ESM_CHECK(node < silenced_.size(), "node id out of range");
+  silenced_[node] = false;
+}
+
+}  // namespace esm::net

@@ -1,0 +1,225 @@
+// Simulated unreliable point-to-point transport (the paper's L-Send /
+// L-Receive service, §3.1).
+//
+// Semantics: unicast datagrams with per-path one-way delay (from a
+// LatencyModel), independent per-packet loss, optional per-node egress
+// bandwidth serialization, and optional delay jitter. Nodes can be
+// *silenced* — the firewall-rule failure injection of §6.3: a silenced
+// node's packets never leave and packets addressed to it are dropped on
+// arrival.
+//
+// Every packet transmission is accounted in TrafficStats per directed link;
+// payload-bearing packets are counted separately, since the paper's central
+// metrics (payload/msg, top-5% connection share, Fig. 4/6) are defined over
+// payload transmissions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/latency_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::net {
+
+/// Base class for everything that travels through the transport. Protocol
+/// layers define subclasses and dispatch on their concrete types.
+class Packet {
+ public:
+  virtual ~Packet() = default;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Optional serialization hook: when installed on the transport, every
+/// packet is encoded at the sender and decoded at the receiver, so (a) the
+/// byte accounting uses real wire sizes and (b) the codec is exercised by
+/// all live traffic. Implemented by esm_wire (src/wire/codec.hpp); declared
+/// here so the transport does not depend on the protocol libraries.
+class PacketCodec {
+ public:
+  virtual ~PacketCodec() = default;
+  virtual std::vector<std::uint8_t> encode(const Packet& packet, NodeId src,
+                                           NodeId dst) const = 0;
+  /// Throws on malformed input.
+  virtual PacketPtr decode(const std::vector<std::uint8_t>& bytes) const = 0;
+};
+
+/// Per-directed-link counters.
+struct LinkCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t payload_packets = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Traffic accounting across all links and nodes.
+class TrafficStats {
+ public:
+  explicit TrafficStats(std::uint32_t num_nodes)
+      : node_sent_payload_(num_nodes, 0), node_sent_packets_(num_nodes, 0) {}
+
+  void record_send(NodeId src, NodeId dst, std::size_t bytes, bool is_payload);
+
+  /// Clears all counters (used to exclude warm-up traffic).
+  void reset();
+
+  const LinkCounters& link(NodeId src, NodeId dst) const;
+  std::uint64_t total_payload_packets() const { return total_payload_packets_; }
+  std::uint64_t total_packets() const { return total_packets_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t node_sent_payload(NodeId n) const {
+    return node_sent_payload_.at(n);
+  }
+  std::uint64_t node_sent_packets(NodeId n) const {
+    return node_sent_packets_.at(n);
+  }
+  /// Number of directed links that carried at least one packet.
+  std::size_t links_used() const { return links_.size(); }
+
+  /// Fraction of all payload transmissions carried by the top `fraction`
+  /// of used connections when ranked by payload traffic — the emergent-
+  /// structure measure of Fig. 4 and Fig. 6(c). Connections are undirected
+  /// (the paper's NeEM connections are TCP links).
+  double top_connection_payload_share(double fraction) const;
+
+  /// (undirected link, payload packets) pairs, for structure plots.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, std::uint64_t>>
+  undirected_payload_counts() const;
+
+ private:
+  static std::uint64_t key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  std::unordered_map<std::uint64_t, LinkCounters> links_;
+  std::vector<std::uint64_t> node_sent_payload_;
+  std::vector<std::uint64_t> node_sent_packets_;
+  std::uint64_t total_payload_packets_ = 0;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Transport configuration.
+struct TransportOptions {
+  /// Independent probability that any packet is lost in transit.
+  double loss_rate = 0.0;
+  /// Default per-node egress bandwidth in bits/s; 0 disables serialization
+  /// delay. (The paper's testbed is 100 Mb/s switched Ethernet.)
+  std::uint64_t bandwidth_bps = 0;
+  /// Per-node bandwidth overrides (index = NodeId); empty = all nodes use
+  /// bandwidth_bps. Models heterogeneous capacity (paper §1: "nodes and
+  /// links with higher capacity").
+  std::vector<std::uint64_t> node_bandwidth_bps;
+  /// Egress buffer bound in bytes; under overload packets are purged at
+  /// the sender (NeEM buffers messages in user space when a connection
+  /// blocks "which then uses a custom purging strategy to improve
+  /// reliability", §5.2; buffer management per Koldehofe [13]).
+  /// 0 = unbounded.
+  std::uint64_t egress_buffer_bytes = 0;
+  /// Which packet to purge when the buffer is full:
+  ///   drop_newest — refuse the arriving packet (tail drop);
+  ///   drop_oldest — purge queued packets from the front until the new
+  ///                 one fits (freshness-preserving, the behavior NeEM's
+  ///                 age-based purging approximates).
+  enum class PurgePolicy { drop_newest, drop_oldest };
+  PurgePolicy purge_policy = PurgePolicy::drop_newest;
+  /// Uniform multiplicative jitter on the one-way delay: the delay is
+  /// multiplied by a factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.0;
+  /// When set, every packet is serialized/deserialized through this codec
+  /// and the explicit `bytes` argument of send() is replaced by the real
+  /// encoded size. The codec must outlive the transport.
+  const PacketCodec* codec = nullptr;
+};
+
+/// The transport itself. One instance per experiment.
+class Transport {
+ public:
+  /// Handler invoked on packet arrival at a node: (source, packet).
+  using Handler = std::function<void(NodeId, const PacketPtr&)>;
+
+  Transport(sim::Simulator& sim, const LatencyModel& latency,
+            std::uint32_t num_nodes, TransportOptions options, Rng rng);
+
+  /// Installs the receive handler for `node` (its protocol stack mux).
+  void register_handler(NodeId node, Handler handler);
+
+  /// Sends `packet` (`bytes` on the wire; `is_payload` marks transmissions
+  /// that carry message payload, for the paper's payload accounting).
+  /// Unreliable: the packet may be silently lost.
+  void send(NodeId src, NodeId dst, PacketPtr packet, std::size_t bytes,
+            bool is_payload);
+
+  /// Partitions the network: packets between nodes in different groups
+  /// are dropped at the sender (in-flight packets still arrive). Pass one
+  /// group id per node. heal_partition() removes the split.
+  void set_partition(const std::vector<int>& group_of_node);
+  void heal_partition();
+  /// Packets dropped because their endpoints were in different groups.
+  std::uint64_t partition_drops() const { return partition_drops_; }
+
+  /// Silences a node (fail-by-firewall, §6.3).
+  void silence(NodeId node);
+  /// Lifts a silence (node recovery under churn). Protocol state on the
+  /// node is whatever it was at failure time; overlays must re-integrate
+  /// it (HyParView re-joins, Cyclon shuffles back in).
+  void revive(NodeId node);
+  bool is_silenced(NodeId node) const { return silenced_.at(node); }
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(silenced_.size()); }
+
+  TrafficStats& stats() { return stats_; }
+  const TrafficStats& stats() const { return stats_; }
+
+  /// Packets dropped by the loss process so far.
+  std::uint64_t packets_lost() const { return packets_lost_; }
+
+  /// Packets dropped at the sender because the egress buffer was full.
+  std::uint64_t buffer_drops() const { return buffer_drops_; }
+
+  /// Effective egress bandwidth of a node (override or default).
+  std::uint64_t node_bandwidth(NodeId node) const;
+
+ private:
+  /// One packet waiting on a node's egress link.
+  struct Queued {
+    NodeId dst = kInvalidNode;
+    PacketPtr packet;                    // in-memory mode
+    std::vector<std::uint8_t> encoded;   // codec mode
+    std::size_t bytes = 0;
+    bool is_payload = false;
+  };
+
+  /// Transmits over the wire: accounting, loss, propagation, delivery.
+  void transmit(NodeId src, Queued item);
+  /// Starts/continues draining a node's egress queue.
+  void drain(NodeId src);
+
+  sim::Simulator& sim_;
+  const LatencyModel& latency_;
+  TransportOptions options_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> silenced_;
+  /// Partition group per node; empty = no partition.
+  std::vector<int> partition_;
+  std::uint64_t partition_drops_ = 0;
+  /// Per-node egress queues (bandwidth model).
+  struct Egress {
+    std::deque<Queued> queue;
+    std::uint64_t queued_bytes = 0;
+    bool draining = false;
+  };
+  std::vector<Egress> egress_;
+  TrafficStats stats_;
+  std::uint64_t packets_lost_ = 0;
+  std::uint64_t buffer_drops_ = 0;
+};
+
+}  // namespace esm::net

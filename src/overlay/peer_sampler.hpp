@@ -1,0 +1,23 @@
+// Peer sampling service interface (paper §3.1: "assumes the availability of
+// a peer sampling service [10] providing an uniform sample of f other nodes
+// with the PeerSample(f) primitive").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esm::overlay {
+
+/// Uniform random peer sampling, one instance per node.
+class PeerSampler {
+ public:
+  virtual ~PeerSampler() = default;
+
+  /// Returns up to `f` distinct peers, approximately uniform over the live
+  /// membership. May return fewer when the local view is small.
+  virtual std::vector<NodeId> sample(std::size_t f) = 0;
+};
+
+}  // namespace esm::overlay

@@ -1,0 +1,49 @@
+#include "overlay/static_overlay.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace esm::overlay {
+
+std::vector<std::vector<NodeId>> build_symmetric_overlay(std::uint32_t n,
+                                                         std::uint32_t degree,
+                                                         Rng rng) {
+  ESM_CHECK(n >= 3, "static overlay needs at least 3 nodes");
+  ESM_CHECK(degree >= 2, "average degree must be at least 2 (ring)");
+  std::vector<std::vector<NodeId>> adj(n);
+  auto linked = [&](NodeId a, NodeId b) {
+    return std::find(adj[a].begin(), adj[a].end(), b) != adj[a].end();
+  };
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+
+  // Ring over a random permutation: connectivity with random structure.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  order = rng.sample(order, order.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    link(order[i], order[(i + 1) % n]);
+  }
+
+  // Random chords until the target edge budget; bounded retries keep the
+  // construction deterministic-time even for dense requests.
+  const std::size_t target_edges = std::min<std::size_t>(
+      std::size_t(n) * degree / 2, std::size_t(n) * (n - 1) / 2);
+  std::size_t edges = n;
+  std::size_t attempts = 0;
+  while (edges < target_edges && attempts < 50 * target_edges) {
+    ++attempts;
+    const NodeId a = static_cast<NodeId>(rng.below(n));
+    const NodeId b = static_cast<NodeId>(rng.below(n));
+    if (a == b || linked(a, b)) continue;
+    link(a, b);
+    ++edges;
+  }
+  return adj;
+}
+
+}  // namespace esm::overlay

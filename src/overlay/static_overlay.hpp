@@ -1,0 +1,48 @@
+// Static symmetric overlay: a fixed random graph used as the membership
+// substrate when per-link protocol state must be able to converge.
+//
+// The Cyclon sampler is the right substrate for the paper's baseline
+// protocol (uniform, continuously mixing), but adaptive per-link state —
+// the Plumtree-style strategy — assumes the stable, *symmetric* partial
+// views of a HyParView-like membership layer: if A gossips to B, B can
+// gossip and advertise back to A, and the pair persists long enough for
+// prune/graft feedback to settle. This module provides that substrate:
+// a connected symmetric random graph built once, plus a PeerSampler view
+// over each node's fixed neighbor set.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "overlay/peer_sampler.hpp"
+
+namespace esm::overlay {
+
+/// Builds a connected symmetric random graph with average degree ~`degree`:
+/// a Hamiltonian ring (connectivity) plus random chords (randomness), no
+/// parallel edges. Returns adjacency lists indexed by node.
+std::vector<std::vector<NodeId>> build_symmetric_overlay(std::uint32_t n,
+                                                         std::uint32_t degree,
+                                                         Rng rng);
+
+/// PeerSampler over a fixed neighbor set. sample(f) returns a uniform
+/// random subset; with f >= neighbors the full set is returned (shuffled),
+/// which is the Plumtree "cover every neighbor" mode.
+class StaticNeighborSampler final : public PeerSampler {
+ public:
+  StaticNeighborSampler(std::vector<NodeId> neighbors, Rng rng)
+      : neighbors_(std::move(neighbors)), rng_(rng) {}
+
+  std::vector<NodeId> sample(std::size_t f) override {
+    return rng_.sample(neighbors_, f);
+  }
+
+  const std::vector<NodeId>& neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<NodeId> neighbors_;
+  Rng rng_;
+};
+
+}  // namespace esm::overlay

@@ -1,0 +1,141 @@
+#include "pull/pull_gossip.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace esm::pull {
+
+PullNode::PullNode(sim::Simulator& sim, net::Transport& transport, NodeId self,
+                   PullParams params, overlay::PeerSampler& sampler,
+                   DeliverFn deliver, Rng rng)
+    : sim_(sim),
+      transport_(transport),
+      self_(self),
+      params_(params),
+      sampler_(sampler),
+      deliver_(std::move(deliver)),
+      rng_(rng),
+      timer_(sim, [this] { poll_tick(); }) {
+  ESM_CHECK(params.period > 0, "poll period must be positive");
+  ESM_CHECK(params.fanout >= 1, "poll fanout must be positive");
+  ESM_CHECK(static_cast<bool>(deliver_), "deliver up-call must be callable");
+}
+
+void PullNode::start() {
+  timer_.start(rng_.range(0, params_.period - 1), params_.period);
+}
+
+void PullNode::stop() { timer_.stop(); }
+
+core::AppMessage PullNode::multicast(std::uint32_t payload_bytes,
+                                     std::uint32_t seq, SimTime now) {
+  core::AppMessage msg;
+  msg.id = rng_.next_msg_id();
+  msg.origin = self_;
+  msg.seq = seq;
+  msg.payload_bytes = payload_bytes;
+  msg.multicast_time = now;
+  accept(msg);
+  return msg;
+}
+
+void PullNode::accept(const core::AppMessage& msg) {
+  fetching_.erase(msg.id);
+  if (!known_.try_emplace(msg.id, msg).second) {
+    ++duplicate_payloads_;
+    return;
+  }
+  deliver_(msg);
+}
+
+void PullNode::poll_tick() {
+  // Digest of everything currently known (bounded; random subset when the
+  // store exceeds the cap so no id is systematically never advertised).
+  std::vector<MsgId> digest;
+  digest.reserve(known_.size());
+  for (const auto& [id, msg] : known_) digest.push_back(id);
+  if (digest.size() > params_.max_digest) {
+    digest = rng_.sample(digest, params_.max_digest);
+  }
+  for (const NodeId peer : sampler_.sample(params_.fanout)) {
+    auto request = std::make_shared<PullRequestPacket>();
+    request->known = digest;
+    const std::size_t bytes = request->wire_bytes();
+    transport_.send(self_, peer, std::move(request), bytes,
+                    /*is_payload=*/false);
+  }
+}
+
+bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
+  if (const auto* request =
+          dynamic_cast<const PullRequestPacket*>(packet.get())) {
+    // What is the poller missing?
+    std::unordered_set<MsgId, MsgIdHash> theirs(request->known.begin(),
+                                                request->known.end());
+    std::vector<const core::AppMessage*> missing;
+    for (const auto& [id, msg] : known_) {
+      if (!theirs.contains(id)) missing.push_back(&msg);
+    }
+    if (missing.empty()) return true;
+    if (params_.lazy_reply) {
+      auto advertise = std::make_shared<PullAdvertisePacket>();
+      for (const auto* m : missing) advertise->ids.push_back(m->id);
+      const std::size_t bytes = advertise->wire_bytes();
+      transport_.send(self_, src, std::move(advertise), bytes,
+                      /*is_payload=*/false);
+    } else {
+      // Eager pull reply: one payload packet per message, so the payload
+      // accounting matches the push protocols'.
+      for (const auto* m : missing) {
+        auto reply = std::make_shared<PullReplyPacket>();
+        reply->messages.push_back(*m);
+        const std::size_t bytes = reply->wire_bytes();
+        transport_.send(self_, src, std::move(reply), bytes,
+                        /*is_payload=*/true);
+      }
+    }
+    return true;
+  }
+  if (const auto* advertise =
+          dynamic_cast<const PullAdvertisePacket*>(packet.get())) {
+    auto fetch = std::make_shared<PullFetchPacket>();
+    for (const MsgId& id : advertise->ids) {
+      if (!known_.contains(id) && fetching_.insert(id).second) {
+        fetch->ids.push_back(id);
+      }
+    }
+    if (!fetch->ids.empty()) {
+      const std::size_t bytes = fetch->wire_bytes();
+      transport_.send(self_, src, std::move(fetch), bytes,
+                      /*is_payload=*/false);
+    }
+    return true;
+  }
+  if (const auto* fetch = dynamic_cast<const PullFetchPacket*>(packet.get())) {
+    for (const MsgId& id : fetch->ids) {
+      const auto it = known_.find(id);
+      if (it == known_.end()) continue;
+      auto reply = std::make_shared<PullReplyPacket>();
+      reply->messages.push_back(it->second);
+      const std::size_t bytes = reply->wire_bytes();
+      transport_.send(self_, src, std::move(reply), bytes,
+                      /*is_payload=*/true);
+    }
+    return true;
+  }
+  if (const auto* reply = dynamic_cast<const PullReplyPacket*>(packet.get())) {
+    for (const core::AppMessage& msg : reply->messages) accept(msg);
+    return true;
+  }
+  return false;
+}
+
+void PullNode::garbage_collect(const std::vector<MsgId>& ids) {
+  for (const MsgId& id : ids) {
+    known_.erase(id);
+    fetching_.erase(id);
+  }
+}
+
+}  // namespace esm::pull

@@ -1,0 +1,137 @@
+// Pull (anti-entropy) gossip — the comparator discussed in the paper's
+// related work (§7):
+//
+//   "Lazy push gossip can also be confused with pull gossip, as in both
+//    cases payload is transmitted only upon request. Pull gossip is however
+//    fundamentally different as it issues generic requests to a random
+//    sub-set of nodes, which might or not have new data ... In fact,
+//    unless performed lazily, pull gossip will result in multiple payload
+//    transmissions to the same destination as much as eager push gossip."
+//
+// Each node periodically polls random peers with a digest of the message
+// ids it already knows; the peer answers with what the poller is missing.
+// Two reply modes make the paper's point measurable:
+//
+//   * eager reply — the peer ships full payloads immediately. Concurrent
+//     polls to different peers fetch the same payload several times.
+//   * lazy reply — the peer ships only the missing ids; the poller fetches
+//     each payload once with a follow-up request (one more round trip).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/message.hpp"
+#include "net/transport.hpp"
+#include "overlay/peer_sampler.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::pull {
+
+/// Poll: "here is what I know; send me news".
+struct PullRequestPacket final : public net::Packet {
+  std::vector<MsgId> known;
+
+  std::size_t wire_bytes() const { return 24 + known.size() * 16; }
+};
+
+/// Eager reply: full payloads the poller was missing.
+struct PullReplyPacket final : public net::Packet {
+  std::vector<core::AppMessage> messages;
+
+  std::size_t wire_bytes() const {
+    std::size_t total = 24;
+    for (const auto& m : messages) total += 40 + m.payload_bytes;
+    return total;
+  }
+};
+
+/// Lazy reply: just the missing ids (poller fetches separately).
+struct PullAdvertisePacket final : public net::Packet {
+  std::vector<MsgId> ids;
+
+  std::size_t wire_bytes() const { return 24 + ids.size() * 16; }
+};
+
+/// Fetch of specific payloads after a lazy reply.
+struct PullFetchPacket final : public net::Packet {
+  std::vector<MsgId> ids;
+
+  std::size_t wire_bytes() const { return 24 + ids.size() * 16; }
+};
+
+struct PullParams {
+  /// Poll period. Pull latency is dominated by this (expected wait for
+  /// the first poll after infection reaches a neighbor is period/2).
+  SimTime period = 200 * kMillisecond;
+  /// Peers polled per period.
+  std::size_t fanout = 1;
+  /// Ship payloads in replies (eager) or only ids (lazy).
+  bool lazy_reply = false;
+  /// Digest cap per request (bounds request size; older ids are garbage
+  /// collected by the application).
+  std::size_t max_digest = 512;
+};
+
+/// One node of the pull-gossip protocol.
+class PullNode {
+ public:
+  using DeliverFn = std::function<void(const core::AppMessage&)>;
+
+  PullNode(sim::Simulator& sim, net::Transport& transport, NodeId self,
+           PullParams params, overlay::PeerSampler& sampler, DeliverFn deliver,
+           Rng rng);
+
+  /// Starts periodic polling (random initial phase).
+  void start();
+  void stop();
+
+  /// Originates a message.
+  core::AppMessage multicast(std::uint32_t payload_bytes, std::uint32_t seq,
+                             SimTime now);
+
+  /// Seeds the local store with an externally obtained message — e.g. a
+  /// payload delivered by a push layer when this node runs pull as an
+  /// anti-entropy *repair* layer. No delivery up-call and no duplicate
+  /// accounting: the payload is already in the application's hands.
+  void insert(const core::AppMessage& msg) {
+    fetching_.erase(msg.id);
+    known_.try_emplace(msg.id, msg);
+  }
+
+  bool handle_packet(NodeId src, const net::PacketPtr& packet);
+
+  std::size_t known_count() const { return known_.size(); }
+  bool knows(const MsgId& id) const { return known_.contains(id); }
+
+  /// Payload copies received for already-known messages (the §7 waste of
+  /// non-lazy pull).
+  std::uint64_t duplicate_payloads() const { return duplicate_payloads_; }
+
+  /// Drops finished messages from the local store.
+  void garbage_collect(const std::vector<MsgId>& ids);
+
+ private:
+  void poll_tick();
+  void accept(const core::AppMessage& msg);
+
+  sim::Simulator& sim_;
+  net::Transport& transport_;
+  NodeId self_;
+  PullParams params_;
+  overlay::PeerSampler& sampler_;
+  DeliverFn deliver_;
+  Rng rng_;
+  std::unordered_map<MsgId, core::AppMessage, MsgIdHash> known_;
+  /// Ids requested via PullFetch and not yet received (avoids fetching the
+  /// same payload from several advertisers).
+  std::unordered_set<MsgId, MsgIdHash> fetching_;
+  sim::PeriodicTimer timer_;
+  std::uint64_t duplicate_payloads_ = 0;
+};
+
+}  // namespace esm::pull

@@ -1,0 +1,91 @@
+#include "rank/rank_estimator.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace esm::rank {
+
+GossipRankEstimator::GossipRankEstimator(sim::Simulator& sim,
+                                         net::Transport& transport,
+                                         NodeId self,
+                                         overlay::PeerSampler& sampler,
+                                         double own_score,
+                                         double best_fraction,
+                                         RankParams params, Rng rng)
+    : sim_(sim),
+      transport_(transport),
+      self_(self),
+      sampler_(sampler),
+      best_fraction_(best_fraction),
+      params_(params),
+      rng_(rng),
+      timer_(sim, [this] { tick(); }) {
+  ESM_CHECK(best_fraction > 0.0 && best_fraction < 1.0,
+            "best fraction must be in (0, 1)");
+  ESM_CHECK(params.sample_capacity >= params.samples_per_gossip,
+            "sample capacity must cover a gossip batch");
+  scores_.emplace(self_, own_score);
+}
+
+void GossipRankEstimator::start() {
+  timer_.start(rng_.range(0, params_.period - 1), params_.period);
+}
+
+void GossipRankEstimator::stop() { timer_.stop(); }
+
+void GossipRankEstimator::tick() {
+  // Flatten once; reuse for each target this round.
+  std::vector<ScoreSample> all;
+  all.reserve(scores_.size());
+  for (const auto& [id, score] : scores_) {
+    if (id != self_) all.push_back(ScoreSample{id, score});
+  }
+  for (const NodeId peer : sampler_.sample(params_.gossip_fanout)) {
+    auto packet = std::make_shared<RankGossipPacket>();
+    packet->samples.push_back(ScoreSample{self_, scores_.at(self_)});
+    for (const ScoreSample& s :
+         rng_.sample(all, params_.samples_per_gossip - 1)) {
+      packet->samples.push_back(s);
+    }
+    const std::size_t bytes = packet->wire_bytes();
+    transport_.send(self_, peer, std::move(packet), bytes,
+                    /*is_payload=*/false);
+  }
+}
+
+bool GossipRankEstimator::handle_packet(NodeId, const net::PacketPtr& packet) {
+  const auto* gossip = dynamic_cast<const RankGossipPacket*>(packet.get());
+  if (gossip == nullptr) return false;
+
+  for (const ScoreSample& s : gossip->samples) {
+    if (s.id == self_) continue;
+    scores_[s.id] = s.score;
+  }
+  // Bound memory: evict random non-self entries beyond capacity.
+  while (scores_.size() > params_.sample_capacity + 1) {
+    auto it = scores_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rng_.below(scores_.size())));
+    if (it->first != self_) scores_.erase(it);
+  }
+  return true;
+}
+
+double GossipRankEstimator::estimated_quantile(NodeId node) const {
+  const auto it = scores_.find(node);
+  if (it == scores_.end()) return -1.0;
+  if (scores_.size() == 1) return 1.0;
+  std::size_t below = 0;
+  for (const auto& [id, score] : scores_) {
+    if (id != node && score < it->second) ++below;
+  }
+  return static_cast<double>(below) /
+         static_cast<double>(scores_.size() - 1);
+}
+
+bool GossipRankEstimator::is_best(NodeId node) const {
+  const double q = estimated_quantile(node);
+  return q >= 0.0 && q >= 1.0 - best_fraction_;
+}
+
+}  // namespace esm::rank

@@ -1,0 +1,92 @@
+// Gossip-based node ranking (paper §4.1, Ranked strategy: "a ranking can
+// also be computed using local Performance Monitors and a gossip based
+// sorting protocol [11] ... this is greatly eased by the fact that the
+// protocol still works even if ranking is approximate").
+//
+// Each node carries a capacity score (e.g. closeness estimated by its
+// Performance Monitor, or provisioned bandwidth). Nodes epidemically
+// exchange bounded samples of (node, score) pairs; every node estimates its
+// own — and any sampled peer's — global rank quantile against its local
+// sample, and considers a node "best" when its estimated quantile falls in
+// the top `best_fraction`. The estimate is approximate by construction,
+// which is exactly the regime the paper's noise experiments (§6.5) show the
+// Ranked strategy tolerates.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/strategies.hpp"
+#include "net/transport.hpp"
+#include "overlay/peer_sampler.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::rank {
+
+/// One (node, score) observation; higher score = better node.
+struct ScoreSample {
+  NodeId id = kInvalidNode;
+  double score = 0.0;
+};
+
+/// Epidemic exchange of score samples.
+struct RankGossipPacket final : public net::Packet {
+  std::vector<ScoreSample> samples;
+
+  std::size_t wire_bytes() const { return 16 + samples.size() * 12; }
+};
+
+struct RankParams {
+  /// Local sample capacity (besides self).
+  std::size_t sample_capacity = 64;
+  /// Peers gossiped to per period.
+  std::size_t gossip_fanout = 2;
+  /// Samples shipped per gossip (self always included).
+  std::size_t samples_per_gossip = 8;
+  /// Gossip period.
+  SimTime period = 500 * kMillisecond;
+};
+
+/// Per-node rank estimator; doubles as the BestSet consumed by the Ranked
+/// and Hybrid strategies.
+class GossipRankEstimator final : public core::BestSet {
+ public:
+  GossipRankEstimator(sim::Simulator& sim, net::Transport& transport,
+                      NodeId self, overlay::PeerSampler& sampler,
+                      double own_score, double best_fraction,
+                      RankParams params, Rng rng);
+
+  void start();
+  void stop();
+
+  /// Consumes rank-gossip packets addressed to this node.
+  bool handle_packet(NodeId src, const net::PacketPtr& packet);
+
+  /// True when the node's estimated quantile is in the top best_fraction.
+  /// For peers, decided from the local sample; unknown peers are not best.
+  bool is_best(NodeId node) const override;
+
+  /// Estimated quantile of `node` in [0, 1] (1 = best score seen);
+  /// -1 if the node is unknown locally.
+  double estimated_quantile(NodeId node) const;
+
+  std::size_t samples_known() const { return scores_.size(); }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  net::Transport& transport_;
+  NodeId self_;
+  overlay::PeerSampler& sampler_;
+  double best_fraction_;
+  RankParams params_;
+  Rng rng_;
+  /// Known scores, own entry always present.
+  std::unordered_map<NodeId, double> scores_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace esm::rank

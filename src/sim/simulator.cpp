@@ -1,0 +1,86 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace esm::sim {
+
+EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
+  ESM_CHECK(t >= now_, "cannot schedule an event in the past");
+  ESM_CHECK(static_cast<bool>(cb), "event callback must be callable");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
+  ESM_CHECK(delay >= 0, "event delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  return callbacks_.erase(h.id) > 0;  // heap entry is skipped lazily
+}
+
+bool Simulator::pending(EventHandle h) const {
+  return callbacks_.count(h.id) > 0;
+}
+
+void Simulator::skip_cancelled() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+bool Simulator::step() {
+  skip_cancelled();
+  if (heap_.empty()) return false;
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  // skip_cancelled guarantees the callback exists.
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = e.time;
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  ESM_CHECK(t >= now_, "run_until target is in the past");
+  for (;;) {
+    skip_cancelled();
+    if (heap_.empty() || heap_.top().time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void PeriodicTimer::start(SimTime first_delay, SimTime period) {
+  ESM_CHECK(period > 0, "periodic timer period must be positive");
+  stop();
+  period_ = period;
+  arm(first_delay);
+}
+
+void PeriodicTimer::stop() {
+  if (handle_.valid()) {
+    sim_.cancel(handle_);
+    handle_ = EventHandle{};
+  }
+}
+
+void PeriodicTimer::arm(SimTime delay) {
+  handle_ = sim_.schedule_after(delay, [this] {
+    arm(period_);  // re-arm first so tick_ may call stop()/start()
+    tick_();
+  });
+}
+
+}  // namespace esm::sim

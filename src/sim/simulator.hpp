@@ -1,0 +1,129 @@
+// Single-threaded discrete-event simulation engine.
+//
+// This replaces the paper's ModelNet emulation cluster (§5.1): instead of
+// routing real packets through emulator hosts, protocol stacks schedule
+// callbacks on a virtual clock. Determinism is total — identical seeds and
+// configurations replay identical event sequences — and, unlike the paper's
+// testbed, a single global clock lets us measure end-to-end latency between
+// *every* source/destination pair, not only co-hosted ones (§5.3).
+//
+// Ordering guarantees: events fire in non-decreasing timestamp order; events
+// with equal timestamps fire in scheduling (FIFO) order. Scheduling in the
+// past is rejected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace esm::sim {
+
+/// Opaque handle to a scheduled event, used for cancellation.
+struct EventHandle {
+  std::uint64_t id = 0;
+
+  bool valid() const { return id != 0; }
+  friend bool operator==(const EventHandle&, const EventHandle&) = default;
+};
+
+/// The event loop. One instance per experiment; all components hold a
+/// reference and schedule work on it.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` microseconds from now (delay >= 0).
+  EventHandle schedule_after(SimTime delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event was still pending
+  /// (i.e. it had not yet fired and had not been cancelled before).
+  bool cancel(EventHandle h);
+
+  /// True if the event is still pending.
+  bool pending(EventHandle h) const;
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs events with timestamp <= `t`, then advances the clock to `t`
+  /// (even if the queue drained earlier or further events remain).
+  void run_until(SimTime t);
+
+  /// Executes at most one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Number of events executed so far (for stats and micro-benchmarks).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t events_pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops dead (cancelled) entries off the heap top.
+  void skip_cancelled();
+
+  SimTime now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+/// Restartable periodic timer built on Simulator; fires `tick` every
+/// `period` after an initial `first_delay`. Used by overlay shuffling,
+/// ping monitors, rank gossip, etc.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, std::function<void()> tick)
+      : sim_(sim), tick_(std::move(tick)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// (Re)starts the timer; any previous schedule is cancelled.
+  void start(SimTime first_delay, SimTime period);
+
+  /// Stops the timer; no further ticks fire.
+  void stop();
+
+  bool running() const { return handle_.valid() && sim_.pending(handle_); }
+
+ private:
+  void arm(SimTime delay);
+
+  Simulator& sim_;
+  std::function<void()> tick_;
+  SimTime period_ = 0;
+  EventHandle handle_{};
+};
+
+}  // namespace esm::sim

@@ -1,0 +1,61 @@
+// Streaming and batch statistics used by the experiment harness.
+//
+// The paper reports means with 95% confidence intervals ("confidence
+// intervals with 95% certainty do not intersect", §5.4); RunningStat
+// provides Welford-style streaming moments plus the matching Student-t
+// half-width, and Samples keeps raw values for quantiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esm::stats {
+
+/// Student-t two-sided 97.5% critical value for `df` degrees of freedom
+/// (table for small df, 1.96 asymptote).
+double t_critical_95(std::uint64_t df);
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the 95% confidence interval of the mean.
+  double ci95_half_width() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Raw-sample container with quantiles (fine at experiment scale: tens of
+/// thousands of deliveries per run).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  /// p in [0, 1]; nearest-rank on the sorted data. 0 if empty.
+  double quantile(double p) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace esm::stats

@@ -1,0 +1,97 @@
+#include "trace/trace_log.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace esm::trace {
+
+void TraceLog::write_csv(std::ostream& os) const {
+  os << "kind,time_us,node,peer,seq,latency_us,eager\n";
+  for (const DeliveryEvent& e : deliveries_) {
+    os << "delivery," << e.time << ',' << e.node << ',' << e.origin << ','
+       << e.seq << ',' << e.latency << ",\n";
+  }
+  for (const PayloadEvent& e : payloads_) {
+    os << "payload," << e.time << ',' << e.src << ',' << e.dst << ',' << e.seq
+       << ",," << (e.eager ? 1 : 0) << "\n";
+  }
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  // A trailing empty field is dropped by getline; normalize.
+  if (!line.empty() && line.back() == ',') fields.push_back("");
+  return fields;
+}
+
+std::int64_t to_i64(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) throw std::runtime_error("bad integer field: " + s);
+    return v;
+  } catch (const std::logic_error&) {  // stoll's invalid_argument/out_of_range
+    throw std::runtime_error("bad integer field: " + s);
+  }
+}
+
+}  // namespace
+
+TraceLog TraceLog::read_csv(std::istream& is) {
+  TraceLog log;
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("empty trace");
+  if (line.rfind("kind,", 0) != 0) {
+    throw std::runtime_error("missing trace header");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv_line(line);
+    if (f.size() != 7) throw std::runtime_error("bad field count: " + line);
+    if (f[0] == "delivery") {
+      DeliveryEvent e;
+      e.time = to_i64(f[1]);
+      e.node = static_cast<NodeId>(to_i64(f[2]));
+      e.origin = static_cast<NodeId>(to_i64(f[3]));
+      e.seq = static_cast<std::uint32_t>(to_i64(f[4]));
+      e.latency = to_i64(f[5]);
+      log.record_delivery(e);
+    } else if (f[0] == "payload") {
+      PayloadEvent e;
+      e.time = to_i64(f[1]);
+      e.src = static_cast<NodeId>(to_i64(f[2]));
+      e.dst = static_cast<NodeId>(to_i64(f[3]));
+      e.seq = static_cast<std::uint32_t>(to_i64(f[4]));
+      e.eager = to_i64(f[6]) != 0;
+      log.record_payload(e);
+    } else {
+      throw std::runtime_error("unknown event kind: " + f[0]);
+    }
+  }
+  return log;
+}
+
+std::size_t TraceLog::payloads_for(std::uint32_t seq) const {
+  std::size_t count = 0;
+  for (const PayloadEvent& e : payloads_) {
+    if (e.seq == seq) ++count;
+  }
+  return count;
+}
+
+std::size_t TraceLog::deliveries_for(std::uint32_t seq) const {
+  std::size_t count = 0;
+  for (const DeliveryEvent& e : deliveries_) {
+    if (e.seq == seq) ++count;
+  }
+  return count;
+}
+
+}  // namespace esm::trace

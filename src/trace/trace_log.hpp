@@ -1,0 +1,68 @@
+// Structured experiment traces.
+//
+// The paper's methodology logs every multicast and delivery for offline
+// processing (§5.3: ~1 GB of logs per campaign, later "processed and
+// rendered in plots"). This module is that log: delivery and payload-
+// transmission events collected during a run, writable as CSV for external
+// tooling (gnuplot, pandas) and queryable in-process for tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esm::trace {
+
+/// One application-level delivery.
+struct DeliveryEvent {
+  SimTime time = 0;       // virtual time of delivery
+  NodeId node = 0;        // delivering node
+  NodeId origin = 0;      // multicast source
+  std::uint32_t seq = 0;  // message sequence number
+  SimTime latency = 0;    // time - multicast time (0 at the origin)
+};
+
+/// One payload transmission performed by the scheduler.
+struct PayloadEvent {
+  SimTime time = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t seq = 0;
+  bool eager = false;  // eager push vs answered request
+};
+
+/// Append-only event collector.
+class TraceLog {
+ public:
+  void record_delivery(DeliveryEvent event) {
+    deliveries_.push_back(event);
+  }
+  void record_payload(PayloadEvent event) { payloads_.push_back(event); }
+
+  const std::vector<DeliveryEvent>& deliveries() const { return deliveries_; }
+  const std::vector<PayloadEvent>& payloads() const { return payloads_; }
+
+  /// CSV with a `kind` discriminator column:
+  ///   kind,time_us,node,peer,seq,latency_us,eager
+  ///   delivery,<t>,<node>,<origin>,<seq>,<latency>,
+  ///   payload,<t>,<src>,<dst>,<seq>,,<0|1>
+  void write_csv(std::ostream& os) const;
+
+  /// Parses a CSV previously produced by write_csv. Throws
+  /// std::runtime_error on malformed input.
+  static TraceLog read_csv(std::istream& is);
+
+  /// Payload transmissions recorded for one message.
+  std::size_t payloads_for(std::uint32_t seq) const;
+  /// Deliveries recorded for one message.
+  std::size_t deliveries_for(std::uint32_t seq) const;
+
+ private:
+  std::vector<DeliveryEvent> deliveries_;
+  std::vector<PayloadEvent> payloads_;
+};
+
+}  // namespace esm::trace

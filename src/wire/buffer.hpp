@@ -1,0 +1,147 @@
+// Bounds-checked binary encoding/decoding primitives.
+//
+// The simulator exchanges in-memory Packet objects, but a deployment needs
+// a wire format; this module provides one, and the tests pin the
+// simulator's byte accounting to the real encoded sizes so the bandwidth
+// model bills what a deployment would actually transmit. Integers are
+// little-endian; no padding; no implementation-defined behavior.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace esm::wire {
+
+/// Thrown on malformed input: truncation, bad magic, bad checksum, trailing
+/// garbage. Decoders must never crash on attacker-controlled bytes.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends little-endian primitives to a growing byte vector.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// IEEE-754 binary64, bit pattern preserved.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  /// Appends `n` zero bytes (simulated opaque payload).
+  void zeros(std::size_t n) { bytes_.resize(bytes_.size() + n, 0); }
+
+  std::size_t size() const { return bytes_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  /// Overwrites 4 bytes at `offset` (for length/checksum back-patching).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    if (offset + 4 > bytes_.size()) {
+      throw DecodeError("patch_u32 out of range");
+    }
+    for (int i = 0; i < 4; ++i) {
+      bytes_[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads little-endian primitives with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    const auto lo = u8();
+    const auto hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t u32() {
+    const auto lo = u16();
+    const auto hi = u16();
+    return static_cast<std::uint32_t>(lo) |
+           (static_cast<std::uint32_t>(hi) << 16);
+  }
+
+  std::uint64_t u64() {
+    const auto lo = u32();
+    const auto hi = u32();
+    return static_cast<std::uint64_t>(lo) |
+           (static_cast<std::uint64_t>(hi) << 32);
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  /// Skips `n` bytes (opaque payload).
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  /// Fails unless the whole input was consumed.
+  void expect_end() const {
+    if (remaining() != 0) throw DecodeError("trailing bytes after packet");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw DecodeError("truncated packet");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a over a byte range — the header's integrity check. Not
+/// cryptographic; it guards against corruption, as a UDP checksum would.
+std::uint32_t fnv1a(std::span<const std::uint8_t> data);
+
+}  // namespace esm::wire

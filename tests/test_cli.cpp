@@ -1,0 +1,222 @@
+#include "harness/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esm::harness {
+namespace {
+
+std::optional<CliOptions> parse(std::vector<std::string> args) {
+  std::string error;
+  auto result = parse_cli(args, error);
+  EXPECT_TRUE(result.has_value()) << error;
+  return result;
+}
+
+TEST(Cli, DefaultsMatchPaperConfiguration) {
+  const auto options = parse({});
+  ASSERT_TRUE(options);
+  const ExperimentConfig& c = options->config;
+  EXPECT_EQ(c.num_nodes, 100u);
+  EXPECT_EQ(c.num_messages, 400u);
+  EXPECT_EQ(c.gossip.fanout, 11u);
+  EXPECT_EQ(c.overlay.view_size, 15u);
+  EXPECT_EQ(c.retransmission_period, 400 * kMillisecond);
+  EXPECT_EQ(c.payload_bytes, 256u);
+  EXPECT_EQ(c.strategy.kind, StrategyKind::flat);
+  EXPECT_FALSE(options->json);
+  EXPECT_FALSE(options->help);
+}
+
+TEST(Cli, ParsesStrategySelection) {
+  const auto options = parse({"--strategy", "hybrid", "--rho", "12.5", "--u",
+                              "3", "--best", "0.05", "--noise", "0.4",
+                              "--monitor", "ping", "--gossip-rank"});
+  ASSERT_TRUE(options);
+  const StrategySpec& s = options->config.strategy;
+  EXPECT_EQ(s.kind, StrategyKind::hybrid);
+  EXPECT_DOUBLE_EQ(s.rho, 12.5);
+  EXPECT_EQ(s.u, 3u);
+  EXPECT_DOUBLE_EQ(s.best_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(s.noise, 0.4);
+  EXPECT_EQ(s.monitor, MonitorKind::ping);
+  EXPECT_TRUE(s.use_gossip_rank);
+}
+
+TEST(Cli, ParsesWorkloadAndNetwork) {
+  const auto options = parse(
+      {"--nodes", "60", "--messages", "99", "--payload", "1024",
+       "--interval-ms", "250", "--seed", "7", "--loss", "0.02", "--bandwidth",
+       "2000000", "--buffer", "65536", "--slow", "0.3", "--slow-bandwidth",
+       "500000", "--adaptive-fanout", "--fanout", "9", "--rounds", "6",
+       "--degree", "20", "--period-ms", "200", "--oracle-sampler"});
+  ASSERT_TRUE(options);
+  const ExperimentConfig& c = options->config;
+  EXPECT_EQ(c.num_nodes, 60u);
+  EXPECT_EQ(c.num_messages, 99u);
+  EXPECT_EQ(c.payload_bytes, 1024u);
+  EXPECT_EQ(c.mean_interval, 250 * kMillisecond);
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_DOUBLE_EQ(c.loss_rate, 0.02);
+  EXPECT_EQ(c.bandwidth_bps, 2'000'000u);
+  EXPECT_EQ(c.egress_buffer_bytes, 65536u);
+  EXPECT_DOUBLE_EQ(c.slow_fraction, 0.3);
+  EXPECT_EQ(c.slow_bandwidth_bps, 500'000u);
+  EXPECT_TRUE(c.adaptive_fanout);
+  EXPECT_EQ(c.gossip.fanout, 9u);
+  EXPECT_EQ(c.gossip.max_rounds, 6u);
+  EXPECT_EQ(c.overlay.view_size, 20u);
+  EXPECT_EQ(c.retransmission_period, 200 * kMillisecond);
+  EXPECT_EQ(c.overlay_kind, OverlayKind::oracle);
+}
+
+TEST(Cli, PurgePolicyAndChurn) {
+  const auto options = parse({"--purge", "oldest", "--churn", "1.5"});
+  ASSERT_TRUE(options);
+  EXPECT_EQ(options->config.purge_policy,
+            net::TransportOptions::PurgePolicy::drop_oldest);
+  EXPECT_DOUBLE_EQ(options->config.churn_rate, 1.5);
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--purge", "everything"}, error));
+}
+
+TEST(Cli, OverlaySelection) {
+  EXPECT_EQ(parse({"--overlay", "hyparview"})->config.overlay_kind,
+            OverlayKind::hyparview);
+  EXPECT_EQ(parse({"--overlay", "static"})->config.overlay_kind,
+            OverlayKind::static_random);
+  EXPECT_EQ(parse({"--overlay", "cyclon"})->config.overlay_kind,
+            OverlayKind::cyclon);
+  EXPECT_EQ(parse({"--static-overlay"})->config.overlay_kind,
+            OverlayKind::static_random);
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--overlay", "mesh"}, error));
+}
+
+TEST(Cli, KillDefaultsToRandomMode) {
+  const auto options = parse({"--kill", "0.3"});
+  ASSERT_TRUE(options);
+  EXPECT_DOUBLE_EQ(options->config.kill_fraction, 0.3);
+  EXPECT_EQ(options->config.kill_mode, KillMode::random);
+}
+
+TEST(Cli, KillModeBest) {
+  const auto options = parse({"--kill", "0.2", "--kill-mode", "best"});
+  ASSERT_TRUE(options);
+  EXPECT_EQ(options->config.kill_mode, KillMode::best_ranked);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  const auto options = parse({"--help", "--bogus-flag-after-help"});
+  ASSERT_TRUE(options);
+  EXPECT_TRUE(options->help);
+  EXPECT_FALSE(cli_help_text().empty());
+}
+
+TEST(Cli, KvFlag) {
+  const auto options = parse({"--kv"});
+  ASSERT_TRUE(options);
+  EXPECT_TRUE(options->json);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--frobnicate"}, error));
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--nodes"}, error));
+  EXPECT_NE(error.find("--nodes"), std::string::npos);
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--pi", "abc"}, error));
+  EXPECT_NE(error.find("--pi"), std::string::npos);
+  EXPECT_FALSE(parse_cli({"--nodes", "-5"}, error));
+  EXPECT_FALSE(parse_cli({"--nodes", "5x"}, error));
+}
+
+TEST(Cli, RejectsUnknownEnumValues) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--strategy", "magic"}, error));
+  EXPECT_FALSE(parse_cli({"--monitor", "tea-leaves"}, error));
+  EXPECT_FALSE(parse_cli({"--kill-mode", "all"}, error));
+}
+
+TEST(Cli, FormatResultKvIsParseable) {
+  ExperimentResult r;
+  r.mean_latency_ms = 123.5;
+  r.live_nodes = 80;
+  r.payload_packets = 999;
+  const std::string kv = format_result_kv(r);
+  EXPECT_NE(kv.find("mean_latency_ms=123.5"), std::string::npos);
+  EXPECT_NE(kv.find("live_nodes=80"), std::string::npos);
+  EXPECT_NE(kv.find("payload_packets=999"), std::string::npos);
+  // One key per line, every line contains '='.
+  std::istringstream stream(kv);
+  std::string line;
+  int lines = 0;
+  while (std::getline(stream, line)) {
+    EXPECT_NE(line.find('='), std::string::npos);
+    ++lines;
+  }
+  EXPECT_GE(lines, 15);
+}
+
+TEST(Cli, ApplySweepParamCoversAllNames) {
+  ExperimentConfig c;
+  std::string error;
+  EXPECT_TRUE(apply_sweep_param(c, "pi", 0.3, error));
+  EXPECT_DOUBLE_EQ(c.strategy.pi, 0.3);
+  EXPECT_TRUE(apply_sweep_param(c, "u", 4, error));
+  EXPECT_EQ(c.strategy.u, 4u);
+  EXPECT_TRUE(apply_sweep_param(c, "rho", 12.5, error));
+  EXPECT_DOUBLE_EQ(c.strategy.rho, 12.5);
+  EXPECT_TRUE(apply_sweep_param(c, "best", 0.1, error));
+  EXPECT_TRUE(apply_sweep_param(c, "noise", 0.4, error));
+  EXPECT_TRUE(apply_sweep_param(c, "t0-ms", 50, error));
+  EXPECT_EQ(c.strategy.t0, 50 * kMillisecond);
+  EXPECT_TRUE(apply_sweep_param(c, "loss", 0.01, error));
+  EXPECT_TRUE(apply_sweep_param(c, "kill", 0.2, error));
+  EXPECT_EQ(c.kill_mode, KillMode::random);  // auto-defaulted
+  EXPECT_TRUE(apply_sweep_param(c, "churn", 1.0, error));
+  EXPECT_TRUE(apply_sweep_param(c, "batch-ms", 25, error));
+  EXPECT_EQ(c.ihave_batch_window, 25 * kMillisecond);
+  EXPECT_TRUE(apply_sweep_param(c, "interval-ms", 200, error));
+  EXPECT_TRUE(apply_sweep_param(c, "period-ms", 300, error));
+  EXPECT_TRUE(apply_sweep_param(c, "fanout", 7, error));
+  EXPECT_EQ(c.gossip.fanout, 7u);
+  EXPECT_TRUE(apply_sweep_param(c, "nodes", 64, error));
+  EXPECT_TRUE(apply_sweep_param(c, "messages", 99, error));
+  EXPECT_TRUE(apply_sweep_param(c, "seed", 5, error));
+  EXPECT_FALSE(apply_sweep_param(c, "flux-capacitor", 1.21, error));
+  EXPECT_NE(error.find("flux-capacitor"), std::string::npos);
+}
+
+TEST(Cli, ParseValueList) {
+  std::string error;
+  const auto ok = parse_value_list("0,0.5,1e2,-3", error);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, (std::vector<double>{0, 0.5, 100, -3}));
+  EXPECT_FALSE(parse_value_list("1,two,3", error));
+  EXPECT_FALSE(parse_value_list("", error));
+}
+
+TEST(Cli, EndToEndSmallRun) {
+  const auto options =
+      parse({"--nodes", "25", "--messages", "20", "--strategy", "ttl", "--u",
+             "2", "--seed", "1"});
+  ASSERT_TRUE(options);
+  ExperimentConfig c = options->config;
+  c.warmup = 10 * kSecond;
+  c.topology.num_underlay_vertices = 400;
+  c.topology.num_transit_domains = 3;
+  c.topology.transit_per_domain = 6;
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_DOUBLE_EQ(r.mean_delivery_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace esm::harness

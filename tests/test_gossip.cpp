@@ -1,0 +1,233 @@
+#include "core/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/strategies.hpp"
+#include "net/transport.hpp"
+#include "overlay/cyclon.hpp"
+#include "wire/codec.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::core {
+namespace {
+
+/// Gossip swarm over the oracle sampler (isolates gossip from membership).
+struct Swarm {
+  sim::Simulator sim;
+  net::ConstantLatencyModel latency{10 * kMillisecond};
+  net::Transport transport;
+  std::vector<std::unique_ptr<overlay::FullMembershipSampler>> samplers;
+  std::vector<std::unique_ptr<FlatStrategy>> strategies;
+  std::vector<std::unique_ptr<PayloadScheduler>> schedulers;
+  std::vector<std::unique_ptr<GossipNode>> gossips;
+  std::vector<std::vector<AppMessage>> delivered;
+
+  Swarm(std::uint32_t n, GossipParams params, double pi)
+      : transport(sim, latency, n, {}, Rng(17)), delivered(n) {
+    RequestPolicy policy;
+    policy.retransmission_period = 400 * kMillisecond;
+    for (NodeId id = 0; id < n; ++id) {
+      samplers.push_back(std::make_unique<overlay::FullMembershipSampler>(
+          transport, id, Rng(300 + id)));
+      strategies.push_back(
+          std::make_unique<FlatStrategy>(pi, policy, Rng(400 + id)));
+      schedulers.push_back(std::make_unique<PayloadScheduler>(
+          sim, transport, id, *strategies[id],
+          [this, id](const AppMessage& msg, Round r, NodeId src) {
+            gossips[id]->l_receive(msg, r, src);
+          }));
+    }
+    for (NodeId id = 0; id < n; ++id) {
+      gossips.push_back(std::make_unique<GossipNode>(
+          id, params, *samplers[id], *schedulers[id],
+          [this, id](const AppMessage& msg) { delivered[id].push_back(msg); },
+          Rng(500 + id)));
+      transport.register_handler(id, [this, id](NodeId src,
+                                                const net::PacketPtr& p) {
+        schedulers[id]->handle_packet(src, p);
+      });
+    }
+  }
+};
+
+TEST(Gossip, EagerAtomicDelivery) {
+  Swarm swarm(30, GossipParams{5, 6}, /*pi=*/1.0);
+  swarm.gossips[0]->multicast(256, 0, 0);
+  swarm.sim.run();
+  for (NodeId id = 0; id < 30; ++id) {
+    ASSERT_EQ(swarm.delivered[id].size(), 1u) << "node " << id;
+  }
+}
+
+TEST(Gossip, LazyAtomicDelivery) {
+  Swarm swarm(30, GossipParams{5, 6}, /*pi=*/0.0);
+  swarm.gossips[0]->multicast(256, 0, 0);
+  swarm.sim.run();
+  for (NodeId id = 0; id < 30; ++id) {
+    ASSERT_EQ(swarm.delivered[id].size(), 1u) << "node " << id;
+  }
+}
+
+TEST(Gossip, NeverDeliversTwice) {
+  Swarm swarm(20, GossipParams{8, 8}, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    swarm.gossips[static_cast<NodeId>(i % 20)]->multicast(
+        100, static_cast<std::uint32_t>(i), swarm.sim.now());
+    swarm.sim.run();
+  }
+  for (NodeId id = 0; id < 20; ++id) {
+    std::set<std::uint32_t> seqs;
+    for (const AppMessage& m : swarm.delivered[id]) {
+      EXPECT_TRUE(seqs.insert(m.seq).second)
+          << "node " << id << " delivered seq " << m.seq << " twice";
+    }
+  }
+}
+
+TEST(Gossip, OriginDeliversImmediately) {
+  Swarm swarm(10, GossipParams{3, 4}, 1.0);
+  const AppMessage m = swarm.gossips[4]->multicast(64, 9, 1234);
+  EXPECT_EQ(m.origin, 4u);
+  EXPECT_EQ(m.seq, 9u);
+  EXPECT_EQ(m.multicast_time, 1234);
+  ASSERT_EQ(swarm.delivered[4].size(), 1u);
+  EXPECT_EQ(swarm.delivered[4][0].id, m.id);
+}
+
+TEST(Gossip, MaxRoundsBoundsSpread) {
+  // t = 1: only the origin relays; exactly fanout nodes (plus the origin)
+  // can deliver.
+  Swarm swarm(40, GossipParams{/*fanout=*/4, /*max_rounds=*/1}, 1.0);
+  swarm.gossips[0]->multicast(64, 0, 0);
+  swarm.sim.run();
+  std::size_t total = 0;
+  for (const auto& d : swarm.delivered) total += d.size();
+  EXPECT_EQ(total, 5u);  // origin + 4 relay targets
+}
+
+TEST(Gossip, FanoutControlsSendCount) {
+  Swarm swarm(40, GossipParams{/*fanout=*/7, /*max_rounds=*/1}, 1.0);
+  swarm.gossips[0]->multicast(64, 0, 0);
+  swarm.sim.run();
+  EXPECT_EQ(swarm.transport.stats().total_payload_packets(), 7u);
+}
+
+TEST(Gossip, KnownSetGrowsAndGarbageCollects) {
+  Swarm swarm(10, GossipParams{3, 3}, 1.0);
+  const AppMessage a = swarm.gossips[0]->multicast(10, 0, 0);
+  swarm.sim.run();
+  const AppMessage b = swarm.gossips[0]->multicast(10, 1, swarm.sim.now());
+  swarm.sim.run();
+  EXPECT_EQ(swarm.gossips[0]->known_count(), 2u);
+  EXPECT_TRUE(swarm.gossips[0]->knows(a.id));
+  swarm.gossips[0]->garbage_collect({a.id});
+  EXPECT_EQ(swarm.gossips[0]->known_count(), 1u);
+  EXPECT_FALSE(swarm.gossips[0]->knows(a.id));
+  EXPECT_TRUE(swarm.gossips[0]->knows(b.id));
+}
+
+TEST(Gossip, DistinctMessageIds) {
+  Swarm swarm(5, GossipParams{2, 2}, 1.0);
+  std::set<std::string> ids;
+  for (int i = 0; i < 100; ++i) {
+    const AppMessage m = swarm.gossips[0]->multicast(
+        8, static_cast<std::uint32_t>(i), swarm.sim.now());
+    EXPECT_TRUE(ids.insert(to_string(m.id)).second);
+    swarm.sim.run();
+  }
+}
+
+TEST(Gossip, RejectsDegenerateParams) {
+  Swarm swarm(5, GossipParams{2, 2}, 1.0);
+  EXPECT_THROW(GossipNode(0, GossipParams{0, 2}, *swarm.samplers[0],
+                          *swarm.schedulers[0], [](const AppMessage&) {},
+                          Rng(1)),
+               CheckFailure);
+  EXPECT_THROW(GossipNode(0, GossipParams{2, 0}, *swarm.samplers[0],
+                          *swarm.schedulers[0], [](const AppMessage&) {},
+                          Rng(1)),
+               CheckFailure);
+}
+
+TEST(Gossip, MixedEagerLazyStillAtomic) {
+  Swarm swarm(30, GossipParams{7, 7}, /*pi=*/0.5);
+  for (int i = 0; i < 5; ++i) {
+    swarm.gossips[static_cast<NodeId>(i)]->multicast(
+        128, static_cast<std::uint32_t>(i), swarm.sim.now());
+    swarm.sim.run();
+  }
+  for (NodeId id = 0; id < 30; ++id) {
+    EXPECT_EQ(swarm.delivered[id].size(), 5u) << "node " << id;
+  }
+}
+
+TEST(Gossip, RealPayloadContentTravelsEndToEnd) {
+  // Attach actual bytes and route every packet through the wire codec:
+  // each delivery must carry an identical copy of the content.
+  sim::Simulator sim;
+  net::ConstantLatencyModel latency(10 * kMillisecond);
+  const wire::WireCodec codec;
+  net::TransportOptions opts;
+  opts.codec = &codec;
+  net::Transport transport(sim, latency, 12, opts, Rng(9));
+
+  RequestPolicy policy;
+  std::vector<std::unique_ptr<overlay::FullMembershipSampler>> samplers;
+  std::vector<std::unique_ptr<FlatStrategy>> strategies;
+  std::vector<std::unique_ptr<PayloadScheduler>> schedulers;
+  std::vector<std::unique_ptr<GossipNode>> gossips;
+  std::vector<std::vector<AppMessage>> delivered(12);
+  for (NodeId id = 0; id < 12; ++id) {
+    samplers.push_back(std::make_unique<overlay::FullMembershipSampler>(
+        transport, id, Rng(40 + id)));
+    // Mix of eager and lazy so both MSG paths carry content.
+    strategies.push_back(
+        std::make_unique<FlatStrategy>(0.5, policy, Rng(50 + id)));
+    schedulers.push_back(std::make_unique<PayloadScheduler>(
+        sim, transport, id, *strategies[id],
+        [&gossips, id](const AppMessage& m, Round r, NodeId src) {
+          gossips[id]->l_receive(m, r, src);
+        }));
+  }
+  for (NodeId id = 0; id < 12; ++id) {
+    gossips.push_back(std::make_unique<GossipNode>(
+        id, GossipParams{4, 5}, *samplers[id], *schedulers[id],
+        [&delivered, id](const AppMessage& m) { delivered[id].push_back(m); },
+        Rng(60 + id)));
+    transport.register_handler(id, [&schedulers, id](NodeId src,
+                                                     const net::PacketPtr& p) {
+      schedulers[id]->handle_packet(src, p);
+    });
+  }
+
+  const std::vector<std::uint8_t> content{'h', 'e', 'l', 'l', 'o', 0x01,
+                                          0xFF, 0x80, 0x00, 0x42};
+  // Note the embedded 0x00: content survives even with zero bytes inside.
+  gossips[0]->multicast(content, 0, 0);
+  sim.run();
+  for (NodeId id = 0; id < 12; ++id) {
+    ASSERT_EQ(delivered[id].size(), 1u) << "node " << id;
+    const AppMessage& m = delivered[id][0];
+    EXPECT_EQ(m.payload_bytes, content.size());
+    ASSERT_NE(m.data, nullptr) << "node " << id;
+    EXPECT_EQ(*m.data, content) << "node " << id;
+  }
+}
+
+TEST(Gossip, LazyUsesOnePayloadPerDelivery) {
+  Swarm swarm(25, GossipParams{5, 6}, /*pi=*/0.0);
+  swarm.gossips[0]->multicast(256, 0, 0);
+  swarm.sim.run();
+  // 24 receivers, each pulls the payload exactly once; no duplicates.
+  EXPECT_EQ(swarm.transport.stats().total_payload_packets(), 24u);
+  std::uint64_t dups = 0;
+  for (const auto& s : swarm.schedulers) dups += s->stats().duplicate_payloads;
+  EXPECT_EQ(dups, 0u);
+}
+
+}  // namespace
+}  // namespace esm::core

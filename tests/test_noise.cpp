@@ -1,0 +1,117 @@
+#include "core/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/strategies.hpp"
+
+namespace esm::core {
+namespace {
+
+const MsgId kId{3, 4};
+
+/// Deterministic inner strategy: eager iff peer is even.
+class EvenPeerStrategy final : public TransmissionStrategy {
+ public:
+  bool eager(const MsgId&, Round, NodeId peer) override {
+    return peer % 2 == 0;
+  }
+  RequestPolicy request_policy() const override {
+    RequestPolicy p;
+    p.first_request_delay = 11;
+    p.retransmission_period = 22;
+    return p;
+  }
+  std::size_t pick_source(const std::vector<NodeId>& sources) override {
+    return sources.size() - 1;  // last, to make passthrough observable
+  }
+};
+
+TEST(NoisyStrategy, ZeroNoiseIsIdentity) {
+  NoisyStrategy s(std::make_unique<EvenPeerStrategy>(), 0.0, Rng(1));
+  for (NodeId peer = 0; peer < 100; ++peer) {
+    EXPECT_EQ(s.eager(kId, 1, peer), peer % 2 == 0);
+  }
+}
+
+TEST(NoisyStrategy, FullNoiseErasesStructure) {
+  NoisyStrategy s(std::make_unique<EvenPeerStrategy>(), 1.0, Rng(2));
+  // With o=1, v' = c regardless of the raw answer: even and odd peers get
+  // statistically identical treatment.
+  int even_eager = 0, odd_eager = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    if (s.eager(kId, 1, 0)) ++even_eager;
+    if (s.eager(kId, 1, 1)) ++odd_eager;
+  }
+  EXPECT_NEAR(even_eager, odd_eager, 0.05 * kN);
+}
+
+TEST(NoisyStrategy, PreservesOverallEagerRate) {
+  // The §4.3 construction must keep the total amount of eager traffic
+  // unchanged at every noise level.
+  for (const double noise : {0.2, 0.5, 0.8, 1.0}) {
+    NoisyStrategy s(std::make_unique<EvenPeerStrategy>(), noise, Rng(42));
+    int eager = 0;
+    constexpr int kN = 60000;
+    for (int i = 0; i < kN; ++i) {
+      // Alternate peers: raw rate is exactly 0.5.
+      if (s.eager(kId, 1, static_cast<NodeId>(i % 2))) ++eager;
+    }
+    EXPECT_NEAR(static_cast<double>(eager) / kN, 0.5, 0.015)
+        << "noise=" << noise;
+  }
+}
+
+TEST(NoisyStrategy, PartialNoiseBlursButKeepsBias) {
+  NoisyStrategy s(std::make_unique<EvenPeerStrategy>(), 0.5, Rng(3));
+  int even_eager = 0, odd_eager = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    if (s.eager(kId, 1, 0)) ++even_eager;
+    if (s.eager(kId, 1, 1)) ++odd_eager;
+  }
+  // v'(even) = 0.5 + 0.5*0.5 = 0.75; v'(odd) = 0.25.
+  EXPECT_NEAR(static_cast<double>(even_eager) / kN, 0.75, 0.02);
+  EXPECT_NEAR(static_cast<double>(odd_eager) / kN, 0.25, 0.02);
+}
+
+TEST(NoisyStrategy, EstimatesInnerRate) {
+  NoisyStrategy s(std::make_unique<EvenPeerStrategy>(), 0.7, Rng(4));
+  for (int i = 0; i < 3000; ++i) {
+    s.eager(kId, 1, static_cast<NodeId>(i % 4));  // raw rate 0.5
+  }
+  EXPECT_NEAR(s.eager_rate_estimate(), 0.5, 0.03);
+}
+
+TEST(NoisyStrategy, PassesThroughPolicyAndSourceSelection) {
+  NoisyStrategy s(std::make_unique<EvenPeerStrategy>(), 0.3, Rng(5));
+  EXPECT_EQ(s.request_policy().first_request_delay, 11);
+  EXPECT_EQ(s.request_policy().retransmission_period, 22);
+  EXPECT_EQ(s.pick_source({1, 2, 3}), 2u);
+}
+
+TEST(NoisyStrategy, RejectsBadArguments) {
+  EXPECT_THROW(NoisyStrategy(nullptr, 0.5, Rng(1)), CheckFailure);
+  EXPECT_THROW(
+      NoisyStrategy(std::make_unique<EvenPeerStrategy>(), -0.1, Rng(1)),
+      CheckFailure);
+  EXPECT_THROW(
+      NoisyStrategy(std::make_unique<EvenPeerStrategy>(), 1.1, Rng(1)),
+      CheckFailure);
+}
+
+TEST(NoisyStrategy, WrapsFlatConsistently) {
+  // Wrapping Flat(pi) in any amount of noise is still Flat(pi).
+  NoisyStrategy s(
+      std::make_unique<FlatStrategy>(0.3, RequestPolicy{}, Rng(6)), 1.0,
+      Rng(7));
+  int eager = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) eager += s.eager(kId, 1, 0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(eager) / kN, 0.3, 0.015);
+}
+
+}  // namespace
+}  // namespace esm::core

@@ -1,0 +1,214 @@
+// Property-style invariants checked across a parameterized sweep of seeds
+// and strategies. These encode what must hold for *any* transmission
+// strategy (the paper's core safety claim: strategies affect only the
+// latency/bandwidth tradeoff, never correctness).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.hpp"
+
+namespace esm::harness {
+namespace {
+
+ExperimentConfig small_config(std::uint64_t seed) {
+  ExperimentConfig c;
+  c.seed = seed;
+  c.num_nodes = 35;
+  c.num_messages = 50;
+  c.warmup = 12 * kSecond;
+  c.topology.num_underlay_vertices = 500;
+  c.topology.num_transit_domains = 3;
+  c.topology.transit_per_domain = 6;
+  return c;
+}
+
+StrategySpec spec_by_name(const std::string& name) {
+  if (name == "eager") return StrategySpec::make_flat(1.0);
+  if (name == "lazy") return StrategySpec::make_flat(0.0);
+  if (name == "flat-half") return StrategySpec::make_flat(0.5);
+  if (name == "ttl") return StrategySpec::make_ttl(2);
+  if (name == "radius") return StrategySpec::make_radius(20.0);
+  if (name == "ranked") return StrategySpec::make_ranked(0.2);
+  if (name == "hybrid") return StrategySpec::make_hybrid(15.0, 3, 0.2);
+  StrategySpec noisy = StrategySpec::make_ranked(0.2);
+  noisy.noise = 0.5;
+  return noisy;  // "ranked-noisy"
+}
+
+using Param = std::tuple<std::uint64_t, std::string>;
+
+class StrategyInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(StrategyInvariants, DeterministicGivenSeed) {
+  const auto& [seed, name] = GetParam();
+  ExperimentConfig c = small_config(seed);
+  c.strategy = spec_by_name(name);
+  c.num_messages = 25;  // determinism needs no statistics
+  const ExperimentResult a = run_experiment(c);
+  const ExperimentResult b = run_experiment(c);
+  EXPECT_EQ(a.events_executed, b.events_executed) << name;
+  EXPECT_EQ(a.payload_packets, b.payload_packets);
+  EXPECT_EQ(a.control_packets, b.control_packets);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.payload_tx_per_message, b.payload_tx_per_message);
+}
+
+TEST_P(StrategyInvariants, SafetyHoldsForAnyStrategy) {
+  const auto& [seed, name] = GetParam();
+  ExperimentConfig c = small_config(seed);
+  c.strategy = spec_by_name(name);
+  const ExperimentResult r = run_experiment(c);
+
+  // (1) No loss, no failures => every live node delivers every message.
+  //     (run_experiment internally also asserts no duplicate deliveries.)
+  EXPECT_DOUBLE_EQ(r.mean_delivery_fraction, 1.0)
+      << name << " seed=" << seed;
+  EXPECT_DOUBLE_EQ(r.atomic_delivery_fraction, 1.0);
+
+  // (2) Payload economy is bounded by the pure-lazy and pure-eager
+  //     extremes: at least ~1 payload per delivery (minus the origin's
+  //     free copy), at most the fanout.
+  EXPECT_GT(r.payload_per_delivery, 0.9);
+  EXPECT_LT(r.payload_per_delivery, 11.5);
+  EXPECT_LE(r.load_all.payload_per_msg, 11.5);
+
+  // (3) Latency is physically plausible: above the minimum one-way link
+  //     latency and below the retransmission-dominated ceiling.
+  EXPECT_GT(r.p50_latency_ms, 1.0);
+  EXPECT_LT(r.mean_latency_ms, 2000.0);
+  EXPECT_LE(r.p50_latency_ms, r.p95_latency_ms);
+
+  // (4) Structure measure is a valid share.
+  EXPECT_GE(r.top5_connection_share, 0.0);
+  EXPECT_LE(r.top5_connection_share, 1.0);
+
+  // (5) Traffic accounting is consistent.
+  EXPECT_GT(r.payload_packets, 0u);
+  EXPECT_GT(r.total_bytes, 0u);
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(r.live_nodes, 35u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStrategies, StrategyInvariants,
+    ::testing::Combine(::testing::Values(1ULL, 2ULL, 3ULL),
+                       ::testing::Values("eager", "lazy", "flat-half", "ttl",
+                                         "radius", "ranked", "hybrid",
+                                         "ranked-noisy")),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<1>(info.param) + "Seed" +
+                         std::to_string(std::get<0>(info.param));
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+// Correctness must also be independent of the membership substrate: the
+// scheduler sees only PeerSample(f) (§3.1).
+using OverlayParam = std::tuple<std::string, std::string>;
+
+class OverlayIndependence : public ::testing::TestWithParam<OverlayParam> {};
+
+TEST_P(OverlayIndependence, DeliveryHoldsOnEverySubstrate) {
+  const auto& [overlay, strategy] = GetParam();
+  ExperimentConfig c = small_config(23);
+  c.strategy = spec_by_name(strategy);
+  if (overlay == "cyclon") {
+    c.overlay_kind = OverlayKind::cyclon;
+  } else if (overlay == "static") {
+    c.overlay_kind = OverlayKind::static_random;
+  } else if (overlay == "hyparview") {
+    c.overlay_kind = OverlayKind::hyparview;
+    // HyParView active views are small: cover them fully.
+    c.overlay.view_size = 8;
+    c.gossip.fanout = 11;
+    c.warmup = 20 * kSecond;  // staggered joins need time
+  } else {
+    c.overlay_kind = OverlayKind::oracle;
+  }
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_GT(r.mean_delivery_fraction, 0.999)
+      << overlay << "/" << strategy;
+  EXPECT_GT(r.payload_per_delivery, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Substrates, OverlayIndependence,
+    ::testing::Combine(::testing::Values("cyclon", "static", "hyparview",
+                                         "oracle"),
+                       ::testing::Values("eager", "lazy", "ttl")),
+    [](const ::testing::TestParamInfo<OverlayParam>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+class LossResilience : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossResilience, LazyGossipRecoversFromOmissions) {
+  ExperimentConfig c = small_config(7);
+  c.strategy = StrategySpec::make_flat(0.0);
+  c.loss_rate = GetParam();
+  const ExperimentResult r = run_experiment(c);
+  // The paper (§2.1): lazy push widens the vulnerability window but "the
+  // impact is small for realistic omission rates".
+  EXPECT_GT(r.mean_delivery_fraction, 0.97) << "loss=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(OmissionRates, LossResilience,
+                         ::testing::Values(0.005, 0.01, 0.02, 0.05));
+
+class FailureResilience : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureResilience, EagerGossipToleratesDeadNodes) {
+  ExperimentConfig c = small_config(11);
+  c.strategy = StrategySpec::make_flat(1.0);
+  c.kill_fraction = GetParam();
+  c.kill_mode = KillMode::random;
+  const ExperimentResult r = run_experiment(c);
+  // Below the epidemic threshold the protocol keeps delivering to the
+  // overwhelming majority of live nodes (Fig. 5(b) plateau).
+  EXPECT_GT(r.mean_delivery_fraction, 0.90) << "kill=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(KillFractions, FailureResilience,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5));
+
+class NoiseLevels : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseLevels, NoisePreservesTrafficVolume) {
+  ExperimentConfig c = small_config(13);
+  c.strategy = StrategySpec::make_ranked(0.2);
+  const double clean_load = run_experiment(c).load_all.payload_per_msg;
+  c.strategy.noise = GetParam();
+  const ExperimentResult noisy = run_experiment(c);
+  // §4.3: "the same amount of eager transmissions although scheduled in
+  // different occasions" — and reliability must be untouched.
+  EXPECT_NEAR(noisy.load_all.payload_per_msg, clean_load, 0.30 * clean_load)
+      << "noise=" << GetParam();
+  EXPECT_DOUBLE_EQ(noisy.mean_delivery_fraction, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSweep, NoiseLevels,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+class FanoutSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FanoutSweep, EagerPayloadEqualsFanout) {
+  ExperimentConfig c = small_config(17);
+  c.strategy = StrategySpec::make_flat(1.0);
+  c.gossip.fanout = GetParam();
+  c.num_messages = 30;
+  const ExperimentResult r = run_experiment(c);
+  // Each delivering node relays the payload exactly `fanout` times.
+  EXPECT_NEAR(r.load_all.payload_per_msg, static_cast<double>(GetParam()),
+              0.2);
+  // Atomicity holds with high probability, not certainty (§1): allow the
+  // occasional message that misses a node at small fanouts.
+  EXPECT_GT(r.mean_delivery_fraction, 0.995);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutSweep,
+                         ::testing::Values(6u, 8u, 11u, 14u));
+
+}  // namespace
+}  // namespace esm::harness

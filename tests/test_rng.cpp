@@ -1,0 +1,188 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace esm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng parent(99);
+  Rng c1 = parent.split(7);
+  Rng c2 = parent.split(7);
+  Rng c3 = parent.split(8);
+  EXPECT_EQ(c1(), c2());
+  // Different labels should diverge immediately with high probability.
+  Rng c1b = parent.split(7);
+  EXPECT_NE(c1b(), c3());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(5), b(5);
+  (void)a.split(1);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 0.05 * kDraws / kBuckets);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), CheckFailure);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(42);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(42);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(42);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, SampleReturnsDistinctSubset) {
+  Rng rng(42);
+  const std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picked = rng.sample(items, 4);
+    ASSERT_EQ(picked.size(), 4u);
+    std::set<int> uniq(picked.begin(), picked.end());
+    EXPECT_EQ(uniq.size(), 4u);
+    for (const int p : picked) {
+      EXPECT_TRUE(std::find(items.begin(), items.end(), p) != items.end());
+    }
+  }
+}
+
+TEST(Rng, SampleMoreThanAvailableReturnsAll) {
+  Rng rng(42);
+  const std::vector<int> items{1, 2, 3};
+  const auto picked = rng.sample(items, 10);
+  EXPECT_EQ(picked.size(), 3u);
+  std::set<int> uniq(picked.begin(), picked.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(Rng, SampleIsUnbiased) {
+  Rng rng(42);
+  std::vector<int> items{0, 1, 2, 3, 4};
+  int first_count[5] = {};
+  for (int trial = 0; trial < 50000; ++trial) {
+    ++first_count[rng.sample(items, 1)[0]];
+  }
+  for (const int c : first_count) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, MsgIdsAreUnique) {
+  Rng rng(42);
+  std::unordered_set<MsgId, MsgIdHash> seen;
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(rng.next_msg_id()).second);
+  }
+}
+
+TEST(MsgId, ToStringIsStableHex) {
+  const MsgId id{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(to_string(id), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(to_string(MsgId{}), std::string(32, '0'));
+}
+
+TEST(MsgId, HashDistinguishes) {
+  MsgIdHash h;
+  EXPECT_NE(h(MsgId{1, 0}), h(MsgId{0, 1}));
+}
+
+}  // namespace
+}  // namespace esm

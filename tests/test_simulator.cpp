@@ -1,0 +1,249 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace esm::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), CheckFailure);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), CheckFailure);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(h));
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.pending(h));
+  EXPECT_FALSE(sim.cancel(h));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  const EventHandle h = sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(45);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(sim.now(), 45);
+  sim.run_until(100);
+  EXPECT_EQ(fired.size(), 10u);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(50, [&] { fired = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesEvenWithEmptyQueue) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+  EXPECT_THROW(sim.run_until(500), CheckFailure);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  const EventHandle h = sim.schedule_at(9, [] {});
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, RandomizedModelCheck) {
+  // Property test against a reference model: a random interleaving of
+  // schedule/cancel operations must fire exactly the non-cancelled events,
+  // in (time, insertion) order.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Simulator sim;
+    struct Expected {
+      SimTime time;
+      std::uint64_t seq;
+      int tag;
+    };
+    std::vector<Expected> model;
+    std::vector<int> fired;
+    std::vector<EventHandle> handles;
+    std::vector<std::size_t> model_index;
+    std::uint64_t seq = 0;
+
+    for (int op = 0; op < 300; ++op) {
+      if (!handles.empty() && rng.chance(0.25)) {
+        // Cancel a random still-tracked event.
+        const std::size_t pick = rng.below(handles.size());
+        if (sim.cancel(handles[pick])) {
+          model[model_index[pick]].tag = -1;  // tombstone
+        }
+        handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(pick));
+        model_index.erase(model_index.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+        continue;
+      }
+      const SimTime t = rng.range(0, 1000);
+      const int tag = op;
+      handles.push_back(sim.schedule_at(t, [&fired, tag] {
+        fired.push_back(tag);
+      }));
+      model_index.push_back(model.size());
+      model.push_back(Expected{t, seq++, tag});
+    }
+    sim.run();
+
+    std::vector<Expected> alive;
+    for (const Expected& e : model) {
+      if (e.tag >= 0) alive.push_back(e);
+    }
+    std::sort(alive.begin(), alive.end(), [](const auto& a, const auto& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
+    });
+    ASSERT_EQ(fired.size(), alive.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      EXPECT_EQ(fired[i], alive[i].tag) << "seed " << seed << " pos " << i;
+    }
+  }
+}
+
+TEST(PeriodicTimer, FiresAtFixedIntervals) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(sim, [&] { ticks.push_back(sim.now()); });
+  timer.start(5, 10);
+  sim.run_until(45);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{5, 15, 25, 35, 45}));
+}
+
+TEST(PeriodicTimer, StopHaltsTicks) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, [&] { ++count; });
+  timer.start(0, 10);
+  sim.run_until(25);
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  sim.run_until(100);
+  EXPECT_EQ(count, 3);  // t = 0, 10, 20
+}
+
+TEST(PeriodicTimer, TickMayStopItself) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, [&] {
+    if (++count == 2) timer.stop();
+  });
+  timer.start(0, 10);
+  sim.run_until(200);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimer, RestartResetsSchedule) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(sim, [&] { ticks.push_back(sim.now()); });
+  timer.start(100, 100);
+  sim.run_until(50);
+  timer.start(25, 100);  // re-start before first tick
+  sim.run_until(200);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{75, 175}));
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTimer timer(sim, [&] { ++count; });
+    timer.start(10, 10);
+  }
+  sim.run_until(100);
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace esm::sim

@@ -1,0 +1,162 @@
+#include "core/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/latency_model.hpp"
+
+namespace esm::core {
+namespace {
+
+const MsgId kId{1, 2};
+
+RequestPolicy policy_of(SimTime first, SimTime period) {
+  RequestPolicy p;
+  p.first_request_delay = first;
+  p.retransmission_period = period;
+  return p;
+}
+
+TEST(FlatStrategy, ExtremesAreDeterministic) {
+  FlatStrategy eager(1.0, {}, Rng(1));
+  FlatStrategy lazy(0.0, {}, Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(eager.eager(kId, 1, 0));
+    EXPECT_FALSE(lazy.eager(kId, 1, 0));
+  }
+}
+
+TEST(FlatStrategy, MatchesProbability) {
+  FlatStrategy s(0.35, {}, Rng(3));
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hits += s.eager(kId, 1, 0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.35, 0.01);
+}
+
+TEST(FlatStrategy, RejectsBadProbability) {
+  EXPECT_THROW(FlatStrategy(-0.1, {}, Rng(1)), CheckFailure);
+  EXPECT_THROW(FlatStrategy(1.1, {}, Rng(1)), CheckFailure);
+}
+
+TEST(FlatStrategy, PolicyPassthrough) {
+  FlatStrategy s(0.5, policy_of(7, 9), Rng(1));
+  EXPECT_EQ(s.request_policy().first_request_delay, 7);
+  EXPECT_EQ(s.request_policy().retransmission_period, 9);
+}
+
+TEST(TtlStrategy, EagerExactlyBelowU) {
+  TtlStrategy s(3, {});
+  EXPECT_TRUE(s.eager(kId, 1, 0));
+  EXPECT_TRUE(s.eager(kId, 2, 0));
+  EXPECT_FALSE(s.eager(kId, 3, 0));
+  EXPECT_FALSE(s.eager(kId, 8, 0));
+}
+
+TEST(TtlStrategy, UZeroIsPureLazy) {
+  TtlStrategy s(0, {});
+  for (Round r = 1; r <= 10; ++r) EXPECT_FALSE(s.eager(kId, r, 0));
+}
+
+TEST(TtlStrategy, ULargerThanMaxRoundsIsPureEager) {
+  TtlStrategy s(100, {});
+  for (Round r = 1; r <= 10; ++r) EXPECT_TRUE(s.eager(kId, r, 0));
+}
+
+TEST(RadiusStrategy, ThresholdsOnMetric) {
+  // Pairwise latencies: 0<->1 is near, 0<->2 is far.
+  net::RandomLatencyModel latency(3, 10 * kMillisecond, 10 * kMillisecond, 1);
+  OracleLatencyMonitor near_monitor(latency);
+  RadiusStrategy s(0, near_monitor, 15.0, {});
+  EXPECT_TRUE(s.eager(kId, 1, 1));   // 10 ms < 15 ms
+  RadiusStrategy tight(0, near_monitor, 5.0, {});
+  EXPECT_FALSE(tight.eager(kId, 1, 1));  // 10 ms >= 5 ms
+}
+
+TEST(RadiusStrategy, PicksNearestSource) {
+  net::ConstantLatencyModel base(1);
+  struct FakeMonitor final : PerformanceMonitor {
+    double metric(NodeId, NodeId peer) const override {
+      return peer == 2 ? 1.0 : 50.0;
+    }
+  } monitor;
+  RadiusStrategy s(0, monitor, 10.0, {});
+  const std::vector<NodeId> sources{5, 2, 9};
+  EXPECT_EQ(s.pick_source(sources), 1u);
+}
+
+TEST(RankedStrategy, EagerWheneverABestNodeIsInvolved) {
+  StaticBestSet best({1, 2});
+  RankedStrategy regular(0, best, {});   // self not best
+  RankedStrategy hub(1, best, {});       // self best
+  EXPECT_TRUE(regular.eager(kId, 1, 1));   // peer best
+  EXPECT_TRUE(regular.eager(kId, 1, 2));   // peer best
+  EXPECT_FALSE(regular.eager(kId, 1, 3));  // neither best
+  EXPECT_TRUE(hub.eager(kId, 1, 3));       // self best
+  EXPECT_TRUE(hub.eager(kId, 1, 2));       // both best
+}
+
+TEST(StaticBestSet, MembershipQueries) {
+  StaticBestSet best({4, 7});
+  EXPECT_TRUE(best.is_best(4));
+  EXPECT_TRUE(best.is_best(7));
+  EXPECT_FALSE(best.is_best(0));
+  EXPECT_EQ(best.size(), 2u);
+}
+
+// Hybrid: eager iff best involved, or metric < 2*rho while round < u, or
+// metric < rho.
+struct MetricTable final : PerformanceMonitor {
+  double metric(NodeId, NodeId peer) const override {
+    switch (peer) {
+      case 1: return 5.0;    // inside rho
+      case 2: return 15.0;   // inside 2*rho only
+      default: return 100.0; // far
+    }
+  }
+};
+
+TEST(HybridStrategy, RadiusShrinksWithRound) {
+  StaticBestSet best({9});
+  MetricTable monitor;
+  HybridStrategy s(0, best, monitor, /*rho=*/10.0, /*u=*/3, {});
+  // Near peer: always eager.
+  EXPECT_TRUE(s.eager(kId, 1, 1));
+  EXPECT_TRUE(s.eager(kId, 8, 1));
+  // Mid-range peer: eager only in the early rounds (wide radius).
+  EXPECT_TRUE(s.eager(kId, 1, 2));
+  EXPECT_TRUE(s.eager(kId, 2, 2));
+  EXPECT_FALSE(s.eager(kId, 3, 2));
+  // Far peer: never eager unless best.
+  EXPECT_FALSE(s.eager(kId, 1, 3));
+  EXPECT_TRUE(s.eager(kId, 1, 9));  // best node involved
+}
+
+TEST(HybridStrategy, BestSelfAlwaysEager) {
+  StaticBestSet best({0});
+  MetricTable monitor;
+  HybridStrategy s(0, best, monitor, 10.0, 3, {});
+  EXPECT_TRUE(s.eager(kId, 8, 3));  // far peer, late round, but self is best
+}
+
+TEST(NearestSource, TieBreaksToFirst) {
+  struct Flat final : PerformanceMonitor {
+    double metric(NodeId, NodeId) const override { return 1.0; }
+  } monitor;
+  const std::vector<NodeId> sources{3, 4, 5};
+  EXPECT_EQ(nearest_source(0, monitor, sources), 0u);
+}
+
+TEST(NearestSource, EmptySourcesThrow) {
+  struct Flat final : PerformanceMonitor {
+    double metric(NodeId, NodeId) const override { return 1.0; }
+  } monitor;
+  EXPECT_THROW(nearest_source(0, monitor, {}), CheckFailure);
+}
+
+TEST(DefaultPickSource, ReturnsFirst) {
+  TtlStrategy s(1, {});
+  EXPECT_EQ(s.pick_source({7, 8, 9}), 0u);
+}
+
+}  // namespace
+}  // namespace esm::core

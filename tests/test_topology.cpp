@@ -1,0 +1,194 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/routing.hpp"
+
+namespace esm::net {
+namespace {
+
+TopologyParams small_params() {
+  TopologyParams p;
+  p.num_clients = 40;
+  p.num_underlay_vertices = 500;
+  p.num_transit_domains = 3;
+  p.transit_per_domain = 6;
+  return p;
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5, 7);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(g.neighbors(2)[0].length, 2.5);
+  EXPECT_EQ(g.neighbors(2)[0].fixed_latency, 7);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadVertices) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), CheckFailure);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), CheckFailure);
+  EXPECT_THROW(g.neighbors(9), CheckFailure);
+}
+
+TEST(Topology, VertexAccounting) {
+  const auto params = small_params();
+  const Topology topo = generate_topology(params, 1);
+  EXPECT_EQ(topo.graph.num_vertices(),
+            params.num_underlay_vertices + params.num_clients);
+  EXPECT_EQ(topo.client_leaf.size(), params.num_clients);
+  EXPECT_EQ(topo.client_vertex.size(), params.num_clients);
+
+  std::size_t transit = 0, stub = 0, leaf = 0;
+  for (const VertexKind k : topo.kind) {
+    switch (k) {
+      case VertexKind::transit: ++transit; break;
+      case VertexKind::stub: ++stub; break;
+      case VertexKind::client_leaf: ++leaf; break;
+    }
+  }
+  EXPECT_EQ(transit, params.num_transit_domains * params.transit_per_domain);
+  EXPECT_EQ(leaf, params.num_clients);
+  EXPECT_EQ(stub, params.num_underlay_vertices - transit);
+}
+
+TEST(Topology, ClientsOnDistinctStubVertices) {
+  const Topology topo = generate_topology(small_params(), 2);
+  std::set<VertexId> attach(topo.client_vertex.begin(),
+                            topo.client_vertex.end());
+  EXPECT_EQ(attach.size(), topo.client_vertex.size());
+  for (const VertexId v : topo.client_vertex) {
+    EXPECT_EQ(topo.kind[v], VertexKind::stub);
+  }
+}
+
+TEST(Topology, ClientLeavesHaveDegreeOneAccessLink) {
+  const auto params = small_params();
+  const Topology topo = generate_topology(params, 3);
+  for (std::size_t c = 0; c < params.num_clients; ++c) {
+    const auto& edges = topo.graph.neighbors(topo.client_leaf[c]);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0].to, topo.client_vertex[c]);
+    EXPECT_EQ(edges[0].fixed_latency, params.client_access_latency);
+  }
+}
+
+TEST(Topology, CoordinatesInUnitSquare) {
+  const Topology topo = generate_topology(small_params(), 4);
+  for (const Point& p : topo.coords) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(Topology, DeterministicGivenSeed) {
+  const Topology a = generate_topology(small_params(), 5);
+  const Topology b = generate_topology(small_params(), 5);
+  EXPECT_EQ(a.client_vertex, b.client_vertex);
+  EXPECT_DOUBLE_EQ(a.latency_scale, b.latency_scale);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+
+  const Topology c = generate_topology(small_params(), 6);
+  EXPECT_NE(a.client_vertex, c.client_vertex);
+}
+
+TEST(Topology, RejectsTooManyClients) {
+  TopologyParams p = small_params();
+  p.num_clients = p.num_underlay_vertices;  // more than stub count
+  EXPECT_THROW(generate_topology(p, 1), CheckFailure);
+}
+
+TEST(Topology, CalibrationHitsTargetMeanLatency) {
+  auto params = small_params();
+  params.target_mean_latency = 49'830;
+  const Topology topo = generate_topology(params, 7);
+  const ClientMetrics m = compute_client_metrics(topo);
+  EXPECT_NEAR(m.mean_latency_us(), 49'830.0, 0.02 * 49'830.0);
+}
+
+TEST(Topology, CalibrationWorksForOtherTargets) {
+  auto params = small_params();
+  params.target_mean_latency = 120'000;
+  const Topology topo = generate_topology(params, 8);
+  const ClientMetrics m = compute_client_metrics(topo);
+  EXPECT_NEAR(m.mean_latency_us(), 120'000.0, 0.02 * 120'000.0);
+}
+
+TEST(Routing, SymmetricAndPositive) {
+  const Topology topo = generate_topology(small_params(), 9);
+  const ClientMetrics m = compute_client_metrics(topo);
+  const auto n = m.num_clients();
+  for (NodeId a = 0; a < n; ++a) {
+    EXPECT_EQ(m.latency(a, a), 0);
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      EXPECT_GT(m.latency(a, b), 0);
+      EXPECT_EQ(m.latency(a, b), m.latency(b, a));
+      EXPECT_GE(m.hops(a, b), 2);  // at least two access links
+    }
+  }
+}
+
+TEST(Routing, TriangleInequalityOnShortestPaths) {
+  const Topology topo = generate_topology(small_params(), 10);
+  const ClientMetrics m = compute_client_metrics(topo);
+  // Client paths go through access links, so d(a,c) can exceed
+  // d(a,b)+d(b,c) by at most b's two access traversals; check the relaxed
+  // inequality that shortest paths guarantee on the underlay.
+  const SimTime access = 2 * topo.params.client_access_latency;
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      for (NodeId c = 0; c < 10; ++c) {
+        if (a == b || b == c || a == c) continue;
+        EXPECT_LE(m.latency(a, c), m.latency(a, b) + m.latency(b, c));
+      }
+    }
+  }
+  (void)access;
+}
+
+TEST(Routing, HopDistributionIsInternetLike) {
+  // The paper's model: mean hops ~5.5, most pairs within 5-6 hops.
+  TopologyParams params;  // full-size defaults
+  params.num_clients = 60;
+  const Topology topo = generate_topology(params, 11);
+  const ClientMetrics m = compute_client_metrics(topo);
+  EXPECT_GT(m.mean_hops(), 4.0);
+  EXPECT_LT(m.mean_hops(), 7.5);
+  // A majority of pairs near the mean.
+  EXPECT_GT(m.hop_fraction(4, 7), 0.6);
+}
+
+TEST(Routing, LatencyQuantilesAreOrdered) {
+  const Topology topo = generate_topology(small_params(), 12);
+  const ClientMetrics m = compute_client_metrics(topo);
+  const SimTime q25 = m.latency_quantile(0.25);
+  const SimTime q50 = m.latency_quantile(0.50);
+  const SimTime q75 = m.latency_quantile(0.75);
+  EXPECT_LE(q25, q50);
+  EXPECT_LE(q50, q75);
+  EXPECT_GT(q25, 0);
+}
+
+TEST(Routing, FractionHelpersAreConsistent) {
+  const Topology topo = generate_topology(small_params(), 13);
+  const ClientMetrics m = compute_client_metrics(topo);
+  EXPECT_DOUBLE_EQ(m.latency_fraction(0, kTimeInfinity - 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.hop_fraction(0, 1000), 1.0);
+  const double below = m.latency_fraction(0, m.latency_quantile(0.5));
+  EXPECT_GT(below, 0.45);
+  EXPECT_LT(below, 0.65);
+}
+
+}  // namespace
+}  // namespace esm::net

@@ -1,0 +1,120 @@
+#include "trace/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+
+namespace esm::trace {
+namespace {
+
+TEST(TraceLog, RecordsAndQueries) {
+  TraceLog log;
+  log.record_delivery({1000, 3, 0, 7, 950});
+  log.record_delivery({1100, 4, 0, 7, 1050});
+  log.record_payload({900, 0, 3, 7, true});
+  EXPECT_EQ(log.deliveries().size(), 2u);
+  EXPECT_EQ(log.payloads().size(), 1u);
+  EXPECT_EQ(log.deliveries_for(7), 2u);
+  EXPECT_EQ(log.payloads_for(7), 1u);
+  EXPECT_EQ(log.deliveries_for(8), 0u);
+}
+
+TEST(TraceLog, CsvRoundTrip) {
+  TraceLog log;
+  log.record_delivery({1000, 3, 2, 7, 950});
+  log.record_payload({900, 0, 3, 7, true});
+  log.record_payload({1200, 3, 5, 7, false});
+
+  std::ostringstream out;
+  log.write_csv(out);
+  std::istringstream in(out.str());
+  const TraceLog parsed = TraceLog::read_csv(in);
+
+  ASSERT_EQ(parsed.deliveries().size(), 1u);
+  EXPECT_EQ(parsed.deliveries()[0].time, 1000);
+  EXPECT_EQ(parsed.deliveries()[0].node, 3u);
+  EXPECT_EQ(parsed.deliveries()[0].origin, 2u);
+  EXPECT_EQ(parsed.deliveries()[0].seq, 7u);
+  EXPECT_EQ(parsed.deliveries()[0].latency, 950);
+  ASSERT_EQ(parsed.payloads().size(), 2u);
+  EXPECT_TRUE(parsed.payloads()[0].eager);
+  EXPECT_FALSE(parsed.payloads()[1].eager);
+  EXPECT_EQ(parsed.payloads()[1].dst, 5u);
+}
+
+TEST(TraceLog, RejectsMalformedCsv) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(TraceLog::read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("not,a,header\n");
+    EXPECT_THROW(TraceLog::read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("kind,time_us,node,peer,seq,latency_us,eager\nbogus,1,2,3,4,5,6\n");
+    EXPECT_THROW(TraceLog::read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("kind,time_us,node,peer,seq,latency_us,eager\ndelivery,1,2\n");
+    EXPECT_THROW(TraceLog::read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "kind,time_us,node,peer,seq,latency_us,eager\ndelivery,xx,2,3,4,5,\n");
+    EXPECT_THROW(TraceLog::read_csv(in), std::runtime_error);
+  }
+}
+
+TEST(TraceLog, HarnessTraceMatchesAggregates) {
+  harness::ExperimentConfig c;
+  c.seed = 21;
+  c.num_nodes = 30;
+  c.num_messages = 40;
+  c.warmup = 10 * kSecond;
+  c.topology.num_underlay_vertices = 400;
+  c.topology.num_transit_domains = 3;
+  c.topology.transit_per_domain = 6;
+  c.strategy = harness::StrategySpec::make_ttl(2);
+  c.collect_trace = true;
+  const harness::ExperimentResult r = harness::run_experiment(c);
+  ASSERT_NE(r.trace, nullptr);
+
+  // The trace's payload events equal the transport's payload packets, and
+  // deliveries equal num_messages x num_nodes (no loss, no failures).
+  EXPECT_EQ(r.trace->payloads().size(), r.payload_packets);
+  EXPECT_EQ(r.trace->deliveries().size(),
+            static_cast<std::size_t>(c.num_messages) * c.num_nodes);
+  // Per-message payload counts match the harness accounting.
+  for (std::uint32_t seq = 0; seq < c.num_messages; ++seq) {
+    EXPECT_EQ(r.trace->payloads_for(seq), r.payload_tx_per_message[seq]);
+  }
+  // Latency recorded per delivery is non-negative and zero at origins.
+  std::size_t origin_deliveries = 0;
+  for (const DeliveryEvent& e : r.trace->deliveries()) {
+    EXPECT_GE(e.latency, 0);
+    if (e.node == e.origin) {
+      EXPECT_EQ(e.latency, 0);
+      ++origin_deliveries;
+    }
+  }
+  EXPECT_EQ(origin_deliveries, c.num_messages);
+}
+
+TEST(TraceLog, DisabledByDefault) {
+  harness::ExperimentConfig c;
+  c.seed = 21;
+  c.num_nodes = 20;
+  c.num_messages = 10;
+  c.warmup = 8 * kSecond;
+  c.topology.num_underlay_vertices = 400;
+  c.topology.num_transit_domains = 3;
+  c.topology.transit_per_domain = 6;
+  const harness::ExperimentResult r = harness::run_experiment(c);
+  EXPECT_EQ(r.trace, nullptr);
+}
+
+}  // namespace
+}  // namespace esm::trace

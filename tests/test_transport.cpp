@@ -1,0 +1,294 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace esm::net {
+namespace {
+
+struct TestPacket final : public Packet {
+  int tag = 0;
+};
+
+PacketPtr make_packet(int tag = 0) {
+  auto p = std::make_shared<TestPacket>();
+  p->tag = tag;
+  return p;
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  ConstantLatencyModel latency{10 * kMillisecond};
+  Transport transport;
+  std::vector<std::vector<std::pair<NodeId, int>>> received;
+
+  explicit Fixture(std::uint32_t n, TransportOptions opts = {})
+      : transport(sim, latency, n, opts, Rng(7)), received(n) {
+    for (NodeId id = 0; id < n; ++id) {
+      transport.register_handler(id, [this, id](NodeId src,
+                                                const PacketPtr& pkt) {
+        const auto* tp = dynamic_cast<const TestPacket*>(pkt.get());
+        received[id].push_back({src, tp != nullptr ? tp->tag : -1});
+      });
+    }
+  }
+};
+
+TEST(Transport, DeliversAfterOneWayLatency) {
+  Fixture f(2);
+  f.transport.send(0, 1, make_packet(42), 100, false);
+  f.sim.run_until(10 * kMillisecond - 1);
+  EXPECT_TRUE(f.received[1].empty());
+  f.sim.run_until(10 * kMillisecond);
+  ASSERT_EQ(f.received[1].size(), 1u);
+  EXPECT_EQ(f.received[1][0], (std::pair<NodeId, int>{0, 42}));
+}
+
+TEST(Transport, RejectsSelfSendAndBadIds) {
+  Fixture f(2);
+  EXPECT_THROW(f.transport.send(0, 0, make_packet(), 1, false), CheckFailure);
+  EXPECT_THROW(f.transport.send(0, 9, make_packet(), 1, false), CheckFailure);
+  EXPECT_THROW(f.transport.send(0, 1, nullptr, 1, false), CheckFailure);
+}
+
+TEST(Transport, LossRateDropsApproximatelyThatFraction) {
+  TransportOptions opts;
+  opts.loss_rate = 0.25;
+  Fixture f(2, opts);
+  constexpr int kSends = 20000;
+  for (int i = 0; i < kSends; ++i) {
+    f.transport.send(0, 1, make_packet(i), 10, false);
+  }
+  f.sim.run();
+  const auto delivered = static_cast<double>(f.received[1].size());
+  EXPECT_NEAR(delivered / kSends, 0.75, 0.02);
+  EXPECT_EQ(f.transport.packets_lost() + f.received[1].size(),
+            static_cast<std::uint64_t>(kSends));
+  // Loss happens after accounting: sends are still counted.
+  EXPECT_EQ(f.transport.stats().total_packets(),
+            static_cast<std::uint64_t>(kSends));
+}
+
+TEST(Transport, SilencedSourceSendsNothing) {
+  Fixture f(2);
+  f.transport.silence(0);
+  EXPECT_TRUE(f.transport.is_silenced(0));
+  f.transport.send(0, 1, make_packet(), 10, true);
+  f.sim.run();
+  EXPECT_TRUE(f.received[1].empty());
+  // Firewalled at the source: not even counted as sent.
+  EXPECT_EQ(f.transport.stats().total_packets(), 0u);
+}
+
+TEST(Transport, SilencedDestinationDropsOnArrival) {
+  Fixture f(2);
+  f.transport.send(0, 1, make_packet(), 10, true);
+  f.transport.silence(1);
+  f.sim.run();
+  EXPECT_TRUE(f.received[1].empty());
+  // The send left the source before the failure: it is counted.
+  EXPECT_EQ(f.transport.stats().total_packets(), 1u);
+}
+
+TEST(Transport, PayloadVsControlAccounting) {
+  Fixture f(3);
+  f.transport.send(0, 1, make_packet(), 280, true);
+  f.transport.send(0, 1, make_packet(), 40, false);
+  f.transport.send(0, 2, make_packet(), 280, true);
+  f.sim.run();
+  const TrafficStats& s = f.transport.stats();
+  EXPECT_EQ(s.total_packets(), 3u);
+  EXPECT_EQ(s.total_payload_packets(), 2u);
+  EXPECT_EQ(s.total_bytes(), 600u);
+  EXPECT_EQ(s.node_sent_payload(0), 2u);
+  EXPECT_EQ(s.node_sent_packets(0), 3u);
+  EXPECT_EQ(s.link(0, 1).packets, 2u);
+  EXPECT_EQ(s.link(0, 1).payload_packets, 1u);
+  EXPECT_EQ(s.link(0, 1).payload_bytes, 280u);
+  EXPECT_EQ(s.link(1, 0).packets, 0u);
+  EXPECT_EQ(s.links_used(), 2u);
+}
+
+TEST(Transport, StatsReset) {
+  Fixture f(2);
+  f.transport.send(0, 1, make_packet(), 100, true);
+  f.sim.run();
+  f.transport.stats().reset();
+  const TrafficStats& s = f.transport.stats();
+  EXPECT_EQ(s.total_packets(), 0u);
+  EXPECT_EQ(s.total_payload_packets(), 0u);
+  EXPECT_EQ(s.node_sent_payload(0), 0u);
+  EXPECT_EQ(s.links_used(), 0u);
+}
+
+TEST(Transport, TopShareUniformTrafficIsProportional) {
+  Fixture f(20);
+  // Every ordered pair gets exactly one payload packet: no structure.
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      if (a != b) f.transport.send(a, b, make_packet(), 10, true);
+    }
+  }
+  f.sim.run();
+  // 190 undirected connections, all equal: top 5% carry ~5% (ceil effect).
+  const double share = f.transport.stats().top_connection_payload_share(0.05);
+  EXPECT_NEAR(share, 0.05, 0.012);
+}
+
+TEST(Transport, TopShareDetectsConcentration) {
+  Fixture f(20);
+  // One hot connection carries half of all payloads.
+  for (int i = 0; i < 171; ++i) f.transport.send(0, 1, make_packet(), 10, true);
+  for (NodeId a = 2; a < 20; ++a) {
+    for (NodeId b = a + 1; b < 20; ++b) {
+      f.transport.send(a, b, make_packet(), 10, true);
+    }
+  }
+  f.sim.run();
+  EXPECT_GT(f.transport.stats().top_connection_payload_share(0.05), 0.4);
+}
+
+TEST(Transport, UndirectedCountsMergeBothDirections) {
+  Fixture f(2);
+  f.transport.send(0, 1, make_packet(), 10, true);
+  f.transport.send(1, 0, make_packet(), 10, true);
+  f.sim.run();
+  const auto counts = f.transport.stats().undirected_payload_counts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].second, 2u);
+  EXPECT_EQ(counts[0].first, (std::pair<NodeId, NodeId>{0, 1}));
+}
+
+TEST(Transport, BandwidthSerializesBackToBackSends) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000'000;  // 1 byte/us
+  Fixture f(3, opts);
+  std::vector<SimTime> arrivals;
+  f.transport.register_handler(1, [&](NodeId, const PacketPtr&) {
+    arrivals.push_back(f.sim.now());
+  });
+  // Two 1000-byte packets queued at t=0 on the same egress: the second
+  // departs 1000 us after the first.
+  f.transport.send(0, 1, make_packet(), 1000, true);
+  f.transport.send(0, 1, make_packet(), 1000, true);
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 1000);
+}
+
+TEST(Transport, DropNewestRefusesArrivals) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;  // 1 byte/ms: very slow
+  opts.egress_buffer_bytes = 2500;
+  opts.purge_policy = TransportOptions::PurgePolicy::drop_newest;
+  Fixture f(2, opts);
+  // 5 x 1000-byte packets: the first starts transmitting (and occupies
+  // the buffer), one more fits, the remaining three are refused.
+  for (int i = 0; i < 5; ++i) f.transport.send(0, 1, make_packet(i), 1000, true);
+  f.sim.run();
+  EXPECT_EQ(f.transport.buffer_drops(), 3u);
+  ASSERT_EQ(f.received[1].size(), 2u);
+  // Tail drop keeps the OLDEST packets, in order.
+  EXPECT_EQ(f.received[1][0].second, 0);
+  EXPECT_EQ(f.received[1][1].second, 1);
+}
+
+TEST(Transport, DropOldestKeepsFreshest) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;
+  opts.egress_buffer_bytes = 2500;
+  opts.purge_policy = TransportOptions::PurgePolicy::drop_oldest;
+  Fixture f(2, opts);
+  for (int i = 0; i < 5; ++i) f.transport.send(0, 1, make_packet(i), 1000, true);
+  f.sim.run();
+  EXPECT_EQ(f.transport.buffer_drops(), 3u);
+  ASSERT_EQ(f.received[1].size(), 2u);
+  // Freshness-preserving purge: the in-flight head survives, then the
+  // NEWEST packet; the stale middle of the queue was purged.
+  EXPECT_EQ(f.received[1][0].second, 0);
+  EXPECT_EQ(f.received[1][1].second, 4);
+}
+
+TEST(Transport, OversizedPacketAlwaysDropped) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000'000;
+  opts.egress_buffer_bytes = 100;
+  Fixture f(2, opts);
+  f.transport.send(0, 1, make_packet(), 500, true);
+  f.sim.run();
+  EXPECT_EQ(f.transport.buffer_drops(), 1u);
+  EXPECT_TRUE(f.received[1].empty());
+}
+
+TEST(Transport, JitterStaysWithinBounds) {
+  TransportOptions opts;
+  opts.jitter = 0.2;
+  Fixture f(2, opts);
+  std::vector<SimTime> arrivals;
+  f.transport.register_handler(1, [&](NodeId, const PacketPtr&) {
+    arrivals.push_back(f.sim.now());
+  });
+  for (int i = 0; i < 500; ++i) f.transport.send(0, 1, make_packet(), 1, false);
+  f.sim.run();
+  bool varied = false;
+  for (const SimTime a : arrivals) {
+    EXPECT_GE(a, 8 * kMillisecond);
+    EXPECT_LE(a, 12 * kMillisecond);
+    varied |= a != arrivals[0];
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Transport, PartitionDropsCrossGroupTraffic) {
+  Fixture f(4);
+  f.transport.set_partition({0, 0, 1, 1});
+  f.transport.send(0, 1, make_packet(1), 10, false);  // same side
+  f.transport.send(0, 2, make_packet(2), 10, false);  // cross
+  f.transport.send(3, 2, make_packet(3), 10, false);  // same side
+  f.sim.run();
+  EXPECT_EQ(f.received[1].size(), 1u);
+  EXPECT_EQ(f.received[2].size(), 1u);
+  EXPECT_EQ(f.received[2][0].second, 3);
+  EXPECT_EQ(f.transport.partition_drops(), 1u);
+
+  f.transport.heal_partition();
+  f.transport.send(0, 2, make_packet(4), 10, false);
+  f.sim.run();
+  EXPECT_EQ(f.received[2].size(), 2u);
+  EXPECT_EQ(f.transport.partition_drops(), 1u);
+}
+
+TEST(Transport, PartitionRequiresFullAssignment) {
+  Fixture f(3);
+  EXPECT_THROW(f.transport.set_partition({0, 1}), CheckFailure);
+}
+
+TEST(Transport, InvalidOptionsRejected) {
+  sim::Simulator sim;
+  ConstantLatencyModel lat(1);
+  TransportOptions bad_loss;
+  bad_loss.loss_rate = 1.0;
+  EXPECT_THROW(Transport(sim, lat, 2, bad_loss, Rng(1)), CheckFailure);
+  TransportOptions bad_jitter;
+  bad_jitter.jitter = 1.5;
+  EXPECT_THROW(Transport(sim, lat, 2, bad_jitter, Rng(1)), CheckFailure);
+}
+
+TEST(LatencyModels, RandomModelIsSymmetricWithinRange) {
+  RandomLatencyModel model(10, 5, 50, 3);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(model.one_way(a, b), model.one_way(b, a));
+      EXPECT_GE(model.one_way(a, b), 5);
+      EXPECT_LE(model.one_way(a, b), 50);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esm::net

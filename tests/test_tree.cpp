@@ -1,0 +1,209 @@
+#include "tree/tree_multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::tree {
+namespace {
+
+net::ClientMetrics make_metrics(std::uint32_t n, std::uint64_t seed) {
+  net::RandomLatencyModel model(n, 10 * kMillisecond, 80 * kMillisecond, seed);
+  net::ClientMetrics m(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) m.set(a, b, model.one_way(a, b), 2);
+    }
+  }
+  return m;
+}
+
+TEST(SpanningTree, SpansAllNodesOnce) {
+  const auto metrics = make_metrics(30, 1);
+  const auto parent = build_spanning_tree(metrics, 0, 4);
+  ASSERT_EQ(parent.size(), 30u);
+  EXPECT_EQ(parent[0], 0u);
+  // Every node reaches the root by following parents, with no cycles.
+  for (NodeId v = 0; v < 30; ++v) {
+    NodeId cur = v;
+    int steps = 0;
+    while (cur != 0) {
+      cur = parent[cur];
+      ASSERT_LT(cur, 30u);
+      ASSERT_LT(++steps, 31);
+    }
+  }
+}
+
+TEST(SpanningTree, RespectsDegreeCap) {
+  const auto metrics = make_metrics(40, 2);
+  for (const std::uint32_t cap : {2u, 3u, 8u}) {
+    const auto parent = build_spanning_tree(metrics, 0, cap);
+    std::vector<std::uint32_t> degree(40, 0);
+    for (NodeId v = 0; v < 40; ++v) {
+      if (parent[v] != v) {
+        ++degree[v];
+        ++degree[parent[v]];
+      }
+    }
+    for (const auto d : degree) EXPECT_LE(d, cap);
+  }
+}
+
+TEST(SpanningTree, LowerCapMeansDeeperTree) {
+  const auto metrics = make_metrics(40, 3);
+  const auto shallow = build_spanning_tree(metrics, 0, 16);
+  const auto deep = build_spanning_tree(metrics, 0, 2);
+  auto total_latency = [&](const std::vector<NodeId>& parent) {
+    const auto lat = tree_path_latencies(parent, metrics, 0);
+    return std::accumulate(lat.begin(), lat.end(), SimTime{0});
+  };
+  EXPECT_LT(total_latency(shallow), total_latency(deep));
+}
+
+TEST(SpanningTree, PathLatenciesFiniteAndRootZero) {
+  const auto metrics = make_metrics(25, 4);
+  const auto parent = build_spanning_tree(metrics, 5, 6);
+  const auto lat = tree_path_latencies(parent, metrics, 5);
+  EXPECT_EQ(lat[5], 0);
+  for (NodeId v = 0; v < 25; ++v) {
+    EXPECT_LT(lat[v], kTimeInfinity);
+    if (v != 5) {
+      EXPECT_GT(lat[v], 0);
+    }
+  }
+}
+
+struct TreeSwarm {
+  sim::Simulator sim;
+  net::RandomLatencyModel latency;
+  net::Transport transport;
+  std::vector<std::unique_ptr<TreeNode>> nodes;
+  std::vector<std::vector<core::AppMessage>> delivered;
+
+  TreeSwarm(std::uint32_t n, TreeParams params = {})
+      : latency(n, 5 * kMillisecond, 40 * kMillisecond, 9),
+        transport(sim, latency, n, {}, Rng(31)),
+        delivered(n) {
+    net::ClientMetrics metrics(n);
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        if (a != b) metrics.set(a, b, latency.one_way(a, b), 2);
+      }
+    }
+    const auto parent = build_spanning_tree(metrics, 0, params.max_degree);
+    std::vector<std::vector<NodeId>> neighbors(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (parent[v] != v) {
+        neighbors[v].push_back(parent[v]);
+        neighbors[parent[v]].push_back(v);
+      }
+    }
+    std::vector<NodeId> everyone(n);
+    std::iota(everyone.begin(), everyone.end(), 0);
+    for (NodeId id = 0; id < n; ++id) {
+      nodes.push_back(std::make_unique<TreeNode>(
+          sim, transport, id, params,
+          [this, id](const core::AppMessage& m) { delivered[id].push_back(m); },
+          Rng(800 + id)));
+      nodes[id]->set_neighbors(neighbors[id]);
+      nodes[id]->set_reattach_candidates(everyone);
+      transport.register_handler(id, [this, id](NodeId src,
+                                                const net::PacketPtr& p) {
+        nodes[id]->handle_packet(src, p);
+      });
+    }
+  }
+};
+
+TEST(TreeMulticast, AtomicDeliveryExactlyOncePayload) {
+  TreeSwarm swarm(30);
+  swarm.nodes[0]->multicast(256, 0, 0);
+  swarm.sim.run();
+  for (NodeId id = 0; id < 30; ++id) {
+    ASSERT_EQ(swarm.delivered[id].size(), 1u) << "node " << id;
+  }
+  // Structured multicast: exactly one payload per non-origin delivery.
+  EXPECT_EQ(swarm.transport.stats().total_payload_packets(), 29u);
+}
+
+TEST(TreeMulticast, AnyNodeCanBeSource) {
+  TreeSwarm swarm(20);
+  swarm.nodes[13]->multicast(256, 0, 0);
+  swarm.sim.run();
+  for (NodeId id = 0; id < 20; ++id) {
+    EXPECT_EQ(swarm.delivered[id].size(), 1u);
+  }
+}
+
+TEST(TreeMulticast, FailureCutsSubtreeUntilRepair) {
+  TreeSwarm swarm(30);
+  for (auto& n : swarm.nodes) n->start();
+  swarm.sim.run_until(1 * kSecond);
+  // Kill an interior node (the root's busiest child would be ideal; any
+  // non-leaf works — pick a node with degree > 1).
+  NodeId victim = kInvalidNode;
+  for (NodeId id = 1; id < 30; ++id) {
+    if (swarm.nodes[id]->neighbors().size() > 1) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  swarm.transport.silence(victim);
+  // Immediately after the failure (before detection), a multicast from the
+  // root misses the victim's subtree.
+  swarm.nodes[0]->multicast(64, 0, swarm.sim.now());
+  swarm.sim.run_until(2 * kSecond);
+  std::size_t delivered_now = 0;
+  for (NodeId id = 0; id < 30; ++id) {
+    delivered_now += swarm.delivered[id].size();
+  }
+  EXPECT_LT(delivered_now, 29u);  // subtree cut off (and victim silenced)
+
+  // After heartbeats detect the failure and orphans reattach, multicasts
+  // reach all live nodes again.
+  swarm.sim.run_until(20 * kSecond);
+  swarm.nodes[0]->multicast(64, 1, swarm.sim.now());
+  swarm.sim.run_until(40 * kSecond);
+  std::size_t second_round = 0;
+  std::uint64_t repairs = 0;
+  for (NodeId id = 0; id < 30; ++id) {
+    if (id == victim) continue;
+    repairs += swarm.nodes[id]->repairs_initiated();
+    for (const auto& m : swarm.delivered[id]) {
+      if (m.seq == 1) ++second_round;
+    }
+  }
+  EXPECT_EQ(second_round, 29u);
+  EXPECT_GT(repairs, 0u);
+}
+
+TEST(TreeMulticast, HeartbeatsDropDeadNeighbor) {
+  TreeParams params;
+  params.heartbeat_period = 200 * kMillisecond;
+  TreeSwarm swarm(10, params);
+  for (auto& n : swarm.nodes) n->start();
+  swarm.sim.run_until(1 * kSecond);
+  const NodeId victim = swarm.nodes[0]->neighbors().at(0);
+  swarm.transport.silence(victim);
+  swarm.sim.run_until(5 * kSecond);
+  for (const NodeId nb : swarm.nodes[0]->neighbors()) {
+    EXPECT_NE(nb, victim);
+  }
+}
+
+TEST(SpanningTree, InvalidArgumentsRejected) {
+  const auto metrics = make_metrics(10, 5);
+  EXPECT_THROW(build_spanning_tree(metrics, 99, 4), CheckFailure);
+  EXPECT_THROW(build_spanning_tree(metrics, 0, 1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace esm::tree

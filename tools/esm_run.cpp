@@ -1,0 +1,101 @@
+// esm_run: run one experiment from the command line.
+//
+//   esm_run --strategy hybrid --rho 10 --u 3 --best 0.05 --nodes 100
+//   esm_run --strategy flat --pi 0 --loss 0.01 --kv
+//
+// See `esm_run --help` for every flag.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esm;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // --trace FILE is handled here (file IO is the tool's business, not the
+  // parser's).
+  std::string trace_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  std::string error;
+  auto options = harness::parse_cli(args, error);
+  if (options && !trace_path.empty()) {
+    options->config.collect_trace = true;
+  }
+  if (!options) {
+    std::fprintf(stderr, "esm_run: %s\nTry esm_run --help\n", error.c_str());
+    return 2;
+  }
+  if (options->help) {
+    std::fputs(harness::cli_help_text().c_str(), stdout);
+    return 0;
+  }
+
+  harness::ExperimentResult result;
+  try {
+    result = harness::run_experiment(options->config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esm_run: %s\n", e.what());
+    return 1;
+  }
+
+  if (!trace_path.empty() && result.trace) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "esm_run: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    result.trace->write_csv(out);
+    std::fprintf(stderr, "trace written to %s (%zu deliveries, %zu payloads)\n",
+                 trace_path.c_str(), result.trace->deliveries().size(),
+                 result.trace->payloads().size());
+  }
+
+  if (options->json) {
+    std::fputs(harness::format_result_kv(result).c_str(), stdout);
+    return 0;
+  }
+
+  harness::Table table("experiment: " + options->config.strategy.describe());
+  table.header({"metric", "value"});
+  table.row({"live nodes", std::to_string(result.live_nodes)});
+  table.row({"mean latency (ms)",
+             harness::Table::num(result.mean_latency_ms, 1) + " ± " +
+                 harness::Table::num(result.latency_ci95_ms, 1)});
+  table.row({"p50 / p95 latency (ms)",
+             harness::Table::num(result.p50_latency_ms, 1) + " / " +
+                 harness::Table::num(result.p95_latency_ms, 1)});
+  table.row({"deliveries (% of live)",
+             harness::Table::num(100.0 * result.mean_delivery_fraction, 2)});
+  table.row({"atomic deliveries (%)",
+             harness::Table::num(100.0 * result.atomic_delivery_fraction, 2)});
+  table.row({"payload/delivery",
+             harness::Table::num(result.payload_per_delivery, 2)});
+  table.row({"payload/msg per node (all / low / best)",
+             harness::Table::num(result.load_all.payload_per_msg, 2) + " / " +
+                 harness::Table::num(result.load_low.payload_per_msg, 2) +
+                 " / " +
+                 harness::Table::num(result.load_best.payload_per_msg, 2)});
+  table.row({"top-5% connection share (%)",
+             harness::Table::num(100.0 * result.top5_connection_share, 1)});
+  table.row({"payload / control packets",
+             std::to_string(result.payload_packets) + " / " +
+                 std::to_string(result.control_packets)});
+  table.row({"duplicates / requests / lost / buffer drops",
+             std::to_string(result.duplicate_payloads) + " / " +
+                 std::to_string(result.requests_sent) + " / " +
+                 std::to_string(result.packets_lost) + " / " +
+                 std::to_string(result.buffer_drops)});
+  table.row({"events executed", std::to_string(result.events_executed)});
+  table.print();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// esm_topo: generate and inspect the synthetic transit-stub internet.
+//
+//   esm_topo --clients 100 --seed 2007            # §5.1-style statistics
+//   esm_topo --clients 100 --csv coords           # client coordinates
+//   esm_topo --clients 100 --csv latency          # pairwise latency matrix
+//   esm_topo --clients 100 --csv histogram        # latency distribution
+//
+// The CSV modes feed external plotting (the Fig. 4 style network renders).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esm;
+
+  std::uint32_t clients = 100;
+  std::uint64_t seed = 2007;
+  std::string csv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--clients") {
+      const char* v = value();
+      if (v == nullptr) {
+        std::fprintf(stderr, "esm_topo: --clients needs a value\n");
+        return 2;
+      }
+      clients = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (v == nullptr) {
+        std::fprintf(stderr, "esm_topo: --seed needs a value\n");
+        return 2;
+      }
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--csv") {
+      const char* v = value();
+      if (v == nullptr) {
+        std::fprintf(stderr, "esm_topo: --csv needs a mode\n");
+        return 2;
+      }
+      csv = v;
+    } else if (flag == "--help") {
+      std::puts(
+          "esm_topo --clients N --seed S [--csv coords|latency|histogram]");
+      return 0;
+    } else {
+      std::fprintf(stderr, "esm_topo: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  net::TopologyParams params;
+  params.num_clients = clients;
+  const net::Topology topo = net::generate_topology(params, seed);
+  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+
+  if (csv == "coords") {
+    std::puts("client,x,y");
+    for (NodeId c = 0; c < clients; ++c) {
+      std::printf("%u,%.5f,%.5f\n", c, topo.client_coords[c].x,
+                  topo.client_coords[c].y);
+    }
+    return 0;
+  }
+  if (csv == "latency") {
+    std::puts("src,dst,latency_us,hops");
+    for (NodeId a = 0; a < clients; ++a) {
+      for (NodeId b = 0; b < clients; ++b) {
+        if (a == b) continue;
+        std::printf("%u,%u,%lld,%u\n", a, b,
+                    static_cast<long long>(metrics.latency(a, b)),
+                    metrics.hops(a, b));
+      }
+    }
+    return 0;
+  }
+  if (csv == "histogram") {
+    std::puts("latency_ms_bucket,pairs");
+    for (int bucket = 0; bucket < 30; ++bucket) {
+      const SimTime lo = bucket * 5 * kMillisecond;
+      const SimTime hi = lo + 5 * kMillisecond - 1;
+      const double frac = metrics.latency_fraction(lo, hi);
+      const auto pairs = static_cast<long long>(
+          frac * static_cast<double>(clients) * (clients - 1));
+      std::printf("%d-%d,%lld\n", bucket * 5, bucket * 5 + 5, pairs);
+    }
+    return 0;
+  }
+  if (!csv.empty()) {
+    std::fprintf(stderr, "esm_topo: unknown csv mode %s\n", csv.c_str());
+    return 2;
+  }
+
+  harness::Table table("topology: " + std::to_string(clients) + " clients, " +
+                       std::to_string(params.num_underlay_vertices) +
+                       " underlay vertices, seed " + std::to_string(seed));
+  table.header({"metric", "value", "paper (§5.1)"});
+  table.row({"mean hop distance", harness::Table::num(metrics.mean_hops(), 2),
+             "5.54"});
+  table.row({"pairs within 5-6 hops (%)",
+             harness::Table::num(100.0 * metrics.hop_fraction(5, 6), 2),
+             "74.28"});
+  table.row({"mean end-to-end latency (ms)",
+             harness::Table::num(metrics.mean_latency_us() / 1000.0, 2),
+             "49.83"});
+  table.row({"pairs within 39-60 ms (%)",
+             harness::Table::num(100.0 * metrics.latency_fraction(
+                                             39 * kMillisecond,
+                                             60 * kMillisecond),
+                                 2),
+             "50.00"});
+  table.row({"p10 / p50 / p90 latency (ms)",
+             harness::Table::num(to_ms(metrics.latency_quantile(0.1)), 1) +
+                 " / " +
+                 harness::Table::num(to_ms(metrics.latency_quantile(0.5)), 1) +
+                 " / " +
+                 harness::Table::num(to_ms(metrics.latency_quantile(0.9)), 1),
+             "-"});
+  table.row({"underlay edges", std::to_string(topo.graph.num_edges()), "-"});
+  table.print();
+  return 0;
+}
