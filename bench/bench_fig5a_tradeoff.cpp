@@ -6,19 +6,34 @@
 //   * TTL reaches ~250 ms at only 1.7 payload/msg;
 //   * Ranked beats Flat at equal traffic; Radius does not improve latency
 //     (its shorter rounds are offset by needing more rounds).
+//
+// All 23 points are independent seeded experiments and run concurrently
+// (--jobs N, default: all cores); the tables are identical at any job
+// count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace esm;
   using harness::ExperimentConfig;
   using harness::ExperimentResult;
   using harness::StrategySpec;
   using harness::Table;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const unsigned jobs = harness::extract_jobs_flag(args, error);
+  if (jobs == 0) {
+    std::fprintf(stderr, "bench_fig5a_tradeoff: %s\n", error.c_str());
+    return 2;
+  }
 
   ExperimentConfig base;
   base.seed = 2007;
@@ -31,11 +46,38 @@ int main() {
   const net::Topology topo = net::generate_topology(topo_params, base.seed);
   const net::ClientMetrics metrics = net::compute_client_metrics(topo);
 
-  auto run = [&](const StrategySpec& spec) {
-    ExperimentConfig config = base;
-    config.strategy = spec;
-    return harness::run_experiment(config);
+  struct Point {
+    std::string series;
+    StrategySpec spec;
   };
+  std::vector<Point> points;
+  std::size_t lazy_index = 0, eager_index = 0, ttl3_index = 0;
+  for (const double pi : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    if (pi == 0.0) lazy_index = points.size();
+    if (pi == 1.0) eager_index = points.size();
+    points.push_back({"flat", StrategySpec::make_flat(pi)});
+  }
+  for (const Round u : {0u, 1u, 2u, 3u, 4u, 5u, 6u}) {
+    if (u == 3u) ttl3_index = points.size();
+    points.push_back({"TTL", StrategySpec::make_ttl(u)});
+  }
+  for (const double q : {0.10, 0.25, 0.50, 0.75}) {
+    const double rho = to_ms(metrics.latency_quantile(q));
+    points.push_back({"radius", StrategySpec::make_radius(rho)});
+  }
+  for (const double best : {0.05, 0.10, 0.20, 0.30, 0.40}) {
+    points.push_back({"ranked", StrategySpec::make_ranked(best)});
+  }
+
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(points.size());
+  for (const Point& p : points) {
+    ExperimentConfig config = base;
+    config.strategy = p.spec;
+    configs.push_back(config);
+  }
+  const std::vector<ExperimentResult> results =
+      harness::run_experiments(configs, jobs);
 
   Table table("Fig. 5(a): latency vs payload/msg (100 nodes, fanout 11)");
   table.header({"series", "x = payload/msg", "latency ms", "ci95",
@@ -46,24 +88,14 @@ int main() {
                Table::num(r.latency_ci95_ms, 1),
                Table::num(100.0 * r.mean_delivery_fraction, 2)});
   };
-
-  for (const double pi : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    const ExperimentResult r = run(StrategySpec::make_flat(pi));
-    add_row("flat", r.load_all.payload_per_msg, r);
-  }
-  for (const Round u : {0u, 1u, 2u, 3u, 4u, 5u, 6u}) {
-    const ExperimentResult r = run(StrategySpec::make_ttl(u));
-    add_row("TTL", r.load_all.payload_per_msg, r);
-  }
-  for (const double q : {0.10, 0.25, 0.50, 0.75}) {
-    const double rho = to_ms(metrics.latency_quantile(q));
-    const ExperimentResult r = run(StrategySpec::make_radius(rho));
-    add_row("radius", r.load_all.payload_per_msg, r);
-  }
-  for (const double best : {0.05, 0.10, 0.20, 0.30, 0.40}) {
-    const ExperimentResult r = run(StrategySpec::make_ranked(best));
-    add_row("ranked (all)", r.load_all.payload_per_msg, r);
-    add_row("ranked (low)", r.load_low.payload_per_msg, r);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    if (points[i].series == "ranked") {
+      add_row("ranked (all)", r.load_all.payload_per_msg, r);
+      add_row("ranked (low)", r.load_low.payload_per_msg, r);
+    } else {
+      add_row(points[i].series, r.load_all.payload_per_msg, r);
+    }
   }
   table.print();
 
@@ -71,16 +103,16 @@ int main() {
   anchors.header({"point", "paper latency ms", "measured latency ms",
                   "paper payload/msg", "measured payload/msg"});
   {
-    const ExperimentResult lazy = run(StrategySpec::make_flat(0.0));
+    const ExperimentResult& lazy = results[lazy_index];
     anchors.row({"flat pi=0 (pure lazy)", "480",
                  Table::num(lazy.mean_latency_ms, 0), "1.0",
                  Table::num(lazy.load_all.payload_per_msg, 2)});
-    const ExperimentResult eager = run(StrategySpec::make_flat(1.0));
+    const ExperimentResult& eager = results[eager_index];
     anchors.row({"flat pi=1 (pure eager)", "227",
                  Table::num(eager.mean_latency_ms, 0), "11",
                  Table::num(eager.load_all.payload_per_msg, 2)});
     // u=3 lands at ~1.7 payload/msg, the same knee the paper reports.
-    const ExperimentResult ttl = run(StrategySpec::make_ttl(3));
+    const ExperimentResult& ttl = results[ttl3_index];
     anchors.row({"TTL (best tradeoff)", "250",
                  Table::num(ttl.mean_latency_ms, 0), "1.7",
                  Table::num(ttl.load_all.payload_per_msg, 2)});

@@ -8,19 +8,33 @@
 //       Radius shows no latency advantage to lose;
 //   (c) payload share of the top 5% connections vs noise — converges to
 //       the ~5% of an unstructured protocol, showing structure erased.
+//
+// The 12 experiment points run concurrently (--jobs N, default all cores)
+// with identical output at any job count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace esm;
   using harness::ExperimentConfig;
   using harness::ExperimentResult;
   using harness::StrategySpec;
   using harness::Table;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const unsigned jobs = harness::extract_jobs_flag(args, error);
+  if (jobs == 0) {
+    std::fprintf(stderr, "bench_fig6_noise: %s\n", error.c_str());
+    return 2;
+  }
 
   ExperimentConfig base;
   base.seed = 2007;
@@ -33,6 +47,24 @@ int main() {
   const net::ClientMetrics metrics = net::compute_client_metrics(topo);
   const double rho = to_ms(metrics.latency_quantile(0.15));
 
+  const double noises[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  // Two configs per noise level, radius first then ranked.
+  std::vector<ExperimentConfig> configs;
+  for (const double noise : noises) {
+    StrategySpec radius = StrategySpec::make_radius(rho);
+    radius.noise = noise;
+    StrategySpec ranked = StrategySpec::make_ranked(0.2);
+    ranked.noise = noise;
+    ExperimentConfig rc = base;
+    rc.strategy = radius;
+    configs.push_back(rc);
+    ExperimentConfig kc = base;
+    kc.strategy = ranked;
+    configs.push_back(kc);
+  }
+  const std::vector<ExperimentResult> results =
+      harness::run_experiments(configs, jobs);
+
   Table fig6a("Fig. 6(a): payload/msg vs noise (%)");
   fig6a.header({"noise %", "radius", "ranked (all)", "ranked (low)"});
   Table fig6b("Fig. 6(b): latency (ms) vs noise (%)");
@@ -40,20 +72,10 @@ int main() {
   Table fig6c("Fig. 6(c): top-5% connection traffic (%) vs noise (%)");
   fig6c.header({"noise %", "radius", "ranked"});
 
-  for (const double noise : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    StrategySpec radius = StrategySpec::make_radius(rho);
-    radius.noise = noise;
-    StrategySpec ranked = StrategySpec::make_ranked(0.2);
-    ranked.noise = noise;
-
-    ExperimentConfig rc = base;
-    rc.strategy = radius;
-    const ExperimentResult rr = harness::run_experiment(rc);
-    ExperimentConfig kc = base;
-    kc.strategy = ranked;
-    const ExperimentResult kr = harness::run_experiment(kc);
-
-    const std::string n = Table::num(100.0 * noise, 0);
+  for (std::size_t i = 0; i < std::size(noises); ++i) {
+    const ExperimentResult& rr = results[2 * i];
+    const ExperimentResult& kr = results[2 * i + 1];
+    const std::string n = Table::num(100.0 * noises[i], 0);
     fig6a.row({n, Table::num(rr.load_all.payload_per_msg, 2),
                Table::num(kr.load_all.payload_per_msg, 2),
                Table::num(kr.load_low.payload_per_msg, 2)});

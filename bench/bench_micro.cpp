@@ -66,6 +66,59 @@ void BM_SimulatorCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCancelHeavy);
 
+void BM_SimulatorScheduleCancelInterleaved(benchmark::State& state) {
+  // The retransmission-timer pattern: every scheduled event is cancelled
+  // and replaced before it fires, so the queue stays small while the
+  // schedule/cancel churn is maximal. Exercises slot reuse + generation
+  // bumping on the slab path (hash insert/erase on the old map path).
+  constexpr int kLive = 64;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles(kLive);
+    int fired = 0;
+    for (int i = 0; i < kLive; ++i) {
+      handles[static_cast<size_t>(i)] =
+          sim.schedule_at(1000 + i, [&fired] { ++fired; });
+    }
+    for (int round = 0; round < 200; ++round) {
+      for (int i = 0; i < kLive; ++i) {
+        sim.cancel(handles[static_cast<size_t>(i)]);
+        handles[static_cast<size_t>(i)] =
+            sim.schedule_at(1000 + round * 7 + i, [&fired] { ++fired; });
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * kLive);
+}
+BENCHMARK(BM_SimulatorScheduleCancelInterleaved);
+
+void BM_PeriodicTimerRestartStorm(benchmark::State& state) {
+  // Timer churn: a bank of periodic timers that is restarted far more
+  // often than it ticks — the overlay-shuffle/monitor pattern under churn.
+  constexpr int kTimers = 32;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int ticks = 0;
+    std::vector<std::unique_ptr<sim::PeriodicTimer>> timers;
+    timers.reserve(kTimers);
+    for (int i = 0; i < kTimers; ++i) {
+      timers.push_back(std::make_unique<sim::PeriodicTimer>(
+          sim, [&ticks] { ++ticks; }));
+    }
+    for (int round = 0; round < 100; ++round) {
+      for (auto& t : timers) t->start(500, 1000);
+      sim.run_until(sim.now() + 100);  // restart long before any tick
+    }
+    for (auto& t : timers) t->stop();
+    sim.run();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * kTimers);
+}
+BENCHMARK(BM_PeriodicTimerRestartStorm);
+
 struct NoopPacket final : net::Packet {};
 
 void BM_TransportSendDeliver(benchmark::State& state) {

@@ -5,22 +5,39 @@
 // Runs the low-bandwidth configurations at 100 and 200 nodes and checks
 // the key results are scale-stable: payload economy unchanged, latency
 // growing only with the extra relay depth (log-factor), reliability 100%.
+//
+// The 8 runs execute concurrently (--jobs N, default all cores); output
+// is identical at any job count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace esm;
   using harness::ExperimentConfig;
   using harness::StrategySpec;
   using harness::Table;
 
-  Table table("§5.3 scale check: 100 vs 200 virtual nodes");
-  table.header({"strategy", "nodes", "latency ms", "payload/delivery",
-                "payload/msg per node", "deliveries %"});
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const unsigned jobs = harness::extract_jobs_flag(args, error);
+  if (jobs == 0) {
+    std::fprintf(stderr, "bench_scale: %s\n", error.c_str());
+    return 2;
+  }
+
+  struct Labelled {
+    const char* name;
+    std::uint32_t nodes;
+  };
+  std::vector<Labelled> labels;
+  std::vector<ExperimentConfig> configs;
 
   for (const std::uint32_t nodes : {100u, 200u}) {
     ExperimentConfig base;
@@ -47,13 +64,23 @@ int main() {
     for (const Case& c : cases) {
       ExperimentConfig config = base;
       config.strategy = c.spec;
-      const auto r = harness::run_experiment(config);
-      table.row({c.name, std::to_string(nodes),
-                 Table::num(r.mean_latency_ms, 0),
-                 Table::num(r.payload_per_delivery, 2),
-                 Table::num(r.load_all.payload_per_msg, 2),
-                 Table::num(100.0 * r.mean_delivery_fraction, 2)});
+      configs.push_back(config);
+      labels.push_back({c.name, nodes});
     }
+  }
+
+  const auto results = harness::run_experiments(configs, jobs);
+
+  Table table("§5.3 scale check: 100 vs 200 virtual nodes");
+  table.header({"strategy", "nodes", "latency ms", "payload/delivery",
+                "payload/msg per node", "deliveries %"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.row({labels[i].name, std::to_string(labels[i].nodes),
+               Table::num(r.mean_latency_ms, 0),
+               Table::num(r.payload_per_delivery, 2),
+               Table::num(r.load_all.payload_per_msg, 2),
+               Table::num(100.0 * r.mean_delivery_fraction, 2)});
   }
   table.print();
 

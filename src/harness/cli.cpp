@@ -54,6 +54,12 @@ Failures:
   --kill-mode MODE    random | best                            (default random)
   --churn RATE        continuous churn: RATE membership events per second
 
+Execution:
+  --reps N            replications with seeds seed..seed+N-1   (default 1)
+  --jobs N            worker threads for --reps and sweeps; 0 or absent =
+                      hardware concurrency. Results are bit-for-bit
+                      identical at every job count.
+
 Output:
   --kv                print key=value lines instead of the table
   --help              this text

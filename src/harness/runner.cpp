@@ -1,0 +1,88 @@
+#include "harness/runner.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace esm::harness {
+
+unsigned default_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned extract_jobs_flag(std::vector<std::string>& args,
+                           std::string& error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--jobs") continue;
+    if (i + 1 >= args.size()) {
+      error = "--jobs requires a value";
+      return 0;
+    }
+    const std::string& v = args[i + 1];
+    unsigned jobs = 0;
+    const auto [ptr, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), jobs);
+    if (ec != std::errc() || ptr != v.data() + v.size()) {
+      error = "--jobs: not an unsigned integer: " + v;
+      return 0;
+    }
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return jobs == 0 ? default_jobs() : jobs;
+  }
+  return default_jobs();
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentConfig>& configs, unsigned jobs,
+    const std::function<void(std::size_t, const ExperimentResult&)>&
+        on_done) {
+  std::vector<ExperimentResult> results(configs.size());
+  if (configs.empty()) return results;
+  if (jobs == 0) jobs = default_jobs();
+  if (jobs > configs.size()) jobs = static_cast<unsigned>(configs.size());
+
+  std::vector<std::exception_ptr> errors(configs.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      try {
+        results[i] = run_experiment(configs[i]);
+        if (on_done) {
+          const std::lock_guard<std::mutex> lock(done_mutex);
+          on_done(i, results[i]);
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    // Run inline: same code path semantics, no thread overhead, and tools
+    // invoked with --jobs 1 behave exactly like the historical serial loop.
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Rethrow the first failure in input order, as a serial loop would.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace esm::harness

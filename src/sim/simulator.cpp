@@ -7,10 +7,21 @@ namespace esm::sim {
 EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
   ESM_CHECK(t >= now_, "cannot schedule an event in the past");
   ESM_CHECK(static_cast<bool>(cb), "event callback must be callable");
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return EventHandle{id};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Record& rec = slots_[slot];
+  rec.cb = std::move(cb);
+  rec.seq = next_seq_++;
+  rec.active = true;
+  heap_.push(Entry{t, rec.seq, slot, rec.gen});
+  ++pending_;
+  return EventHandle{slot + 1, rec.gen};
 }
 
 EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
@@ -19,15 +30,34 @@ EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
 }
 
 bool Simulator::cancel(EventHandle h) {
-  return callbacks_.erase(h.id) > 0;  // heap entry is skipped lazily
+  if (!h.valid()) return false;
+  const std::uint32_t slot = h.slot - 1;
+  if (slot >= slots_.size()) return false;
+  Record& rec = slots_[slot];
+  if (!rec.active || rec.gen != h.gen) return false;
+  vacate(slot);  // heap entry is skipped lazily
+  --pending_;
+  return true;
 }
 
 bool Simulator::pending(EventHandle h) const {
-  return callbacks_.count(h.id) > 0;
+  if (!h.valid()) return false;
+  const std::uint32_t slot = h.slot - 1;
+  if (slot >= slots_.size()) return false;
+  const Record& rec = slots_[slot];
+  return rec.active && rec.gen == h.gen;
+}
+
+void Simulator::vacate(std::uint32_t slot) {
+  Record& rec = slots_[slot];
+  rec.cb.reset();
+  rec.active = false;
+  ++rec.gen;
+  free_slots_.push_back(slot);
 }
 
 void Simulator::skip_cancelled() {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+  while (!heap_.empty() && !entry_live(heap_.top())) {
     heap_.pop();
   }
 }
@@ -37,10 +67,12 @@ bool Simulator::step() {
   if (heap_.empty()) return false;
   const Entry e = heap_.top();
   heap_.pop();
-  auto it = callbacks_.find(e.id);
-  // skip_cancelled guarantees the callback exists.
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
+  // skip_cancelled guarantees the record is live. Move the callback out
+  // and vacate before invoking: the callback may schedule new events
+  // (growing slots_) or cancel, so no Record reference survives the call.
+  Callback cb = std::move(slots_[e.slot].cb);
+  vacate(e.slot);
+  --pending_;
   now_ = e.time;
   ++executed_;
   cb();

@@ -10,12 +10,22 @@
 // Ordering guarantees: events fire in non-decreasing timestamp order; events
 // with equal timestamps fire in scheduling (FIFO) order. Scheduling in the
 // past is rejected.
+//
+// Storage: event records live in a slab (vector + free list) addressed by
+// slot index; handles carry a generation counter so cancel()/pending() are
+// O(1) array lookups with no hashing, and a stale handle can never touch a
+// later event that reuses its slot. Callbacks use inline small-buffer
+// storage (EventCallback), so the schedule/fire cycle of a typical event
+// performs no heap allocation at steady state.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <queue>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -23,11 +33,113 @@
 
 namespace esm::sim {
 
-/// Opaque handle to a scheduled event, used for cancellation.
-struct EventHandle {
-  std::uint64_t id = 0;
+/// Move-only callable holding small closures inline (no heap allocation for
+/// captures up to kInlineBytes) and falling back to the heap for larger
+/// ones. Deliberately minimal: invoke, move, destroy — exactly what the
+/// event loop needs, with none of std::function's copyability overhead.
+class EventCallback {
+ public:
+  /// Inline capture budget. Sized for the engine's hot callbacks (a couple
+  /// of pointers, an id, a packet shared_ptr); measured across the harness,
+  /// virtually every scheduled closure fits.
+  static constexpr std::size_t kInlineBytes = 48;
 
-  bool valid() const { return id != 0; }
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*move)(unsigned char* dst, unsigned char* src);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](unsigned char* b) { (*std::launder(reinterpret_cast<Fn*>(b)))(); },
+      [](unsigned char* dst, unsigned char* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](unsigned char* b) { std::launder(reinterpret_cast<Fn*>(b))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](unsigned char* b) {
+        (**std::launder(reinterpret_cast<Fn**>(b)))();
+      },
+      [](unsigned char* dst, unsigned char* src) {
+        Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (static_cast<void*>(dst)) Fn*(*from);
+        *from = nullptr;
+      },
+      [](unsigned char* b) {
+        delete *std::launder(reinterpret_cast<Fn**>(b));
+      },
+  };
+
+  void move_from(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+/// Opaque handle to a scheduled event, used for cancellation. Encodes the
+/// slab slot plus the slot's generation at scheduling time; the generation
+/// check makes a stale handle inert after its slot is reused.
+struct EventHandle {
+  std::uint32_t slot = 0;  // slot index + 1; 0 = never scheduled
+  std::uint32_t gen = 0;
+
+  bool valid() const { return slot != 0; }
   friend bool operator==(const EventHandle&, const EventHandle&) = default;
 };
 
@@ -35,7 +147,7 @@ struct EventHandle {
 /// reference and schedule work on it.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -71,13 +183,20 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
 
   /// Number of events currently pending.
-  std::size_t events_pending() const { return callbacks_.size(); }
+  std::size_t events_pending() const { return pending_; }
 
  private:
+  struct Record {
+    EventCallback cb;
+    std::uint64_t seq = 0;   // tie-break: FIFO among equal timestamps
+    std::uint32_t gen = 1;   // bumped whenever the slot is vacated
+    bool active = false;
+  };
   struct Entry {
     SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -86,15 +205,27 @@ class Simulator {
     }
   };
 
+  // True if the heap entry still refers to a live event (its slot has not
+  // been cancelled/fired and then possibly reused).
+  bool entry_live(const Entry& e) const {
+    const Record& rec = slots_[e.slot];
+    return rec.active && rec.gen == e.gen;
+  }
+
   // Pops dead (cancelled) entries off the heap top.
   void skip_cancelled();
 
+  // Marks the slot free and bumps its generation so outstanding handles
+  // and heap entries for the old event go stale.
+  void vacate(std::uint32_t slot);
+
   SimTime now_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::vector<Record> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// Restartable periodic timer built on Simulator; fires `tick` every

@@ -1,0 +1,151 @@
+// Tests for the parallel experiment runner: bit-for-bit determinism at any
+// job count, input-order results, serial-loop equivalence, progress
+// callbacks and error propagation.
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/cli.hpp"
+
+namespace esm::harness {
+namespace {
+
+ExperimentConfig tiny_config(std::uint64_t seed) {
+  ExperimentConfig c;
+  c.seed = seed;
+  c.num_nodes = 25;
+  c.num_messages = 25;
+  c.warmup = 8 * kSecond;
+  c.topology.num_underlay_vertices = 300;
+  c.topology.num_transit_domains = 3;
+  c.topology.transit_per_domain = 5;
+  return c;
+}
+
+// The fields the sweep tools print; equality here is what "byte-identical
+// CSV under --jobs N" needs.
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.latency_ci95_ms, b.latency_ci95_ms);
+  EXPECT_EQ(a.p50_latency_ms, b.p50_latency_ms);
+  EXPECT_EQ(a.p95_latency_ms, b.p95_latency_ms);
+  EXPECT_EQ(a.payload_per_delivery, b.payload_per_delivery);
+  EXPECT_EQ(a.load_all.payload_per_msg, b.load_all.payload_per_msg);
+  EXPECT_EQ(a.load_low.payload_per_msg, b.load_low.payload_per_msg);
+  EXPECT_EQ(a.load_best.payload_per_msg, b.load_best.payload_per_msg);
+  EXPECT_EQ(a.mean_delivery_fraction, b.mean_delivery_fraction);
+  EXPECT_EQ(a.atomic_delivery_fraction, b.atomic_delivery_fraction);
+  EXPECT_EQ(a.top5_connection_share, b.top5_connection_share);
+  EXPECT_EQ(a.payload_packets, b.payload_packets);
+  EXPECT_EQ(a.control_packets, b.control_packets);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.live_nodes, b.live_nodes);
+}
+
+std::vector<ExperimentConfig> mixed_configs() {
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    ExperimentConfig c = tiny_config(seed);
+    c.strategy = StrategySpec::make_flat(0.5);
+    configs.push_back(c);
+    c = tiny_config(seed);
+    c.strategy = StrategySpec::make_ttl(2);
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+TEST(Runner, DefaultJobsIsPositive) { EXPECT_GE(default_jobs(), 1u); }
+
+TEST(Runner, ParallelMatchesSerialLoopBitForBit) {
+  const auto configs = mixed_configs();
+
+  // Reference: the historical strictly-serial loop.
+  std::vector<ExperimentResult> serial;
+  serial.reserve(configs.size());
+  for (const auto& c : configs) serial.push_back(run_experiment(c));
+
+  const auto jobs1 = run_experiments(configs, 1);
+  const auto jobs4 = run_experiments(configs, 4);
+  ASSERT_EQ(jobs1.size(), configs.size());
+  ASSERT_EQ(jobs4.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_identical(serial[i], jobs1[i]);
+    expect_identical(serial[i], jobs4[i]);
+  }
+}
+
+TEST(Runner, KvRenderingIdenticalAcrossJobCounts) {
+  // Strongest form of the determinism claim: the *rendered text* of every
+  // result matches, not just the raw doubles.
+  const auto configs = mixed_configs();
+  const auto jobs1 = run_experiments(configs, 1);
+  const auto jobs4 = run_experiments(configs, 4);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(format_result_kv(jobs1[i]), format_result_kv(jobs4[i]));
+  }
+}
+
+TEST(Runner, MoreJobsThanConfigs) {
+  std::vector<ExperimentConfig> configs{tiny_config(5)};
+  const auto results = run_experiments(configs, 16);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].events_executed, 0u);
+}
+
+TEST(Runner, EmptyConfigListIsFine) {
+  EXPECT_TRUE(run_experiments({}, 4).empty());
+}
+
+TEST(Runner, OnDoneSeesEveryIndexExactlyOnce) {
+  const auto configs = mixed_configs();
+  std::set<std::size_t> seen;
+  const auto results = run_experiments(
+      configs, 3, [&](std::size_t i, const ExperimentResult& r) {
+        // Serialized by the runner's mutex; no extra locking needed.
+        EXPECT_TRUE(seen.insert(i).second);
+        EXPECT_GT(r.events_executed, 0u);
+      });
+  EXPECT_EQ(seen.size(), configs.size());
+}
+
+TEST(Runner, FirstErrorInInputOrderIsRethrown) {
+  std::vector<ExperimentConfig> configs;
+  for (int i = 0; i < 4; ++i) configs.push_back(tiny_config(7));
+  // Zero nodes is rejected by the harness; make two runs fail.
+  configs[1].num_nodes = 0;
+  configs[3].num_nodes = 0;
+  EXPECT_THROW(run_experiments(configs, 4), std::exception);
+}
+
+TEST(Runner, ExtractJobsFlagParsesAndErases) {
+  std::string error;
+  std::vector<std::string> args{"--nodes", "50", "--jobs", "3", "--csv"};
+  EXPECT_EQ(extract_jobs_flag(args, error), 3u);
+  EXPECT_EQ(args, (std::vector<std::string>{"--nodes", "50", "--csv"}));
+
+  args = {"--jobs", "0"};
+  EXPECT_EQ(extract_jobs_flag(args, error), default_jobs());
+  EXPECT_TRUE(args.empty());
+
+  args = {"--nodes", "50"};
+  EXPECT_EQ(extract_jobs_flag(args, error), default_jobs());
+
+  args = {"--jobs", "banana"};
+  EXPECT_EQ(extract_jobs_flag(args, error), 0u);
+  EXPECT_FALSE(error.empty());
+
+  args = {"--jobs"};
+  error.clear();
+  EXPECT_EQ(extract_jobs_flag(args, error), 0u);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace esm::harness

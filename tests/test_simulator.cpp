@@ -2,8 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include <vector>
 #include <algorithm>
+#include <array>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -134,6 +135,99 @@ TEST(Simulator, EventsMayScheduleMoreEvents) {
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelSlotReuse) {
+  // A cancelled event's slot may be reused by a later schedule; the stale
+  // handle must be inert (generation check) and must never cancel the new
+  // occupant.
+  Simulator sim;
+  bool first_fired = false;
+  bool second_fired = false;
+  const EventHandle stale = sim.schedule_at(10, [&] { first_fired = true; });
+  EXPECT_TRUE(sim.cancel(stale));
+  // With a single free slot, the next schedule reuses it.
+  const EventHandle fresh = sim.schedule_at(20, [&] { second_fired = true; });
+  EXPECT_FALSE(sim.pending(stale));
+  EXPECT_TRUE(sim.pending(fresh));
+  EXPECT_FALSE(sim.cancel(stale));  // must not touch the reused slot
+  EXPECT_TRUE(sim.pending(fresh));
+  sim.run();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, StaleHandleAfterFireDoesNotCancelSlotReuse) {
+  // Same as above but the slot is vacated by firing, not cancelling.
+  Simulator sim;
+  const EventHandle fired_handle = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.pending(fired_handle));
+  bool second_fired = false;
+  const EventHandle fresh =
+      sim.schedule_at(20, [&] { second_fired = true; });
+  EXPECT_FALSE(sim.cancel(fired_handle));
+  EXPECT_TRUE(sim.pending(fresh));
+  sim.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, PendingStaysFalseOnFiredAndCancelledHandles) {
+  Simulator sim;
+  const EventHandle cancelled = sim.schedule_at(5, [] {});
+  const EventHandle fires = sim.schedule_at(6, [] {});
+  sim.cancel(cancelled);
+  sim.run();
+  EXPECT_FALSE(sim.pending(cancelled));
+  EXPECT_FALSE(sim.pending(fires));
+  // Heavy slot churn: old handles stay dead no matter how often their
+  // slots are recycled.
+  for (int i = 0; i < 100; ++i) {
+    const EventHandle h = sim.schedule_after(1, [] {});
+    sim.run();
+    EXPECT_FALSE(sim.pending(h));
+    EXPECT_FALSE(sim.pending(cancelled));
+    EXPECT_FALSE(sim.pending(fires));
+  }
+  EXPECT_FALSE(sim.cancel(cancelled));
+  EXPECT_FALSE(sim.cancel(fires));
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  Simulator sim;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(sim.pending(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, CancelInsideCallbackOfSameTimestamp) {
+  // An event may cancel a later event sharing its timestamp; the heap
+  // entry for the cancelled event must be skipped, not fired.
+  Simulator sim;
+  bool victim_fired = false;
+  EventHandle victim;
+  sim.schedule_at(10, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  victim = sim.schedule_at(10, [&] { victim_fired = true; });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, LargeCaptureCallbacksSurviveSlotReuse) {
+  // Callbacks bigger than the inline buffer take the heap fallback path;
+  // they must move intact through slab slots and slot reuse.
+  Simulator sim;
+  std::array<long, 64> payload{};
+  for (int i = 0; i < 64; ++i) payload[static_cast<size_t>(i)] = i;
+  static_assert(sizeof(payload) > EventCallback::kInlineBytes);
+  long sum = 0;
+  const EventHandle h = sim.schedule_at(5, [payload, &sum] {
+    for (const long v : payload) sum += v;
+  });
+  EXPECT_TRUE(sim.pending(h));
+  sim.run();
+  EXPECT_EQ(sum, 64L * 63L / 2L);
 }
 
 TEST(Simulator, RandomizedModelCheck) {

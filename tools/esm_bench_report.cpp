@@ -1,0 +1,134 @@
+// esm_bench_report: fixed sweep workload + machine-readable perf report.
+//
+// Runs the same 8-point pi sweep every time (flat strategy, 100 nodes,
+// 200 messages, seed 2007) and writes BENCH_sweep.json with wall-clock,
+// aggregate events/sec and the per-point metric fingerprint. The workload
+// is pinned so numbers are comparable across commits: re-run on the same
+// machine before and after a change and diff the JSON.
+//
+//   esm_bench_report                  # all cores, writes BENCH_sweep.json
+//   esm_bench_report --jobs 1         # serial baseline
+//   esm_bench_report --out perf.json
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esm;
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  std::string out_path = "BENCH_sweep.json";
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  std::string error;
+  const unsigned jobs = harness::extract_jobs_flag(args, error);
+  if (jobs == 0) {
+    std::fprintf(stderr, "esm_bench_report: %s\n", error.c_str());
+    return 2;
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr,
+                 "esm_bench_report: unknown flag %s (takes --jobs N and "
+                 "--out FILE only; the workload is fixed by design)\n",
+                 args[0].c_str());
+    return 2;
+  }
+
+  // The fixed workload: one flat-strategy point per pi value. Do not
+  // change these constants — the point of the tool is cross-commit
+  // comparability of both the timings and the metric fingerprint.
+  constexpr double kPis[] = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 0.3};
+  constexpr std::uint64_t kSeed = 2007;
+  std::vector<harness::ExperimentConfig> configs;
+  for (const double pi : kPis) {
+    harness::ExperimentConfig config;
+    config.seed = kSeed;
+    config.num_nodes = 100;
+    config.num_messages = 200;
+    config.strategy = harness::StrategySpec::make_flat(pi);
+    configs.push_back(config);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<harness::ExperimentResult> results;
+  try {
+    results = harness::run_experiments(configs, jobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esm_bench_report: %s\n", e.what());
+    return 1;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double wall_s =
+      std::chrono::duration<double>(stop - start).count();
+
+  std::uint64_t total_events = 0;
+  for (const auto& r : results) total_events += r.events_executed;
+  const double events_per_sec =
+      wall_s > 0.0 ? static_cast<double>(total_events) / wall_s : 0.0;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "esm_bench_report: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  char buf[256];
+  out << "{\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"workload\": \"flat pi sweep, 8 points, 100 nodes, "
+                "200 messages, seed %llu\",\n",
+                static_cast<unsigned long long>(kSeed));
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"jobs\": %u,\n", jobs);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"hardware_concurrency\": %u,\n",
+                harness::default_jobs());
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"points\": %zu,\n", results.size());
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"wall_clock_seconds\": %.3f,\n",
+                wall_s);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"total_events\": %llu,\n",
+                static_cast<unsigned long long>(total_events));
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"events_per_second\": %.0f,\n",
+                events_per_sec);
+  out << buf;
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"pi\": %g, \"latency_ms\": %.3f, "
+                  "\"payload_per_msg\": %.3f, \"deliveries\": %.5f, "
+                  "\"events\": %llu}%s\n",
+                  kPis[i], r.mean_latency_ms, r.load_all.payload_per_msg,
+                  r.mean_delivery_fraction,
+                  static_cast<unsigned long long>(r.events_executed),
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+
+  std::printf(
+      "wall-clock %.3f s | %llu events | %.0f events/s | jobs %u\n"
+      "report written to %s\n",
+      wall_s, static_cast<unsigned long long>(total_events), events_per_sec,
+      jobs, out_path.c_str());
+  return 0;
+}

@@ -2,31 +2,51 @@
 //
 //   esm_run --strategy hybrid --rho 10 --u 3 --best 0.05 --nodes 100
 //   esm_run --strategy flat --pi 0 --loss 0.01 --kv
+//   esm_run --strategy ttl --u 3 --reps 8 --jobs 8   # CI-style replication
 //
-// See `esm_run --help` for every flag.
+// --reps N runs N replications of the same configuration with seeds
+// seed, seed+1, ..., seed+N-1 (concurrently on --jobs threads) and reports
+// mean ± 95% CI over the replications. See `esm_run --help` for every flag.
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "harness/cli.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
+#include "stats/running.hpp"
 
 int main(int argc, char** argv) {
   using namespace esm;
   std::vector<std::string> args(argv + 1, argv + argc);
-  // --trace FILE is handled here (file IO is the tool's business, not the
-  // parser's).
+  // --trace FILE and --reps N are handled here (file IO and replication
+  // are the tool's business, not the parser's).
   std::string trace_path;
-  for (std::size_t i = 0; i < args.size(); ++i) {
+  std::uint64_t reps = 1;
+  for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_path = args[i + 1];
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      break;
+    } else if (args[i] == "--reps" && i + 1 < args.size()) {
+      reps = std::strtoull(args[i + 1].c_str(), nullptr, 10);
+      if (reps == 0) {
+        std::fprintf(stderr, "esm_run: --reps must be >= 1\n");
+        return 2;
+      }
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
     }
   }
   std::string error;
+  const unsigned jobs = harness::extract_jobs_flag(args, error);
+  if (jobs == 0) {
+    std::fprintf(stderr, "esm_run: %s\n", error.c_str());
+    return 2;
+  }
   auto options = harness::parse_cli(args, error);
   if (options && !trace_path.empty()) {
     options->config.collect_trace = true;
@@ -37,6 +57,65 @@ int main(int argc, char** argv) {
   }
   if (options->help) {
     std::fputs(harness::cli_help_text().c_str(), stdout);
+    return 0;
+  }
+  if (reps > 1 && !trace_path.empty()) {
+    std::fprintf(stderr, "esm_run: --trace is single-run; drop --reps\n");
+    return 2;
+  }
+
+  if (reps > 1) {
+    std::vector<harness::ExperimentConfig> configs(reps, options->config);
+    for (std::uint64_t r = 0; r < reps; ++r) configs[r].seed += r;
+    std::vector<harness::ExperimentResult> results;
+    try {
+      results = harness::run_experiments(configs, jobs);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esm_run: %s\n", e.what());
+      return 1;
+    }
+    stats::RunningStat latency, payload, deliveries, top5;
+    for (const auto& r : results) {
+      latency.add(r.mean_latency_ms);
+      payload.add(r.load_all.payload_per_msg);
+      deliveries.add(100.0 * r.mean_delivery_fraction);
+      top5.add(100.0 * r.top5_connection_share);
+    }
+    if (options->json) {
+      std::printf("reps=%llu\n", static_cast<unsigned long long>(reps));
+      std::printf("mean_latency_ms=%g\nmean_latency_ms_ci95=%g\n",
+                  latency.mean(), latency.ci95_half_width());
+      std::printf("payload_per_msg_all=%g\npayload_per_msg_all_ci95=%g\n",
+                  payload.mean(), payload.ci95_half_width());
+      std::printf(
+          "mean_delivery_fraction=%g\nmean_delivery_fraction_ci95=%g\n",
+          deliveries.mean() / 100.0, deliveries.ci95_half_width() / 100.0);
+      std::printf("top5_connection_share=%g\ntop5_connection_share_ci95=%g\n",
+                  top5.mean() / 100.0, top5.ci95_half_width() / 100.0);
+      return 0;
+    }
+    harness::Table table("replications: " +
+                         options->config.strategy.describe());
+    table.header({"seed", "latency ms", "payload/msg", "deliveries %",
+                  "top5 %"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      table.row({std::to_string(configs[i].seed),
+                 harness::Table::num(r.mean_latency_ms, 1),
+                 harness::Table::num(r.load_all.payload_per_msg, 2),
+                 harness::Table::num(100.0 * r.mean_delivery_fraction, 2),
+                 harness::Table::num(100.0 * r.top5_connection_share, 1)});
+    }
+    table.row({"mean ± ci95",
+               harness::Table::num(latency.mean(), 1) + " ± " +
+                   harness::Table::num(latency.ci95_half_width(), 1),
+               harness::Table::num(payload.mean(), 2) + " ± " +
+                   harness::Table::num(payload.ci95_half_width(), 2),
+               harness::Table::num(deliveries.mean(), 2) + " ± " +
+                   harness::Table::num(deliveries.ci95_half_width(), 2),
+               harness::Table::num(top5.mean(), 1) + " ± " +
+                   harness::Table::num(top5.ci95_half_width(), 1)});
+    table.print();
     return 0;
   }
 

@@ -7,12 +7,15 @@
 //   esm_sweep --param kill --values 0,0.2,0.4 --strategy ttl --u 3 --csv
 //
 // Any esm_run flag is accepted as the base configuration. --csv emits
-// machine-readable rows instead of the table.
+// machine-readable rows instead of the table. Points run concurrently on
+// --jobs worker threads (default: hardware concurrency); each point owns
+// its Simulator and RNG streams, so output is byte-identical to --jobs 1.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "harness/cli.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -37,16 +40,22 @@ int main(int argc, char** argv) {
       ++i;
     }
   }
+  std::string error;
+  const unsigned jobs = harness::extract_jobs_flag(args, error);
+  if (jobs == 0) {
+    std::fprintf(stderr, "esm_sweep: %s\n", error.c_str());
+    return 2;
+  }
   if (param.empty() || values_text.empty()) {
     std::fprintf(stderr,
                  "esm_sweep: --param NAME and --values V1,V2,... are "
                  "required.\nSweepable: pi u rho best noise t0-ms loss kill "
                  "churn batch-ms interval-ms period-ms fanout nodes messages "
-                 "seed.\nAll esm_run flags form the base configuration.\n");
+                 "seed.\nAll esm_run flags form the base configuration;\n"
+                 "--jobs N runs points concurrently (default: all cores).\n");
     return 2;
   }
 
-  std::string error;
   const auto base = harness::parse_cli(args, error);
   if (!base) {
     std::fprintf(stderr, "esm_sweep: %s\n", error.c_str());
@@ -58,6 +67,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::vector<harness::ExperimentConfig> configs;
+  configs.reserve(values->size());
+  for (const double v : *values) {
+    harness::ExperimentConfig config = base->config;
+    if (!harness::apply_sweep_param(config, param, v, error)) {
+      std::fprintf(stderr, "esm_sweep: %s\n", error.c_str());
+      return 2;
+    }
+    configs.push_back(config);
+  }
+
+  std::vector<harness::ExperimentResult> results;
+  try {
+    results = harness::run_experiments(configs, jobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esm_sweep: %s\n", e.what());
+    return 1;
+  }
+
   harness::Table table("sweep of " + param + " (" +
                        base->config.strategy.describe() + ")");
   table.header({param, "latency ms", "p95 ms", "payload/msg",
@@ -67,20 +95,9 @@ int main(int argc, char** argv) {
         "%s,latency_ms,p95_ms,payload_per_msg,deliveries,top5_share\n",
         param.c_str());
   }
-  for (const double v : *values) {
-    harness::ExperimentConfig config = base->config;
-    if (!harness::apply_sweep_param(config, param, v, error)) {
-      std::fprintf(stderr, "esm_sweep: %s\n", error.c_str());
-      return 2;
-    }
-    harness::ExperimentResult r;
-    try {
-      r = harness::run_experiment(config);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "esm_sweep: %s=%g: %s\n", param.c_str(), v,
-                   e.what());
-      return 1;
-    }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double v = (*values)[i];
+    const harness::ExperimentResult& r = results[i];
     if (csv) {
       std::printf("%g,%.3f,%.3f,%.3f,%.5f,%.5f\n", v, r.mean_latency_ms,
                   r.p95_latency_ms, r.load_all.payload_per_msg,
