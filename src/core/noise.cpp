@@ -17,6 +17,11 @@ NoisyStrategy::NoisyStrategy(std::unique_ptr<TransmissionStrategy> inner,
   if (!calibration_) calibration_ = std::make_shared<NoiseCalibration>();
 }
 
+void NoisyStrategy::set_noise(double noise) {
+  ESM_CHECK(noise >= 0.0 && noise <= 1.0, "noise ratio must be in [0, 1]");
+  noise_ = noise;
+}
+
 bool NoisyStrategy::eager(const MsgId& id, Round round, NodeId peer) {
   const bool raw = inner_->eager(id, round, peer);
   calibration_->observe(raw);

@@ -73,6 +73,9 @@ class NoisyStrategy final : public TransmissionStrategy {
   /// Current estimate of the system-wide eager rate (c).
   double eager_rate_estimate() const { return calibration_->eager_rate(); }
   double noise() const { return noise_; }
+  /// Adjusts the noise ratio at run time (fault-injected noise ramps,
+  /// paper §6.5 explored as a timeline instead of a sweep).
+  void set_noise(double noise);
 
  private:
   std::unique_ptr<TransmissionStrategy> inner_;

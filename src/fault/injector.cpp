@@ -1,0 +1,198 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace esm::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, net::Transport& transport,
+                             ScenarioScript script,
+                             std::vector<NodeId> best_first, Rng rng,
+                             InjectorHooks hooks)
+    : sim_(sim),
+      transport_(transport),
+      script_(std::move(script)),
+      best_first_(std::move(best_first)),
+      rng_(rng),
+      hooks_(std::move(hooks)) {
+  script_.validate(transport_.num_nodes());
+  script_.sort();
+}
+
+void FaultInjector::arm(SimTime origin) {
+  ESM_CHECK(!armed_, "fault injector armed twice");
+  armed_ = true;
+  for (std::size_t i = 0; i < script_.events.size(); ++i) {
+    sim_.schedule_at(origin + script_.events[i].at,
+                     [this, i] { apply(script_.events[i]); });
+  }
+}
+
+void FaultInjector::crash_node(NodeId node) {
+  if (transport_.is_silenced(node)) return;
+  transport_.silence(node);
+  crashed_.push_back(node);
+  ++events_applied_;
+  if (hooks_.on_crash) hooks_.on_crash(node);
+}
+
+void FaultInjector::recover_node(NodeId node) {
+  if (!transport_.is_silenced(node)) return;
+  transport_.revive(node);
+  crashed_.erase(std::remove(crashed_.begin(), crashed_.end(), node),
+                 crashed_.end());
+  ++events_applied_;
+  if (hooks_.on_recover) hooks_.on_recover(node);
+}
+
+std::vector<NodeId> FaultInjector::select_victims(const FaultEvent& e) {
+  // crash picks from live nodes, recover from silenced ones.
+  const bool want_silenced = e.kind == FaultKind::recover;
+  auto eligible = [&](NodeId id) {
+    return transport_.is_silenced(id) == want_silenced;
+  };
+  std::vector<NodeId> out;
+  switch (e.selector) {
+    case SelectorKind::ids:
+      return e.ids;
+    case SelectorKind::all_crashed:
+      return crashed_;
+    case SelectorKind::best:
+    case SelectorKind::worst: {
+      ESM_CHECK(!best_first_.empty(),
+                "scenario uses best/worst selector but no ranking was given");
+      const auto pick = [&](auto first, auto last) {
+        for (auto it = first; it != last && out.size() < e.count; ++it) {
+          if (eligible(*it)) out.push_back(*it);
+        }
+      };
+      if (e.selector == SelectorKind::best) {
+        pick(best_first_.begin(), best_first_.end());
+      } else {
+        pick(best_first_.rbegin(), best_first_.rend());
+      }
+      return out;
+    }
+    case SelectorKind::random: {
+      std::vector<NodeId> pool;
+      for (NodeId id = 0; id < transport_.num_nodes(); ++id) {
+        if (eligible(id)) pool.push_back(id);
+      }
+      return rng_.sample(pool, e.count);
+    }
+  }
+  return out;
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::crash:
+      for (const NodeId id : select_victims(e)) crash_node(id);
+      break;
+    case FaultKind::recover:
+      for (const NodeId id : select_victims(e)) recover_node(id);
+      break;
+    case FaultKind::partition: {
+      // Listed groups become groups 1..k; everyone else stays in group 0.
+      std::vector<int> group_of_node(transport_.num_nodes(), 0);
+      int group = 1;
+      for (const auto& members : e.groups) {
+        for (const NodeId id : members) group_of_node[id] = group;
+        ++group;
+      }
+      transport_.set_partition(group_of_node);
+      ++events_applied_;
+      break;
+    }
+    case FaultKind::heal:
+      transport_.heal_partition();
+      ++events_applied_;
+      break;
+    case FaultKind::loss_burst: {
+      const bool link = e.link_a != kInvalidNode;
+      if (link) {
+        transport_.set_link_extra_loss(e.link_a, e.link_b, e.value);
+      } else {
+        transport_.set_extra_loss(e.value);
+      }
+      ++events_applied_;
+      if (e.duration > 0) {
+        // Overlapping bursts on the same scope: last restore wins.
+        sim_.schedule_after(e.duration, [this, link, a = e.link_a,
+                                         b = e.link_b] {
+          if (link) {
+            transport_.set_link_extra_loss(a, b, 0.0);
+          } else {
+            transport_.set_extra_loss(0.0);
+          }
+          ++events_applied_;
+        });
+      }
+      break;
+    }
+    case FaultKind::latency_spike: {
+      const bool link = e.link_a != kInvalidNode;
+      if (link) {
+        transport_.set_link_delay_factor(e.link_a, e.link_b, e.value);
+      } else {
+        transport_.set_delay_factor(e.value);
+      }
+      ++events_applied_;
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this, link, a = e.link_a,
+                                         b = e.link_b] {
+          if (link) {
+            transport_.set_link_delay_factor(a, b, 1.0);
+          } else {
+            transport_.set_delay_factor(1.0);
+          }
+          ++events_applied_;
+        });
+      }
+      break;
+    }
+    case FaultKind::churn:
+      if (hooks_.on_churn_rate) hooks_.on_churn_rate(e.value);
+      ++events_applied_;
+      if (e.duration > 0) {
+        sim_.schedule_after(e.duration, [this] {
+          if (hooks_.on_churn_rate) hooks_.on_churn_rate(0.0);
+          ++events_applied_;
+        });
+      }
+      break;
+    case FaultKind::noise_ramp: {
+      if (e.duration <= 0) {
+        current_noise_ = e.value;
+        if (hooks_.on_noise) hooks_.on_noise(e.value);
+        ++events_applied_;
+        break;
+      }
+      // Linear ramp in kRampSteps equal steps from the current level.
+      constexpr int kRampSteps = 10;
+      const double start = current_noise_;
+      const double target = e.value;
+      for (int step = 1; step <= kRampSteps; ++step) {
+        const SimTime when = e.duration * step / kRampSteps;
+        const double level =
+            start + (target - start) * step / double(kRampSteps);
+        sim_.schedule_after(when, [this, level] {
+          current_noise_ = level;
+          if (hooks_.on_noise) hooks_.on_noise(level);
+          ++events_applied_;
+        });
+      }
+      // Track the endpoint now so a later ramp starts from the target
+      // even if it is scheduled before this ramp finishes stepping.
+      current_noise_ = target;
+      break;
+    }
+    case FaultKind::phase:
+      if (hooks_.on_phase) hooks_.on_phase(e.label);
+      ++events_applied_;
+      break;
+  }
+}
+
+}  // namespace esm::fault

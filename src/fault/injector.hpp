@@ -1,0 +1,87 @@
+// Drives a ScenarioScript against a live experiment.
+//
+// The injector owns the mechanical side of fault injection — silencing
+// and reviving nodes on the Transport, installing partitions, arming and
+// restoring loss/latency bursts — and delegates everything protocol- or
+// harness-specific (overlay re-join, churn-rate changes, noise ramps,
+// phase-window bookkeeping) to caller-supplied hooks. This keeps the
+// fault layer dependent only on sim + net, while the harness composes it
+// with overlays, monitors and metrics.
+//
+// Determinism: the injector draws victims for `random` selectors from its
+// own split of the experiment RNG, and schedules everything on the shared
+// simulator, so scenario runs are bit-for-bit reproducible and
+// independent of the runner's --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/scenario.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::fault {
+
+/// Callbacks into the harness; any may be left empty.
+struct InjectorHooks {
+  /// A node was silenced (already applied on the transport).
+  std::function<void(NodeId)> on_crash;
+  /// A node was revived; the harness should re-join it to the overlay.
+  std::function<void(NodeId)> on_recover;
+  /// A phase marker fired (measurement window boundary).
+  std::function<void(const std::string& label)> on_phase;
+  /// Churn rate change: events per node per second (0 = stop churn).
+  std::function<void(double rate)> on_churn_rate;
+  /// Monitor noise level change (one call per ramp step).
+  std::function<void(double noise)> on_noise;
+};
+
+/// Registers a script's events on the simulator and applies them.
+class FaultInjector {
+ public:
+  /// `best_first` ranks nodes best-to-worst for the best/worst selectors
+  /// (the harness passes its closeness order; may be empty when the script
+  /// never uses those selectors). `script` must already be validated
+  /// against the transport's node count.
+  FaultInjector(sim::Simulator& sim, net::Transport& transport,
+                ScenarioScript script, std::vector<NodeId> best_first,
+                Rng rng, InjectorHooks hooks);
+
+  /// Schedules every event at `origin + event.at`. Call once, at the
+  /// measurement start. A `duration`-bounded burst or churn interval also
+  /// schedules its restore event.
+  void arm(SimTime origin);
+
+  /// Total fault events applied so far (restores and ramp steps included).
+  std::uint64_t events_applied() const { return events_applied_; }
+
+  /// Nodes currently crashed by this injector.
+  const std::vector<NodeId>& crashed() const { return crashed_; }
+
+  /// Initial noise level used as the ramp starting point (defaults to 0;
+  /// set before arm() when the experiment configures baseline noise).
+  void set_initial_noise(double noise) { current_noise_ = noise; }
+
+ private:
+  void apply(const FaultEvent& event);
+  std::vector<NodeId> select_victims(const FaultEvent& event);
+  void crash_node(NodeId node);
+  void recover_node(NodeId node);
+
+  sim::Simulator& sim_;
+  net::Transport& transport_;
+  ScenarioScript script_;
+  std::vector<NodeId> best_first_;
+  Rng rng_;
+  InjectorHooks hooks_;
+  std::vector<NodeId> crashed_;
+  double current_noise_ = 0.0;
+  std::uint64_t events_applied_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace esm::fault

@@ -1,0 +1,99 @@
+// Scripted fault timelines (the §6.3 experiments as data, not code).
+//
+// A ScenarioScript is an ordered list of timestamped FaultEvents: node
+// crashes and recoveries, network partitions and heals, transient loss
+// bursts and latency spikes on links, churn-rate changes over an interval,
+// and ramps of the Performance Monitor's noise level. Event times are
+// relative to the *measurement start* (end of warm-up), so the same
+// scenario composes with any warm-up length.
+//
+// Scripts are plain data: building one performs no side effects. The
+// FaultInjector (injector.hpp) turns a script into simulator events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esm::fault {
+
+/// What a FaultEvent does.
+enum class FaultKind : std::uint8_t {
+  crash,          // silence the selected nodes (fail-by-firewall, §6.3)
+  recover,        // revive the selected nodes and re-join them
+  partition,      // split the network into node groups
+  heal,           // remove the partition
+  loss_burst,     // extra packet loss, globally or on one link
+  latency_spike,  // delay multiplier, globally or on one link
+  churn,          // set the churn (fail+replace) rate for an interval
+  noise_ramp,     // ramp the Performance Monitor noise toward a target
+  phase,          // pure measurement marker: start a new metrics window
+};
+
+/// How crash/recover events pick their victims.
+enum class SelectorKind : std::uint8_t {
+  ids,          // the explicit `ids` list
+  best,         // the `count` highest-ranked live nodes (closeness order)
+  worst,        // the `count` lowest-ranked live nodes
+  random,       // `count` uniformly random live nodes
+  all_crashed,  // recover only: every currently crashed node
+};
+
+/// One timestamped fault. Which fields are meaningful depends on `kind`;
+/// ScenarioScript::validate() enforces the combinations.
+struct FaultEvent {
+  /// Firing time, relative to measurement start (end of warm-up).
+  SimTime at = 0;
+  FaultKind kind = FaultKind::phase;
+
+  // crash / recover
+  SelectorKind selector = SelectorKind::ids;
+  std::vector<NodeId> ids;  // selector == ids
+  std::uint32_t count = 0;  // selector == best/worst/random
+
+  // partition: explicit node groups; nodes listed in no group form an
+  // implicit group 0 together.
+  std::vector<std::vector<NodeId>> groups;
+
+  // loss_burst: value = extra loss probability in [0,1).
+  // latency_spike: value = delay multiplier (> 0).
+  // churn: value = events per node per second.
+  // noise_ramp: value = target noise level in [0,1].
+  double value = 0.0;
+  /// Burst/churn duration; 0 means "until the end of the run". For
+  /// noise_ramp, the ramp interval (0 = step immediately).
+  SimTime duration = 0;
+  /// Link scope for loss_burst / latency_spike; kInvalidNode = all links.
+  NodeId link_a = kInvalidNode;
+  NodeId link_b = kInvalidNode;
+
+  /// Phase label (kind == phase).
+  std::string label;
+};
+
+/// An ordered fault timeline. Events fire in `at` order; ties fire in
+/// script order (stable sort).
+struct ScenarioScript {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Stable-sorts events by firing time.
+  void sort();
+
+  /// True if any event manipulates the monitor noise level (the harness
+  /// then wraps strategies in NoisyStrategy even when the configured
+  /// noise is zero).
+  bool has_noise_events() const;
+
+  /// Checks internal consistency and that every referenced node id is
+  /// < num_nodes. Throws esm::CheckFailure with a description on error.
+  void validate(std::uint32_t num_nodes) const;
+};
+
+/// Human-readable one-line description of an event (logs, traces).
+std::string describe(const FaultEvent& event);
+
+}  // namespace esm::fault

@@ -53,6 +53,11 @@ Failures:
   --kill F            fraction of nodes silenced after warm-up (default 0)
   --kill-mode MODE    random | best                            (default random)
   --churn RATE        continuous churn: RATE membership events per second
+  --scenario FILE     scripted fault timeline (crashes, partitions, loss
+                      bursts, churn, noise ramps, phase markers); see
+                      docs/PROTOCOL.md for the grammar. Event times are
+                      relative to the end of warm-up. Adds per-phase
+                      windowed metrics to the output.
 
 Execution:
   --reps N            replications with seeds seed..seed+N-1   (default 1)
@@ -266,6 +271,8 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       c.gossip.exclude_sender = true;
     } else if (flag == "--churn") {
       if (!next_double(flag, c.churn_rate)) return std::nullopt;
+    } else if (flag == "--scenario") {
+      if (!next_value(flag, options.scenario_path)) return std::nullopt;
     } else if (flag == "--kill") {
       if (!next_double(flag, c.kill_fraction)) return std::nullopt;
       if (c.kill_mode == KillMode::none) c.kill_mode = KillMode::random;
@@ -363,6 +370,25 @@ std::string format_result_kv(const ExperimentResult& result) {
      << "buffer_drops=" << result.buffer_drops << "\n"
      << "live_nodes=" << result.live_nodes << "\n"
      << "events_executed=" << result.events_executed << "\n";
+  if (!result.phase_reports.empty()) {
+    os << "faults_injected=" << result.faults_injected << "\n"
+       << "phases=" << result.phase_reports.size() << "\n";
+    for (std::size_t i = 0; i < result.phase_reports.size(); ++i) {
+      const auto& p = result.phase_reports[i];
+      const std::string prefix = "phase" + std::to_string(i) + "_";
+      os << prefix << "label=" << p.label << "\n"
+         << prefix << "start_ms=" << to_ms(p.start) << "\n"
+         << prefix << "end_ms=" << to_ms(p.end) << "\n"
+         << prefix << "messages=" << p.messages << "\n"
+         << prefix << "reliability=" << p.reliability << "\n"
+         << prefix << "atomic_fraction=" << p.atomic_fraction << "\n"
+         << prefix << "mean_latency_ms=" << p.mean_latency_ms << "\n"
+         << prefix << "p95_latency_ms=" << p.p95_latency_ms << "\n"
+         << prefix << "payload_per_msg=" << p.payload_per_msg << "\n"
+         << prefix << "top5_connection_share=" << p.top5_connection_share
+         << "\n";
+    }
+  }
   return os.str();
 }
 

@@ -20,6 +20,10 @@ struct CliOptions {
   bool json = false;
   /// --help was requested; `help_text` should be printed.
   bool help = false;
+  /// --scenario FILE: fault-scenario script to load into config.scenario.
+  /// The parser stays pure (no file IO); tools load the file themselves
+  /// via load_scenario_file().
+  std::string scenario_path;
 };
 
 /// Usage text for `esm_run --help`.

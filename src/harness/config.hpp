@@ -6,6 +6,7 @@
 
 #include "common/types.hpp"
 #include "core/gossip.hpp"
+#include "fault/scenario.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
 #include "overlay/cyclon.hpp"
@@ -146,6 +147,12 @@ struct ExperimentConfig {
   /// its initial size). Revived HyParView nodes re-join through a live
   /// contact; Cyclon re-absorbs them through shuffling. 0 disables churn.
   double churn_rate = 0.0;
+
+  /// Scripted fault timeline applied during the measurement phase (event
+  /// times are relative to the end of warm-up). Empty = no faults. Loaded
+  /// from --scenario files by the tools; composes with kill_fraction and
+  /// churn_rate, which fire through their own legacy paths.
+  fault::ScenarioScript scenario;
 
   /// Membership substrate. The adaptive (Plumtree-style) strategy needs
   /// stable symmetric neighbors: static_random or hyparview.

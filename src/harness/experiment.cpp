@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "core/gossip.hpp"
@@ -14,6 +15,7 @@
 #include "core/noise.hpp"
 #include "core/scheduler.hpp"
 #include "core/strategies.hpp"
+#include "fault/injector.hpp"
 #include "net/latency_model.hpp"
 #include "net/transport.hpp"
 #include "overlay/cyclon.hpp"
@@ -245,6 +247,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ESM_CHECK(config.num_nodes >= 2, "need at least two nodes");
   ESM_CHECK(config.kill_fraction >= 0.0 && config.kill_fraction < 1.0,
             "kill fraction must be in [0, 1)");
+  config.scenario.validate(config.num_nodes);
   Rng root(config.seed);
 
   // --- 1. Underlay, routing, ranking --------------------------------------
@@ -297,7 +300,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const bool use_gossip_rank = needs_best && config.strategy.use_gossip_rank;
 
   // One system-wide noise calibration (paper §4.3: a single constant c).
+  // Strategies are also wrapped (at zero noise, an exact identity) when a
+  // scenario ramps noise mid-run, so the injector has a knob to turn.
   auto noise_calibration = std::make_shared<core::NoiseCalibration>();
+  const bool wrap_noise =
+      config.strategy.noise > 0.0 || config.scenario.has_noise_events();
 
   // --- 2. Per-node stacks ---------------------------------------------------
   struct MsgRecord {
@@ -312,6 +319,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::vector<std::uint32_t> payload_tx_per_message(config.num_messages, 0);
   std::shared_ptr<trace::TraceLog> trace_log =
       config.collect_trace ? std::make_shared<trace::TraceLog>() : nullptr;
+  // Per-phase windowed metrics; only scenario runs pay for the tracking.
+  stats::PhaseWindows phase_windows(config.warmup);
+  stats::PhaseWindows* const pw =
+      config.scenario.empty() ? nullptr : &phase_windows;
 
   std::vector<std::unique_ptr<NodeStack>> nodes;
   nodes.reserve(config.num_nodes);
@@ -411,7 +422,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
     stack->strategy =
         make_strategy(config, id, monitor, best, node_rng.split(4));
-    if (config.strategy.noise > 0.0) {
+    if (wrap_noise) {
       auto noisy = std::make_unique<core::NoisyStrategy>(
           std::move(stack->strategy), config.strategy.noise,
           noise_calibration, node_rng.split(5));
@@ -434,11 +445,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           });
     }
     stack->scheduler->set_send_listener(
-        [&payload_tx_per_message, trace_log, id, &sim](
+        [&payload_tx_per_message, trace_log, pw, id, &sim](
             const core::AppMessage& msg, NodeId dst, bool eager) {
           if (msg.seq < payload_tx_per_message.size()) {
             ++payload_tx_per_message[msg.seq];
           }
+          if (pw) pw->on_payload(id, dst);
           if (trace_log) {
             trace_log->record_payload(
                 {sim.now(), id, dst, msg.seq, eager});
@@ -464,15 +476,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     stack->gossip = std::make_unique<core::GossipNode>(
         id, gossip_params, *stack->sampler, *stack->scheduler,
-        [&messages, &all_latency_ms, &sim, id,
-         trace_log](const core::AppMessage& msg) {
+        [&messages, &all_latency_ms, &sim, id, trace_log,
+         pw](const core::AppMessage& msg) {
           MsgRecord& rec = messages.at(msg.seq);
           ++rec.deliveries;
+          const double ms = to_ms(sim.now() - msg.multicast_time);
           if (msg.origin != id) {
-            const double ms = to_ms(sim.now() - msg.multicast_time);
             rec.latency_ms.add(ms);
             all_latency_ms.add(ms);
           }
+          if (pw) pw->on_delivery(msg.seq, ms, msg.origin == id);
           if (trace_log) {
             trace_log->record_delivery({sim.now(), id, msg.origin, msg.seq,
                                         sim.now() - msg.multicast_time});
@@ -583,42 +596,33 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // --- 5. Traffic --------------------------------------------------------------
   transport.stats().reset();  // measure only the logged phase
-  Rng traffic = root.split(0x74726166ULL);
-  std::deque<std::pair<SimTime, MsgId>> active_messages;
-  SimTime t = config.warmup;
-  SimTime last_send = t;
-  if (config.single_sender != kInvalidNode) {
-    ESM_CHECK(config.single_sender < config.num_nodes &&
-                  !dead[config.single_sender],
-              "single sender must be a live node");
-  }
-  for (std::uint32_t i = 0; i < config.num_messages; ++i) {
-    t += traffic.range(0, 2 * config.mean_interval);
-    last_send = t;
-    const NodeId planned = config.single_sender != kInvalidNode
-                               ? config.single_sender
-                               : live[i % live.size()];
-    const std::uint32_t bytes = config.payload_bytes;
-    sim.schedule_at(t, [planned, bytes, i, &sim, &active_messages, &nodes,
-                        &transport, &messages, &config] {
-      // Under churn the planned sender may be down at fire time: fall
-      // forward to the next live node.
-      NodeId sender = planned;
-      for (std::uint32_t step = 0;
-           transport.is_silenced(sender) && step < config.num_nodes; ++step) {
-        sender = (sender + 1) % config.num_nodes;
+
+  // Overlay re-integration of a revived node: NeEM re-bootstraps and
+  // HyParView re-joins through a random live contact; Cyclon and the
+  // samplers re-absorb revived nodes through regular shuffling. Shared by
+  // the churn process and the fault injector's recover events.
+  auto rejoin_overlay = [&nodes, &transport, &config](NodeId back, Rng& rng) {
+    if (nodes[back]->neem) {
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        const NodeId contact =
+            static_cast<NodeId>(rng.below(config.num_nodes));
+        if (contact != back && !transport.is_silenced(contact)) {
+          nodes[back]->neem->bootstrap({contact});
+          break;
+        }
       }
-      if (transport.is_silenced(sender)) return;  // everyone down
-      std::uint32_t live_now = 0;
-      for (NodeId n = 0; n < config.num_nodes; ++n) {
-        if (!transport.is_silenced(n)) ++live_now;
+    }
+    if (nodes[back]->hyparview) {
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        const NodeId contact =
+            static_cast<NodeId>(rng.below(config.num_nodes));
+        if (contact != back && !transport.is_silenced(contact)) {
+          nodes[back]->hyparview->join(contact);
+          break;
+        }
       }
-      messages[i].live_at_send = live_now;
-      const core::AppMessage msg =
-          nodes[sender]->gossip->multicast(bytes, i, sim.now());
-      active_messages.emplace_back(sim.now(), msg.id);
-    });
-  }
+    }
+  };
 
   // Continuous churn (extension): alternate kills and revivals, keeping
   // the live population near its initial size.
@@ -638,27 +642,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       const NodeId back = churn_dead[pick];
       churn_dead.erase(churn_dead.begin() + static_cast<std::ptrdiff_t>(pick));
       transport.revive(back);
-      if (nodes[back]->neem) {
-        for (int attempt = 0; attempt < 5; ++attempt) {
-          const NodeId contact =
-              static_cast<NodeId>(churn_rng.below(config.num_nodes));
-          if (contact != back && !transport.is_silenced(contact)) {
-            nodes[back]->neem->bootstrap({contact});
-            break;
-          }
-        }
-      }
-      if (nodes[back]->hyparview) {
-        // Re-join through a random live contact.
-        for (int attempt = 0; attempt < 5; ++attempt) {
-          const NodeId contact =
-              static_cast<NodeId>(churn_rng.below(config.num_nodes));
-          if (contact != back && !transport.is_silenced(contact)) {
-            nodes[back]->hyparview->join(contact);
-            break;
-          }
-        }
-      }
+      rejoin_overlay(back, churn_rng);
     } else {
       for (int attempt = 0; attempt < 10; ++attempt) {
         const NodeId victim =
@@ -672,10 +656,78 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       }
     }
   });
-  if (config.churn_rate > 0.0) {
-    const auto period =
-        static_cast<SimTime>(static_cast<double>(kSecond) / config.churn_rate);
-    churn_timer.start(period, std::max<SimTime>(period, 1));
+  auto set_churn_rate = [&churn_timer](double rate) {
+    churn_timer.stop();
+    if (rate > 0.0) {
+      const auto period =
+          static_cast<SimTime>(static_cast<double>(kSecond) / rate);
+      churn_timer.start(period, std::max<SimTime>(period, 1));
+    }
+  };
+  if (config.churn_rate > 0.0) set_churn_rate(config.churn_rate);
+
+  // Fault injector: armed *before* the traffic is scheduled so scenario
+  // events fire ahead of multicasts that share their timestamp (the event
+  // queue is FIFO within a timestamp).
+  Rng rejoin_rng = root.split(0x72656a6fULL);
+  std::optional<fault::FaultInjector> injector;
+  if (!config.scenario.empty()) {
+    fault::InjectorHooks hooks;
+    hooks.on_recover = [&rejoin_overlay, &rejoin_rng](NodeId back) {
+      rejoin_overlay(back, rejoin_rng);
+    };
+    hooks.on_phase = [pw, trace_log, &sim](const std::string& label) {
+      if (pw) pw->start_phase(sim.now(), label);
+      if (trace_log) trace_log->record_phase({sim.now(), label});
+    };
+    hooks.on_churn_rate = set_churn_rate;
+    hooks.on_noise = [&nodes](double level) {
+      for (const auto& stack : nodes) {
+        if (stack->noisy) stack->noisy->set_noise(level);
+      }
+    };
+    injector.emplace(sim, transport, config.scenario, closeness_order,
+                     root.split(0x6661756cULL), std::move(hooks));
+    injector->set_initial_noise(config.strategy.noise);
+    injector->arm(config.warmup);
+  }
+
+  Rng traffic = root.split(0x74726166ULL);
+  std::deque<std::pair<SimTime, MsgId>> active_messages;
+  SimTime t = config.warmup;
+  SimTime last_send = t;
+  if (config.single_sender != kInvalidNode) {
+    ESM_CHECK(config.single_sender < config.num_nodes &&
+                  !dead[config.single_sender],
+              "single sender must be a live node");
+  }
+  for (std::uint32_t i = 0; i < config.num_messages; ++i) {
+    t += traffic.range(0, 2 * config.mean_interval);
+    last_send = t;
+    const NodeId planned = config.single_sender != kInvalidNode
+                               ? config.single_sender
+                               : live[i % live.size()];
+    const std::uint32_t bytes = config.payload_bytes;
+    sim.schedule_at(t, [planned, bytes, i, &sim, &active_messages, &nodes,
+                        &transport, &messages, &config, pw] {
+      // Under churn the planned sender may be down at fire time: fall
+      // forward to the next live node.
+      NodeId sender = planned;
+      for (std::uint32_t step = 0;
+           transport.is_silenced(sender) && step < config.num_nodes; ++step) {
+        sender = (sender + 1) % config.num_nodes;
+      }
+      if (transport.is_silenced(sender)) return;  // everyone down
+      std::uint32_t live_now = 0;
+      for (NodeId n = 0; n < config.num_nodes; ++n) {
+        if (!transport.is_silenced(n)) ++live_now;
+      }
+      messages[i].live_at_send = live_now;
+      if (pw) pw->on_multicast(i, live_now);
+      const core::AppMessage msg =
+          nodes[sender]->gossip->multicast(bytes, i, sim.now());
+      active_messages.emplace_back(sim.now(), msg.id);
+    });
   }
 
   // Optional garbage collection: periodically drop protocol state for
@@ -724,6 +776,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult result;
   result.live_nodes = static_cast<std::uint32_t>(live.size());
   result.events_executed = sim.events_executed();
+  if (pw) result.phase_reports = pw->finalize(sim.now());
+  if (injector) result.faults_injected = injector->events_applied();
 
   stats::RunningStat per_msg_latency;
   stats::RunningStat delivery_fraction;
@@ -837,7 +891,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         std::max(result.max_known_messages, stack->gossip->known_count());
   }
 
-  if (config.strategy.noise > 0.0) {
+  if (wrap_noise) {
     stats::RunningStat c_est;
     for (const auto& stack : nodes) {
       if (stack->noisy) c_est.add(stack->noisy->eager_rate_estimate());

@@ -18,6 +18,7 @@
 
 #include "harness/config.hpp"
 #include "net/routing.hpp"
+#include "stats/phase_windows.hpp"
 #include "stats/running.hpp"
 #include "trace/trace_log.hpp"
 
@@ -99,6 +100,12 @@ struct ExperimentResult {
   std::uint64_t prunes_sent = 0;
   /// Full event trace (only when config.collect_trace).
   std::shared_ptr<trace::TraceLog> trace;
+
+  // --- fault scenarios ---
+  /// Per-phase windowed metrics (only when config.scenario is non-empty).
+  std::vector<stats::PhaseReport> phase_reports;
+  /// Fault-injector actions applied (crashes, restores, ramp steps, ...).
+  std::uint64_t faults_injected = 0;
 
   // --- NeEM connection accounting (§5.4; only for OverlayKind::neem) ---
   /// Distinct connections opened over the whole run (paper: ~15000).

@@ -4,6 +4,13 @@
 #include <cmath>
 
 namespace esm::net {
+namespace {
+
+inline std::uint64_t link_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
 
 RandomLatencyModel::RandomLatencyModel(std::uint32_t n, SimTime lo, SimTime hi,
                                        std::uint64_t seed)
@@ -206,12 +213,34 @@ void Transport::drain(NodeId src) {
 void Transport::transmit(NodeId src, Queued item) {
   stats_.record_send(src, item.dst, item.bytes, item.is_payload);
 
+  // Fault-injected modifiers compose with the base network model: extra
+  // loss as an independent drop process, delay factors multiplicatively.
+  // When no faults are active this path consumes exactly the same RNG
+  // draws as the plain model, so fault-free runs are bit-identical.
+  double extra_loss = global_extra_loss_;
+  double delay_factor = global_delay_factor_;
+  if (!link_faults_.empty()) {
+    const auto it = link_faults_.find(link_key(src, item.dst));
+    if (it != link_faults_.end()) {
+      extra_loss = 1.0 - (1.0 - extra_loss) * (1.0 - it->second.extra_loss);
+      delay_factor *= it->second.delay_factor;
+    }
+  }
+
   if (options_.loss_rate > 0.0 && rng_.chance(options_.loss_rate)) {
     ++packets_lost_;
     return;
   }
+  if (extra_loss > 0.0 && rng_.chance(extra_loss)) {
+    ++packets_lost_;
+    ++fault_drops_;
+    return;
+  }
 
   SimTime delay = latency_.one_way(src, item.dst);
+  if (delay_factor != 1.0) {
+    delay = static_cast<SimTime>(static_cast<double>(delay) * delay_factor);
+  }
   if (options_.jitter > 0.0) {
     delay = static_cast<SimTime>(static_cast<double>(delay) *
                                  rng_.uniform(1.0 - options_.jitter,
@@ -245,6 +274,47 @@ void Transport::set_partition(const std::vector<int>& group_of_node) {
 }
 
 void Transport::heal_partition() { partition_.clear(); }
+
+Transport::LinkFault& Transport::link_fault(NodeId a, NodeId b) {
+  return link_faults_[link_key(a, b)];
+}
+
+void Transport::prune_link_fault(NodeId a, NodeId b) {
+  auto it = link_faults_.find(link_key(a, b));
+  if (it != link_faults_.end() && it->second.neutral()) link_faults_.erase(it);
+  it = link_faults_.find(link_key(b, a));
+  if (it != link_faults_.end() && it->second.neutral()) link_faults_.erase(it);
+}
+
+void Transport::set_extra_loss(double extra) {
+  ESM_CHECK(extra >= 0.0 && extra < 1.0, "extra loss must be in [0, 1)");
+  global_extra_loss_ = extra;
+}
+
+void Transport::set_link_extra_loss(NodeId a, NodeId b, double extra) {
+  ESM_CHECK(a < silenced_.size() && b < silenced_.size(),
+            "node id out of range");
+  ESM_CHECK(a != b, "link endpoints must differ");
+  ESM_CHECK(extra >= 0.0 && extra < 1.0, "extra loss must be in [0, 1)");
+  link_fault(a, b).extra_loss = extra;
+  link_fault(b, a).extra_loss = extra;
+  prune_link_fault(a, b);
+}
+
+void Transport::set_delay_factor(double factor) {
+  ESM_CHECK(factor > 0.0, "delay factor must be positive");
+  global_delay_factor_ = factor;
+}
+
+void Transport::set_link_delay_factor(NodeId a, NodeId b, double factor) {
+  ESM_CHECK(a < silenced_.size() && b < silenced_.size(),
+            "node id out of range");
+  ESM_CHECK(a != b, "link endpoints must differ");
+  ESM_CHECK(factor > 0.0, "delay factor must be positive");
+  link_fault(a, b).delay_factor = factor;
+  link_fault(b, a).delay_factor = factor;
+  prune_link_fault(a, b);
+}
 
 void Transport::silence(NodeId node) {
   ESM_CHECK(node < silenced_.size(), "node id out of range");

@@ -165,6 +165,22 @@ class Transport {
   /// Packets dropped because their endpoints were in different groups.
   std::uint64_t partition_drops() const { return partition_drops_; }
 
+  /// Additional loss applied on top of options_.loss_rate, composed as
+  /// independent drop processes: p = 1 - (1-loss_rate)(1-extra). Global
+  /// (all links) and per-link variants; per-link faults are symmetric
+  /// (installed on both directions). Used by the fault injector for
+  /// loss_burst events. Pass 0 to clear.
+  void set_extra_loss(double extra);
+  void set_link_extra_loss(NodeId a, NodeId b, double extra);
+  /// Multiplies the one-way propagation delay (before jitter). Used by the
+  /// fault injector for latency_spike events. Pass 1.0 to clear.
+  void set_delay_factor(double factor);
+  void set_link_delay_factor(NodeId a, NodeId b, double factor);
+  double extra_loss() const { return global_extra_loss_; }
+  double delay_factor() const { return global_delay_factor_; }
+  /// Packets dropped by the *extra* (fault-injected) loss process.
+  std::uint64_t fault_drops() const { return fault_drops_; }
+
   /// Silences a node (fail-by-firewall, §6.3).
   void silence(NodeId node);
   /// Lifts a silence (node recovery under churn). Protocol state on the
@@ -196,10 +212,19 @@ class Transport {
     bool is_payload = false;
   };
 
+  /// Per-directed-link fault modifiers (loss_burst / latency_spike).
+  struct LinkFault {
+    double extra_loss = 0.0;
+    double delay_factor = 1.0;
+    bool neutral() const { return extra_loss == 0.0 && delay_factor == 1.0; }
+  };
+
   /// Transmits over the wire: accounting, loss, propagation, delivery.
   void transmit(NodeId src, Queued item);
   /// Starts/continues draining a node's egress queue.
   void drain(NodeId src);
+  LinkFault& link_fault(NodeId a, NodeId b);
+  void prune_link_fault(NodeId a, NodeId b);
 
   sim::Simulator& sim_;
   const LatencyModel& latency_;
@@ -220,6 +245,12 @@ class Transport {
   TrafficStats stats_;
   std::uint64_t packets_lost_ = 0;
   std::uint64_t buffer_drops_ = 0;
+  /// Fault-injection modifiers. Keyed by directed (src<<32)|dst; the
+  /// setters install both directions so lookups stay O(1) on the hot path.
+  double global_extra_loss_ = 0.0;
+  double global_delay_factor_ = 1.0;
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;
+  std::uint64_t fault_drops_ = 0;
 };
 
 }  // namespace esm::net

@@ -25,7 +25,8 @@ GossipRankEstimator::GossipRankEstimator(sim::Simulator& sim,
             "best fraction must be in (0, 1)");
   ESM_CHECK(params.sample_capacity >= params.samples_per_gossip,
             "sample capacity must cover a gossip batch");
-  scores_.emplace(self_, own_score);
+  ESM_CHECK(params.max_sample_age >= 0, "max sample age must be >= 0");
+  scores_.emplace(self_, Entry{own_score, sim.now()});
 }
 
 void GossipRankEstimator::start() {
@@ -35,15 +36,33 @@ void GossipRankEstimator::start() {
 void GossipRankEstimator::stop() { timer_.stop(); }
 
 void GossipRankEstimator::tick() {
-  // Flatten once; reuse for each target this round.
+  const SimTime now = sim_.now();
+  // Our own score is fresh by definition at every emission.
+  scores_[self_].stamp = now;
+  // Expire observations whose origin emission is too old: the one signal
+  // that a node crashed is that it stopped re-emitting (§6.3).
+  if (params_.max_sample_age > 0) {
+    for (auto it = scores_.begin(); it != scores_.end();) {
+      if (it->first != self_ && now - it->second.stamp >
+                                    params_.max_sample_age) {
+        it = scores_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Flatten once; reuse for each target this round. Relayed samples carry
+  // their accumulated origin age.
   std::vector<ScoreSample> all;
   all.reserve(scores_.size());
-  for (const auto& [id, score] : scores_) {
-    if (id != self_) all.push_back(ScoreSample{id, score});
+  for (const auto& [id, entry] : scores_) {
+    if (id != self_) {
+      all.push_back(ScoreSample{id, entry.score, now - entry.stamp});
+    }
   }
   for (const NodeId peer : sampler_.sample(params_.gossip_fanout)) {
     auto packet = std::make_shared<RankGossipPacket>();
-    packet->samples.push_back(ScoreSample{self_, scores_.at(self_)});
+    packet->samples.push_back(ScoreSample{self_, scores_.at(self_).score, 0});
     for (const ScoreSample& s :
          rng_.sample(all, params_.samples_per_gossip - 1)) {
       packet->samples.push_back(s);
@@ -58,9 +77,19 @@ bool GossipRankEstimator::handle_packet(NodeId, const net::PacketPtr& packet) {
   const auto* gossip = dynamic_cast<const RankGossipPacket*>(packet.get());
   if (gossip == nullptr) return false;
 
+  const SimTime now = sim_.now();
   for (const ScoreSample& s : gossip->samples) {
     if (s.id == self_) continue;
-    scores_[s.id] = s.score;
+    if (params_.max_sample_age > 0 && s.age > params_.max_sample_age) {
+      continue;  // stale before it even arrived
+    }
+    // Anchor the sample's origin age to the local clock; keep the freshest
+    // observation per node.
+    const SimTime stamp = now - s.age;
+    auto [it, inserted] = scores_.try_emplace(s.id, Entry{s.score, stamp});
+    if (!inserted && stamp >= it->second.stamp) {
+      it->second = Entry{s.score, stamp};
+    }
   }
   // Bound memory: evict random non-self entries beyond capacity.
   while (scores_.size() > params_.sample_capacity + 1) {
@@ -76,8 +105,8 @@ double GossipRankEstimator::estimated_quantile(NodeId node) const {
   if (it == scores_.end()) return -1.0;
   if (scores_.size() == 1) return 1.0;
   std::size_t below = 0;
-  for (const auto& [id, score] : scores_) {
-    if (id != node && score < it->second) ++below;
+  for (const auto& [id, entry] : scores_) {
+    if (id != node && entry.score < it->second.score) ++below;
   }
   return static_cast<double>(below) /
          static_cast<double>(scores_.size() - 1);

@@ -25,17 +25,22 @@
 
 namespace esm::rank {
 
-/// One (node, score) observation; higher score = better node.
+/// One (node, score) observation; higher score = better node. `age` is
+/// the time since the *origin* node emitted the score, accumulated across
+/// relays, so stale observations of crashed nodes can be expired no
+/// matter how many gossip hops keep recirculating them.
 struct ScoreSample {
   NodeId id = kInvalidNode;
   double score = 0.0;
+  SimTime age = 0;
 };
 
 /// Epidemic exchange of score samples.
 struct RankGossipPacket final : public net::Packet {
   std::vector<ScoreSample> samples;
 
-  std::size_t wire_bytes() const { return 16 + samples.size() * 12; }
+  /// node(4) + age_ms(4) + score(8) per sample, plus header/count.
+  std::size_t wire_bytes() const { return 16 + samples.size() * 16; }
 };
 
 struct RankParams {
@@ -47,6 +52,12 @@ struct RankParams {
   std::size_t samples_per_gossip = 8;
   /// Gossip period.
   SimTime period = 500 * kMillisecond;
+  /// Samples whose origin emission is older than this are discarded on
+  /// arrival and pruned at each tick, so crashed nodes fall out of every
+  /// best-set within max_sample_age (§6.3 re-concentration). 0 disables
+  /// aging. Live nodes re-emit their own score every `period`, so any
+  /// multiple of the period comfortably keeps live entries.
+  SimTime max_sample_age = 10 * kSecond;
 };
 
 /// Per-node rank estimator; doubles as the BestSet consumed by the Ranked
@@ -84,8 +95,13 @@ class GossipRankEstimator final : public core::BestSet {
   double best_fraction_;
   RankParams params_;
   Rng rng_;
+  /// A known score plus the (local-clock) time its origin emitted it.
+  struct Entry {
+    double score = 0.0;
+    SimTime stamp = 0;
+  };
   /// Known scores, own entry always present.
-  std::unordered_map<NodeId, double> scores_;
+  std::unordered_map<NodeId, Entry> scores_;
   sim::PeriodicTimer timer_;
 };
 

@@ -1,0 +1,133 @@
+#include "stats/phase_windows.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esm::stats {
+namespace {
+
+/// Fraction of connections counted as "top" — matches the paper's
+/// top-5% emergent-structure measure (Fig. 4, Fig. 6c).
+constexpr double kTopFraction = 0.05;
+
+std::uint64_t undirected_key(NodeId a, NodeId b) {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+double top_share(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& link_payload,
+    std::uint64_t total_payload) {
+  if (link_payload.empty() || total_payload == 0) return 0.0;
+  std::vector<std::uint64_t> counts;
+  counts.reserve(link_payload.size());
+  for (const auto& [key, payload] : link_payload) counts.push_back(payload);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const auto take = static_cast<std::size_t>(
+      std::ceil(kTopFraction * static_cast<double>(counts.size())));
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < take && i < counts.size(); ++i) top += counts[i];
+  return static_cast<double>(top) / static_cast<double>(total_payload);
+}
+
+}  // namespace
+
+PhaseWindows::PhaseWindows(SimTime origin) {
+  Window pre;
+  pre.label = "(pre)";
+  pre.start = origin;
+  phases_.push_back(std::move(pre));
+}
+
+void PhaseWindows::start_phase(SimTime now, std::string label) {
+  ESM_CHECK(now >= phases_.back().start,
+            "phase start must be monotonically non-decreasing");
+  Window w;
+  w.label = std::move(label);
+  w.start = now;
+  phases_.push_back(std::move(w));
+}
+
+void PhaseWindows::on_multicast(std::uint64_t seq, std::uint32_t expected) {
+  const std::size_t phase = phases_.size() - 1;
+  ESM_CHECK(messages_.emplace(seq, MsgState{phase, expected, 0}).second,
+            "duplicate multicast sequence number");
+  ++phases_[phase].messages;
+}
+
+void PhaseWindows::on_delivery(std::uint64_t seq, double latency_ms,
+                               bool at_origin) {
+  const auto it = messages_.find(seq);
+  if (it == messages_.end()) return;  // warm-up or untracked message
+  ++it->second.deliveries;
+  Window& w = phases_[it->second.phase];
+  ++w.deliveries;
+  if (!at_origin) w.latency_ms.add(latency_ms);
+}
+
+void PhaseWindows::on_payload(NodeId src, NodeId dst) {
+  Window& w = phases_.back();
+  ++w.payload_packets;
+  ++w.link_payload[undirected_key(src, dst)];
+}
+
+std::vector<PhaseReport> PhaseWindows::finalize(SimTime end) const {
+  // Per-message reliability folds in seq order so the floating-point
+  // accumulation is reproducible regardless of hash-map layout.
+  std::vector<std::pair<std::uint64_t, const MsgState*>> by_seq;
+  by_seq.reserve(messages_.size());
+  for (const auto& [seq, state] : messages_) by_seq.push_back({seq, &state});
+  std::sort(by_seq.begin(), by_seq.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<double> fraction_sum(phases_.size(), 0.0);
+  std::vector<std::uint64_t> atomic(phases_.size(), 0);
+  for (const auto& [seq, state] : by_seq) {
+    // Nodes revived mid-flight can push the raw ratio past 1; cap, as the
+    // run-wide delivery fraction does.
+    const double fraction =
+        state->expected == 0
+            ? 1.0
+            : std::min(1.0, static_cast<double>(state->deliveries) /
+                                state->expected);
+    fraction_sum[state->phase] += fraction;
+    if (state->deliveries >= state->expected) ++atomic[state->phase];
+  }
+
+  std::vector<PhaseReport> reports;
+  reports.reserve(phases_.size());
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const Window& w = phases_[i];
+    PhaseReport r;
+    r.label = w.label;
+    r.start = w.start;
+    r.end = i + 1 < phases_.size() ? phases_[i + 1].start : end;
+    r.messages = w.messages;
+    r.deliveries = w.deliveries;
+    if (w.messages > 0) {
+      r.reliability = fraction_sum[i] / static_cast<double>(w.messages);
+      r.atomic_fraction =
+          static_cast<double>(atomic[i]) / static_cast<double>(w.messages);
+      r.payload_per_msg = static_cast<double>(w.payload_packets) /
+                          static_cast<double>(w.messages);
+    }
+    r.mean_latency_ms = w.latency_ms.mean();
+    r.p95_latency_ms = w.latency_ms.quantile(0.95);
+    r.payload_packets = w.payload_packets;
+    r.top5_connection_share = top_share(w.link_payload, w.payload_packets);
+    reports.push_back(std::move(r));
+  }
+
+  // Drop the implicit "(pre)" window when nothing happened before the
+  // first explicit phase and it is zero-width.
+  if (reports.size() > 1 && reports[0].messages == 0 &&
+      reports[0].payload_packets == 0 && reports[0].start == reports[0].end) {
+    reports.erase(reports.begin());
+  }
+  return reports;
+}
+
+}  // namespace esm::stats

@@ -1,0 +1,97 @@
+// Per-phase windowed metrics for fault scenarios.
+//
+// A scenario divides the measurement interval into labelled phases
+// ("baseline", "kill", "recovered", ...). PhaseWindows accumulates the
+// paper's metrics separately per phase so a run can report how structure
+// degrades and re-emerges around each disturbance:
+//   - reliability (mean delivery fraction) and atomic-delivery fraction,
+//   - delivery latency (mean / p95),
+//   - payload transmissions and payload per multicast,
+//   - top-5% connection payload share (the emergent-structure measure).
+//
+// Attribution rules: a multicast and all its deliveries belong to the
+// phase it was *sent* in (so a kill phase owns the messages it disturbed,
+// even when their deliveries trickle into the next phase); payload
+// transmissions belong to the phase in which the packet hit the wire
+// (so re-concentration of traffic is visible per window).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/running.hpp"
+
+namespace esm::stats {
+
+/// Aggregated metrics for one scenario phase.
+struct PhaseReport {
+  std::string label;
+  SimTime start = 0;  // absolute sim time
+  SimTime end = 0;
+  std::uint64_t messages = 0;     // multicasts sent during the phase
+  std::uint64_t deliveries = 0;   // deliveries of those multicasts
+  double reliability = 0.0;       // mean delivery fraction of those msgs
+  double atomic_fraction = 0.0;   // fraction delivered to every live node
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  std::uint64_t payload_packets = 0;  // payload sends while phase active
+  double payload_per_msg = 0.0;       // payload_packets / messages
+  double top5_connection_share = 0.0;
+};
+
+/// Streaming accumulator. The harness feeds it multicasts, deliveries and
+/// payload sends; finalize() turns the windows into PhaseReports.
+class PhaseWindows {
+ public:
+  /// `origin` is the measurement start. Events arriving before the first
+  /// explicit phase fall into an implicit "(pre)" window, dropped by
+  /// finalize() when it is empty and zero-width.
+  explicit PhaseWindows(SimTime origin);
+
+  /// Opens a new window at `now` (monotonically non-decreasing).
+  void start_phase(SimTime now, std::string label);
+
+  /// A multicast with sequence `seq` was sent; `expected` is the number of
+  /// deliveries that would make it atomic (live nodes minus the sender).
+  void on_multicast(std::uint64_t seq, std::uint32_t expected);
+
+  /// A delivery of multicast `seq`. Attributed to the phase the multicast
+  /// was sent in; unknown seqs are ignored. `at_origin` deliveries count
+  /// toward reliability but not latency (mirroring the run-wide metrics).
+  void on_delivery(std::uint64_t seq, double latency_ms, bool at_origin);
+
+  /// A payload packet hit the wire on the directed link src -> dst.
+  void on_payload(NodeId src, NodeId dst);
+
+  /// True once start_phase() has been called at least once.
+  bool any_phase_started() const { return phases_.size() > 1; }
+
+  /// Closes the last window at `end` and computes the reports.
+  std::vector<PhaseReport> finalize(SimTime end) const;
+
+ private:
+  struct Window {
+    std::string label;
+    SimTime start = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t deliveries = 0;
+    Samples latency_ms;
+    std::uint64_t payload_packets = 0;
+    // Undirected payload counts, keyed (lo << 32) | hi.
+    std::unordered_map<std::uint64_t, std::uint64_t> link_payload;
+  };
+
+  struct MsgState {
+    std::size_t phase = 0;
+    std::uint32_t expected = 0;
+    std::uint32_t deliveries = 0;
+  };
+
+  std::vector<Window> phases_;  // [0] is the implicit "(pre)" window
+  std::unordered_map<std::uint64_t, MsgState> messages_;
+};
+
+}  // namespace esm::stats

@@ -17,6 +17,9 @@ void TraceLog::write_csv(std::ostream& os) const {
     os << "payload," << e.time << ',' << e.src << ',' << e.dst << ',' << e.seq
        << ",," << (e.eager ? 1 : 0) << "\n";
   }
+  for (const PhaseEvent& e : phases_) {
+    os << "phase," << e.time << ",,,,," << e.label << "\n";
+  }
 }
 
 namespace {
@@ -71,6 +74,14 @@ TraceLog TraceLog::read_csv(std::istream& is) {
       e.seq = static_cast<std::uint32_t>(to_i64(f[4]));
       e.eager = to_i64(f[6]) != 0;
       log.record_payload(e);
+    } else if (f[0] == "phase") {
+      PhaseEvent e;
+      e.time = to_i64(f[1]);
+      e.label = f[6];
+      if (e.label.empty()) {
+        throw std::runtime_error("phase row without a label: " + line);
+      }
+      log.record_phase(std::move(e));
     } else {
       throw std::runtime_error("unknown event kind: " + f[0]);
     }

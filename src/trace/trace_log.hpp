@@ -34,6 +34,12 @@ struct PayloadEvent {
   bool eager = false;  // eager push vs answered request
 };
 
+/// A scenario phase boundary (fault-injection measurement window).
+struct PhaseEvent {
+  SimTime time = 0;
+  std::string label;  // must not contain commas (CSV field)
+};
+
 /// Append-only event collector.
 class TraceLog {
  public:
@@ -41,14 +47,17 @@ class TraceLog {
     deliveries_.push_back(event);
   }
   void record_payload(PayloadEvent event) { payloads_.push_back(event); }
+  void record_phase(PhaseEvent event) { phases_.push_back(std::move(event)); }
 
   const std::vector<DeliveryEvent>& deliveries() const { return deliveries_; }
   const std::vector<PayloadEvent>& payloads() const { return payloads_; }
+  const std::vector<PhaseEvent>& phases() const { return phases_; }
 
   /// CSV with a `kind` discriminator column:
   ///   kind,time_us,node,peer,seq,latency_us,eager
   ///   delivery,<t>,<node>,<origin>,<seq>,<latency>,
   ///   payload,<t>,<src>,<dst>,<seq>,,<0|1>
+  ///   phase,<t>,,,,,<label>
   void write_csv(std::ostream& os) const;
 
   /// Parses a CSV previously produced by write_csv. Throws
@@ -63,6 +72,7 @@ class TraceLog {
  private:
   std::vector<DeliveryEvent> deliveries_;
   std::vector<PayloadEvent> payloads_;
+  std::vector<PhaseEvent> phases_;
 };
 
 }  // namespace esm::trace

@@ -167,6 +167,13 @@ PacketType encode_body(const net::Packet& packet, ByteWriter& w) {
     w.u16(static_cast<std::uint16_t>(rank->samples.size()));
     for (const rank::ScoreSample& s : rank->samples) {
       w.u32(s.id);
+      // Origin age in milliseconds, saturated: anything beyond ~49 days
+      // is long past every realistic max_sample_age anyway.
+      const std::int64_t age_ms =
+          std::min<std::int64_t>(std::max<std::int64_t>(s.age, 0) /
+                                     kMillisecond,
+                                 0xffffffffLL);
+      w.u32(static_cast<std::uint32_t>(age_ms));
       w.f64(s.score);
     }
     return PacketType::rank_gossip;
@@ -260,6 +267,7 @@ net::PacketPtr decode_body(PacketType type, ByteReader& r) {
       for (std::uint16_t i = 0; i < count; ++i) {
         rank::ScoreSample s;
         s.id = r.u32();
+        s.age = static_cast<SimTime>(r.u32()) * kMillisecond;
         s.score = r.f64();
         p->samples.push_back(s);
       }

@@ -145,6 +145,44 @@ TEST(Cli, RejectsUnknownEnumValues) {
   EXPECT_FALSE(parse_cli({"--kill-mode", "all"}, error));
 }
 
+TEST(Cli, ScenarioFlagStoresPath) {
+  const auto options = parse({"--scenario", "examples/kill_best_nodes.scn"});
+  ASSERT_TRUE(options);
+  EXPECT_EQ(options->scenario_path, "examples/kill_best_nodes.scn");
+  // The parser is pure: no file IO, the scenario script stays empty.
+  EXPECT_TRUE(options->config.scenario.empty());
+}
+
+TEST(Cli, ScenarioFlagRequiresValue) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--scenario"}, error));
+  EXPECT_NE(error.find("--scenario"), std::string::npos);
+}
+
+TEST(Cli, FormatResultKvIncludesPhaseLines) {
+  ExperimentResult r;
+  r.faults_injected = 3;
+  stats::PhaseReport p;
+  p.label = "kill";
+  p.start = 60 * kSecond;
+  p.end = 120 * kSecond;
+  p.messages = 10;
+  p.reliability = 0.5;
+  r.phase_reports.push_back(p);
+  const std::string kv = format_result_kv(r);
+  EXPECT_NE(kv.find("faults_injected=3"), std::string::npos);
+  EXPECT_NE(kv.find("phases=1"), std::string::npos);
+  EXPECT_NE(kv.find("phase0_label=kill"), std::string::npos);
+  EXPECT_NE(kv.find("phase0_start_ms=60000"), std::string::npos);
+  EXPECT_NE(kv.find("phase0_reliability=0.5"), std::string::npos);
+  // Still one key per line, every line contains '='.
+  std::istringstream stream(kv);
+  std::string line;
+  while (std::getline(stream, line)) {
+    EXPECT_NE(line.find('='), std::string::npos);
+  }
+}
+
 TEST(Cli, FormatResultKvIsParseable) {
   ExperimentResult r;
   r.mean_latency_ms = 123.5;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/cli.hpp"
+#include "harness/scenario_text.hpp"
 
 namespace esm::harness {
 namespace {
@@ -88,6 +89,36 @@ TEST(Runner, KvRenderingIdenticalAcrossJobCounts) {
   const auto jobs1 = run_experiments(configs, 1);
   const auto jobs4 = run_experiments(configs, 4);
   for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(format_result_kv(jobs1[i]), format_result_kv(jobs4[i]));
+  }
+}
+
+TEST(Runner, ScenarioRunsAreDeterministicAtAnyJobCount) {
+  // A scenario exercises every injector path (RNG-driven random crashes,
+  // churn interval, bursts, phase windows); the rendered kv text — which
+  // includes the per-phase metrics — must still be byte-identical across
+  // job counts.
+  const auto scenario = parse_scenario(std::string(
+      "0s phase baseline\n"
+      "3s phase trouble\n"
+      "3s crash random 4\n"
+      "4s loss rate=0.1 for=2s\n"
+      "5s churn rate=1 for=3s\n"
+      "9s phase recovered\n"
+      "9s recover all\n"));
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    ExperimentConfig c = tiny_config(seed);
+    c.scenario = scenario;
+    configs.push_back(c);
+  }
+  const auto jobs1 = run_experiments(configs, 1);
+  const auto jobs4 = run_experiments(configs, 4);
+  ASSERT_EQ(jobs1.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_identical(jobs1[i], jobs4[i]);
+    ASSERT_FALSE(jobs1[i].phase_reports.empty());
+    EXPECT_EQ(jobs1[i].faults_injected, jobs4[i].faults_injected);
     EXPECT_EQ(format_result_kv(jobs1[i]), format_result_kv(jobs4[i]));
   }
 }

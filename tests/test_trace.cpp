@@ -44,6 +44,33 @@ TEST(TraceLog, CsvRoundTrip) {
   EXPECT_EQ(parsed.payloads()[1].dst, 5u);
 }
 
+TEST(TraceLog, PhaseRowsRoundTrip) {
+  TraceLog log;
+  log.record_phase({0, "baseline"});
+  log.record_payload({900, 0, 3, 7, true});
+  log.record_phase({60 * kSecond, "kill"});
+  log.record_delivery({1000, 3, 2, 7, 950});
+
+  std::ostringstream out;
+  log.write_csv(out);
+  std::istringstream in(out.str());
+  const TraceLog parsed = TraceLog::read_csv(in);
+
+  ASSERT_EQ(parsed.phases().size(), 2u);
+  EXPECT_EQ(parsed.phases()[0].time, 0);
+  EXPECT_EQ(parsed.phases()[0].label, "baseline");
+  EXPECT_EQ(parsed.phases()[1].time, 60 * kSecond);
+  EXPECT_EQ(parsed.phases()[1].label, "kill");
+  EXPECT_EQ(parsed.deliveries().size(), 1u);
+  EXPECT_EQ(parsed.payloads().size(), 1u);
+}
+
+TEST(TraceLog, RejectsPhaseRowWithoutLabel) {
+  std::istringstream in(
+      "kind,time_us,node,peer,seq,latency_us,eager\nphase,1000,,,,,\n");
+  EXPECT_THROW(TraceLog::read_csv(in), std::runtime_error);
+}
+
 TEST(TraceLog, RejectsMalformedCsv) {
   {
     std::istringstream in("");

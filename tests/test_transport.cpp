@@ -94,6 +94,160 @@ TEST(Transport, SilencedDestinationDropsOnArrival) {
   EXPECT_EQ(f.transport.stats().total_packets(), 1u);
 }
 
+TEST(Transport, SilenceMidFlightDropsInFlightPackets) {
+  Fixture f(2);
+  // Packet leaves at t=0, arrives at t=10ms. Silence the destination at
+  // t=5ms: the packet is already on the wire but must still be dropped
+  // on arrival (the paper's firewall semantics cut both directions).
+  f.transport.send(0, 1, make_packet(1), 10, true);
+  f.sim.schedule_at(5 * kMillisecond, [&] { f.transport.silence(1); });
+  f.sim.run();
+  EXPECT_TRUE(f.received[1].empty());
+  // The send was accounted before the failure; arrival-side drops never
+  // rewrite TrafficStats.
+  EXPECT_EQ(f.transport.stats().total_packets(), 1u);
+  EXPECT_EQ(f.transport.stats().link(0, 1).payload_packets, 1u);
+}
+
+TEST(Transport, ReviveRestoresBothDirections) {
+  Fixture f(2);
+  f.transport.silence(1);
+  f.transport.send(0, 1, make_packet(1), 10, false);  // dropped at arrival
+  f.transport.send(1, 0, make_packet(2), 10, false);  // refused at source
+  f.sim.run();
+  EXPECT_TRUE(f.received[0].empty());
+  EXPECT_TRUE(f.received[1].empty());
+
+  f.transport.revive(1);
+  EXPECT_FALSE(f.transport.is_silenced(1));
+  f.transport.send(0, 1, make_packet(3), 10, false);
+  f.transport.send(1, 0, make_packet(4), 10, false);
+  f.sim.run();
+  ASSERT_EQ(f.received[1].size(), 1u);
+  EXPECT_EQ(f.received[1][0].second, 3);
+  ASSERT_EQ(f.received[0].size(), 1u);
+  EXPECT_EQ(f.received[0][0].second, 4);
+}
+
+TEST(Transport, SilencedArrivalDropsDoNotTouchTrafficStats) {
+  Fixture f(3);
+  f.transport.send(0, 1, make_packet(), 100, true);
+  f.transport.send(0, 2, make_packet(), 100, true);
+  f.transport.silence(1);
+  f.sim.run();
+  // Both sends were accounted identically even though only node 2
+  // received its packet.
+  const TrafficStats& s = f.transport.stats();
+  EXPECT_EQ(s.total_packets(), 2u);
+  EXPECT_EQ(s.total_payload_packets(), 2u);
+  EXPECT_EQ(s.link(0, 1).payload_packets, 1u);
+  EXPECT_EQ(s.link(0, 2).payload_packets, 1u);
+  ASSERT_EQ(f.received[2].size(), 1u);
+}
+
+TEST(Transport, GlobalExtraLossDropsApproximately) {
+  Fixture f(2);
+  f.transport.set_extra_loss(0.25);
+  EXPECT_EQ(f.transport.extra_loss(), 0.25);
+  constexpr int kSends = 20000;
+  for (int i = 0; i < kSends; ++i) {
+    f.transport.send(0, 1, make_packet(i), 10, false);
+  }
+  f.sim.run();
+  const auto delivered = static_cast<double>(f.received[1].size());
+  EXPECT_NEAR(delivered / kSends, 0.75, 0.02);
+  EXPECT_EQ(f.transport.fault_drops(),
+            static_cast<std::uint64_t>(kSends) - f.received[1].size());
+  // Clearing the burst restores lossless delivery.
+  f.transport.set_extra_loss(0.0);
+  const std::uint64_t drops_before = f.transport.fault_drops();
+  for (int i = 0; i < 100; ++i) {
+    f.transport.send(0, 1, make_packet(i), 10, false);
+  }
+  f.sim.run();
+  EXPECT_EQ(f.transport.fault_drops(), drops_before);
+}
+
+TEST(Transport, ExtraLossComposesWithBaseLoss) {
+  TransportOptions opts;
+  opts.loss_rate = 0.2;
+  Fixture f(2, opts);
+  f.transport.set_extra_loss(0.25);
+  constexpr int kSends = 20000;
+  for (int i = 0; i < kSends; ++i) {
+    f.transport.send(0, 1, make_packet(i), 10, false);
+  }
+  f.sim.run();
+  // Independent draws: survival = (1 - 0.2) * (1 - 0.25) = 0.6.
+  EXPECT_NEAR(static_cast<double>(f.received[1].size()) / kSends, 0.6, 0.02);
+}
+
+TEST(Transport, LinkExtraLossIsScopedToTheLink) {
+  Fixture f(3);
+  f.transport.set_link_extra_loss(0, 1, 0.999999);
+  for (int i = 0; i < 50; ++i) {
+    f.transport.send(0, 1, make_packet(i), 10, false);
+    f.transport.send(1, 0, make_packet(i), 10, false);  // both directions
+    f.transport.send(0, 2, make_packet(i), 10, false);  // unaffected
+  }
+  f.sim.run();
+  EXPECT_LT(f.received[1].size(), 5u);
+  EXPECT_LT(f.received[0].size(), 5u);
+  EXPECT_EQ(f.received[2].size(), 50u);
+  // Resetting to 0 prunes the fault entry and restores delivery.
+  f.transport.set_link_extra_loss(0, 1, 0.0);
+  f.transport.send(0, 1, make_packet(99), 10, false);
+  f.sim.run();
+  EXPECT_EQ(f.received[1].back().second, 99);
+}
+
+TEST(Transport, DelayFactorStretchesLatency) {
+  Fixture f(2);
+  std::vector<SimTime> arrivals;
+  f.transport.register_handler(1, [&](NodeId, const PacketPtr&) {
+    arrivals.push_back(f.sim.now());
+  });
+  f.transport.set_delay_factor(3.0);
+  EXPECT_EQ(f.transport.delay_factor(), 3.0);
+  f.transport.send(0, 1, make_packet(), 10, false);
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 30 * kMillisecond);
+  // Back to 1.0: base latency again.
+  f.transport.set_delay_factor(1.0);
+  f.transport.send(0, 1, make_packet(), 10, false);
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 10 * kMillisecond);
+}
+
+TEST(Transport, LinkDelayFactorOnlySlowsThatLink) {
+  Fixture f(3);
+  std::vector<std::pair<NodeId, SimTime>> arrivals;
+  for (NodeId id = 1; id <= 2; ++id) {
+    f.transport.register_handler(id, [&, id](NodeId, const PacketPtr&) {
+      arrivals.push_back({id, f.sim.now()});
+    });
+  }
+  f.transport.set_link_delay_factor(0, 1, 2.0);
+  f.transport.send(0, 1, make_packet(), 10, false);
+  f.transport.send(0, 2, make_packet(), 10, false);
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], (std::pair<NodeId, SimTime>{2, 10 * kMillisecond}));
+  EXPECT_EQ(arrivals[1], (std::pair<NodeId, SimTime>{1, 20 * kMillisecond}));
+}
+
+TEST(Transport, FaultModifierValidation) {
+  Fixture f(3);
+  EXPECT_THROW(f.transport.set_extra_loss(1.0), CheckFailure);
+  EXPECT_THROW(f.transport.set_extra_loss(-0.1), CheckFailure);
+  EXPECT_THROW(f.transport.set_delay_factor(0.0), CheckFailure);
+  EXPECT_THROW(f.transport.set_link_extra_loss(0, 0, 0.5), CheckFailure);
+  EXPECT_THROW(f.transport.set_link_extra_loss(0, 9, 0.5), CheckFailure);
+  EXPECT_THROW(f.transport.set_link_delay_factor(1, 2, -1.0), CheckFailure);
+}
+
 TEST(Transport, PayloadVsControlAccounting) {
   Fixture f(3);
   f.transport.send(0, 1, make_packet(), 280, true);

@@ -167,11 +167,22 @@ TEST(Codec, PingRoundTrip) {
 
 TEST(Codec, RankGossipRoundTrip) {
   rank::RankGossipPacket p;
-  p.samples = {{4, -1.5}, {9, 1e9}};
+  p.samples = {{4, -1.5, 250 * kMillisecond}, {9, 1e9, 0}};
   const auto decoded = round_trip(p);
   ASSERT_EQ(decoded->samples.size(), 2u);
   EXPECT_DOUBLE_EQ(decoded->samples[0].score, -1.5);
+  EXPECT_EQ(decoded->samples[0].age, 250 * kMillisecond);
   EXPECT_DOUBLE_EQ(decoded->samples[1].score, 1e9);
+  EXPECT_EQ(decoded->samples[1].age, 0);
+}
+
+TEST(Codec, RankGossipAgeIsMillisecondGranular) {
+  // Sub-millisecond age truncates to the wire's u32 millisecond field.
+  rank::RankGossipPacket p;
+  p.samples = {{1, 0.5, 1500}};  // 1.5 ms
+  const auto decoded = round_trip(p);
+  ASSERT_EQ(decoded->samples.size(), 1u);
+  EXPECT_EQ(decoded->samples[0].age, 1 * kMillisecond);
 }
 
 TEST(Codec, PullPacketsRoundTrip) {

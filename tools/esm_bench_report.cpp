@@ -19,6 +19,7 @@
 #include "harness/config.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runner.hpp"
+#include "harness/scenario_text.hpp"
 
 int main(int argc, char** argv) {
   using namespace esm;
@@ -48,11 +49,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // The fixed workload: one flat-strategy point per pi value. Do not
-  // change these constants — the point of the tool is cross-commit
-  // comparability of both the timings and the metric fingerprint.
+  // The fixed workload: one flat-strategy point per pi value, plus one
+  // fault-scenario point exercising the injector path (crash + partition
+  // + loss burst + churn pulse) so BENCH_sweep.json tracks fault-path
+  // performance too. Do not change these constants — the point of the
+  // tool is cross-commit comparability of both the timings and the
+  // metric fingerprint.
   constexpr double kPis[] = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 0.3};
   constexpr std::uint64_t kSeed = 2007;
+  static const char* const kFaultScenario =
+      "0s    phase baseline\n"
+      "10s   phase kill\n"
+      "10s   crash random 10\n"
+      "20s   loss rate=0.05 for=10s\n"
+      "30s   phase partition\n"
+      "30s   partition 0..24 | 25..49\n"
+      "45s   heal\n"
+      "45s   churn rate=2 for=15s\n"
+      "60s   phase recovered\n"
+      "60s   recover all\n";
   std::vector<harness::ExperimentConfig> configs;
   for (const double pi : kPis) {
     harness::ExperimentConfig config;
@@ -60,6 +75,15 @@ int main(int argc, char** argv) {
     config.num_nodes = 100;
     config.num_messages = 200;
     config.strategy = harness::StrategySpec::make_flat(pi);
+    configs.push_back(config);
+  }
+  {
+    harness::ExperimentConfig config;
+    config.seed = kSeed;
+    config.num_nodes = 100;
+    config.num_messages = 200;
+    config.strategy = harness::StrategySpec::make_flat(1.0);
+    config.scenario = harness::parse_scenario(std::string(kFaultScenario));
     configs.push_back(config);
   }
 
@@ -89,8 +113,8 @@ int main(int argc, char** argv) {
   char buf[256];
   out << "{\n";
   std::snprintf(buf, sizeof(buf),
-                "  \"workload\": \"flat pi sweep, 8 points, 100 nodes, "
-                "200 messages, seed %llu\",\n",
+                "  \"workload\": \"flat pi sweep, 8 points + 1 fault "
+                "scenario, 100 nodes, 200 messages, seed %llu\",\n",
                 static_cast<unsigned long long>(kSeed));
   out << buf;
   std::snprintf(buf, sizeof(buf), "  \"jobs\": %u,\n", jobs);
@@ -110,14 +134,18 @@ int main(int argc, char** argv) {
                 events_per_sec);
   out << buf;
   out << "  \"results\": [\n";
+  constexpr std::size_t kNumPis = sizeof(kPis) / sizeof(kPis[0]);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
+    const bool fault_point = i >= kNumPis;
     std::snprintf(buf, sizeof(buf),
-                  "    {\"pi\": %g, \"latency_ms\": %.3f, "
+                  "    {\"label\": \"%s\", \"pi\": %g, \"latency_ms\": %.3f, "
                   "\"payload_per_msg\": %.3f, \"deliveries\": %.5f, "
-                  "\"events\": %llu}%s\n",
-                  kPis[i], r.mean_latency_ms, r.load_all.payload_per_msg,
-                  r.mean_delivery_fraction,
+                  "\"faults_injected\": %llu, \"events\": %llu}%s\n",
+                  fault_point ? "fault_scenario" : "flat",
+                  fault_point ? 1.0 : kPis[i], r.mean_latency_ms,
+                  r.load_all.payload_per_msg, r.mean_delivery_fraction,
+                  static_cast<unsigned long long>(r.faults_injected),
                   static_cast<unsigned long long>(r.events_executed),
                   i + 1 < results.size() ? "," : "");
     out << buf;

@@ -14,6 +14,7 @@
 
 #include "harness/cli.hpp"
 #include "harness/runner.hpp"
+#include "harness/scenario_text.hpp"
 #include "harness/table.hpp"
 #include "stats/running.hpp"
 
@@ -25,15 +26,20 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::uint64_t reps = 1;
   for (std::size_t i = 0; i < args.size();) {
-    if (args[i] == "--trace" && i + 1 < args.size()) {
-      trace_path = args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-    } else if (args[i] == "--reps" && i + 1 < args.size()) {
-      reps = std::strtoull(args[i + 1].c_str(), nullptr, 10);
-      if (reps == 0) {
-        std::fprintf(stderr, "esm_run: --reps must be >= 1\n");
+    if (args[i] == "--trace" || args[i] == "--reps") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "esm_run: %s requires a value\n",
+                     args[i].c_str());
         return 2;
+      }
+      if (args[i] == "--trace") {
+        trace_path = args[i + 1];
+      } else {
+        reps = std::strtoull(args[i + 1].c_str(), nullptr, 10);
+        if (reps == 0) {
+          std::fprintf(stderr, "esm_run: --reps must be >= 1\n");
+          return 2;
+        }
       }
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
@@ -58,6 +64,15 @@ int main(int argc, char** argv) {
   if (options->help) {
     std::fputs(harness::cli_help_text().c_str(), stdout);
     return 0;
+  }
+  if (!options->scenario_path.empty()) {
+    try {
+      options->config.scenario =
+          harness::load_scenario_file(options->scenario_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esm_run: %s\n", e.what());
+      return 2;
+    }
   }
   if (reps > 1 && !trace_path.empty()) {
     std::fprintf(stderr, "esm_run: --trace is single-run; drop --reps\n");
@@ -176,5 +191,24 @@ int main(int argc, char** argv) {
                  std::to_string(result.buffer_drops)});
   table.row({"events executed", std::to_string(result.events_executed)});
   table.print();
+
+  if (!result.phase_reports.empty()) {
+    harness::Table phases("scenario phases (" +
+                          std::to_string(result.faults_injected) +
+                          " fault events)");
+    phases.header({"phase", "window s", "msgs", "reliability %", "latency ms",
+                   "payload/msg", "top5 %"});
+    for (const auto& p : result.phase_reports) {
+      phases.row({p.label,
+                  harness::Table::num(to_ms(p.start) / 1000.0, 1) + "-" +
+                      harness::Table::num(to_ms(p.end) / 1000.0, 1),
+                  std::to_string(p.messages),
+                  harness::Table::num(100.0 * p.reliability, 2),
+                  harness::Table::num(p.mean_latency_ms, 1),
+                  harness::Table::num(p.payload_per_msg, 2),
+                  harness::Table::num(100.0 * p.top5_connection_share, 1)});
+    }
+    phases.print();
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "harness/cli.hpp"
 #include "harness/runner.hpp"
+#include "harness/scenario_text.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -25,12 +26,13 @@ int main(int argc, char** argv) {
   std::string param, values_text;
   bool csv = false;
   for (std::size_t i = 0; i < args.size();) {
-    if (args[i] == "--param" && i + 1 < args.size()) {
-      param = args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-    } else if (args[i] == "--values" && i + 1 < args.size()) {
-      values_text = args[i + 1];
+    if (args[i] == "--param" || args[i] == "--values") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "esm_sweep: %s requires a value\n",
+                     args[i].c_str());
+        return 2;
+      }
+      (args[i] == "--param" ? param : values_text) = args[i + 1];
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else if (args[i] == "--csv") {
@@ -56,10 +58,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto base = harness::parse_cli(args, error);
+  auto base = harness::parse_cli(args, error);
   if (!base) {
     std::fprintf(stderr, "esm_sweep: %s\n", error.c_str());
     return 2;
+  }
+  if (!base->scenario_path.empty()) {
+    try {
+      base->config.scenario =
+          harness::load_scenario_file(base->scenario_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esm_sweep: %s\n", e.what());
+      return 2;
+    }
   }
   const auto values = harness::parse_value_list(values_text, error);
   if (!values) {
