@@ -51,7 +51,10 @@ void GossipNode::l_receive(const AppMessage& msg, Round round, NodeId source) {
 void GossipNode::forward(const AppMessage& msg, Round round, NodeId from) {
   deliver_(msg);
   known_.insert(msg.id);
-  if (round >= params_.max_rounds) return;
+  if (round >= params_.max_rounds) {
+    if (relay_listener_) relay_listener_(msg.id, round, 0);
+    return;
+  }
   const bool exclude = params_.exclude_sender && from != kInvalidNode;
   // Over-sample by one so the exclusion does not shrink the fanout.
   auto targets = sampler_.sample(params_.fanout + (exclude ? 1 : 0));
@@ -62,6 +65,7 @@ void GossipNode::forward(const AppMessage& msg, Round round, NodeId from) {
     scheduler_.l_send(msg, round + 1, peer);
     ++sent;
   }
+  if (relay_listener_) relay_listener_(msg.id, round, sent);
 }
 
 void GossipNode::garbage_collect(const std::vector<MsgId>& ids) {

@@ -63,6 +63,16 @@ class GossipNode {
   /// exist — the harness calls this for messages past their lifetime).
   void garbage_collect(const std::vector<MsgId>& ids);
 
+  /// Observation hook: invoked once per Forward() with the relay round
+  /// the message arrived at (0 = originated here) and how many peers it
+  /// was relayed to (0 past max_rounds). Feeds the obs lifecycle tracker;
+  /// not part of the protocol.
+  using RelayListener =
+      std::function<void(const MsgId&, Round round, std::size_t relayed_to)>;
+  void set_relay_listener(RelayListener listener) {
+    relay_listener_ = std::move(listener);
+  }
+
  private:
   void forward(const AppMessage& msg, Round round, NodeId from);
 
@@ -73,6 +83,7 @@ class GossipNode {
   DeliverFn deliver_;
   Rng rng_;
   std::unordered_set<MsgId, MsgIdHash> known_;
+  RelayListener relay_listener_;
 };
 
 }  // namespace esm::core

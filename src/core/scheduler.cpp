@@ -77,9 +77,13 @@ void PayloadScheduler::flush_ihaves(NodeId dst) {
 }
 
 void PayloadScheduler::queue_source(const MsgId& id, NodeId src) {
+  const bool first_ihave = !pending_.contains(id);
   Pending& p = pending_[id];
   if (!p.seen.insert(src).second) return;  // duplicate advertisement
   p.sources.push_back(src);
+  if (first_ihave && lazy_listener_) {
+    lazy_listener_(id, LazyEvent::kFirstIHave, src);
+  }
   if (!p.timer.valid() || !sim_.pending(p.timer)) {
     const RequestPolicy policy = strategy_.request_policy();
     // After at least one request has gone out, fresh advertisements wait a
@@ -94,12 +98,27 @@ void PayloadScheduler::request_timer_fired(const MsgId& id) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
   Pending& p = it->second;
-  if (p.sources.empty()) return;  // queue drained; a new IHAVE re-arms
+  const RequestPolicy policy = strategy_.request_policy();
+  if (p.sources.empty()) {
+    // Queue drained and still no payload: the last IWANT or its DATA
+    // reply was lost. Cycle through the already-asked advertisers again
+    // (original arrival order) up to max_rounds full passes.
+    if (p.asked.empty() || p.round + 1 >= policy.max_rounds) {
+      ++stats_.recovery_gave_up;
+      if (lazy_listener_) lazy_listener_(id, LazyEvent::kGaveUp, kInvalidNode);
+      pending_.erase(it);
+      return;
+    }
+    ++p.round;
+    p.sources = std::move(p.asked);
+    p.asked.clear();
+  }
 
   const std::size_t pick = strategy_.pick_source(p.sources);
   ESM_CHECK(pick < p.sources.size(), "strategy picked an invalid source");
   const NodeId target = p.sources[pick];
   p.sources.erase(p.sources.begin() + static_cast<std::ptrdiff_t>(pick));
+  p.asked.push_back(target);
   p.requested_before = true;
   p.last_request_target = target;
   p.last_request_time = sim_.now();
@@ -109,15 +128,20 @@ void PayloadScheduler::request_timer_fired(const MsgId& id) {
   transport_.send(self_, target, std::move(iwant), kControlBytes,
                   /*is_payload=*/false);
   ++stats_.requests_sent;
+  if (p.round > 0) ++stats_.iwant_retries;
+  if (lazy_listener_) {
+    lazy_listener_(id, p.round > 0 ? LazyEvent::kIWantRetry : LazyEvent::kIWant,
+                   target);
+  }
   // Plumtree GRAFT promotes the recovering edge at both ends: the serving
   // peer promotes us on receiving the IWANT; we promote it here.
   if (strategy_.wants_feedback()) strategy_.on_graft(target);
 
-  if (!p.sources.empty()) {
-    const RequestPolicy policy = strategy_.request_policy();
-    p.timer = sim_.schedule_after(policy.retransmission_period,
-                                  [this, id] { request_timer_fired(id); });
-  }
+  // Always re-arm: even with the queue drained the next firing retries an
+  // already-asked source (or gives up), so a lost reply cannot stall the
+  // recovery. Payload arrival cancels the timer via clear().
+  p.timer = sim_.schedule_after(policy.retransmission_period,
+                                [this, id] { request_timer_fired(id); });
 }
 
 void PayloadScheduler::clear(const MsgId& id) {
@@ -151,6 +175,9 @@ bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
           pending->second.last_request_target == src) {
         rtt_observer_(src, sim_.now() - pending->second.last_request_time);
       }
+    }
+    if (lazy_listener_ && pending_.contains(data->msg.id)) {
+      lazy_listener_(data->msg.id, LazyEvent::kRecovered, src);
     }
     clear(data->msg.id);
     receive_(data->msg, data->round, src);

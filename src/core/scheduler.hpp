@@ -11,12 +11,18 @@
 //   * while other advertisers remain known, further IWANTs fire every
 //     `retransmission_period` (the paper's T = 400 ms), each aimed at a
 //     source chosen by the strategy (FIFO or nearest) and not asked before;
+//   * when the advertiser queue drains without a reply, the timer stays
+//     armed: every further period cycles through the already-asked sources
+//     again (in original arrival order), up to `RequestPolicy::max_rounds`
+//     full passes, after which the recovery is abandoned and counted in
+//     `recovery_gave_up` — a single lost IWANT or DATA reply therefore
+//     never strands a message while advertisers are alive;
 //   * payload arrival clears all pending requests for that message.
 //
 // From the correctness point of view any schedule is safe as long as every
 // queued source is eventually asked unless the payload arrives first —
 // which this implementation guarantees (each timer fire consumes one
-// source; the timer keeps running while sources remain).
+// source; the timer keeps running while sources or retry rounds remain).
 #pragma once
 
 #include <functional>
@@ -49,6 +55,12 @@ struct SchedulerStats {
   std::uint64_t requests_unserved = 0;
   /// PRUNE feedback packets sent (adaptive strategies only).
   std::uint64_t prunes_sent = 0;
+  /// IWANTs re-sent to an already-asked source (retry passes beyond the
+  /// first round; subset of requests_sent).
+  std::uint64_t iwant_retries = 0;
+  /// Lazy recoveries abandoned after RequestPolicy::max_rounds passes
+  /// over the advertiser set without a payload arriving.
+  std::uint64_t recovery_gave_up = 0;
 };
 
 class PayloadScheduler {
@@ -108,11 +120,32 @@ class PayloadScheduler {
     rtt_observer_ = std::move(observer);
   }
 
+  /// Stages of a lazy recovery, reported through the lifecycle hook.
+  enum class LazyEvent {
+    kFirstIHave,   // first advertisement queued for a missing payload
+    kIWant,        // IWANT sent on the first pass over the advertisers
+    kIWantRetry,   // IWANT re-sent on a later pass (source cycling)
+    kRecovered,    // payload arrived while a recovery was pending
+    kGaveUp,       // abandoned after RequestPolicy::max_rounds passes
+  };
+
+  /// Observation hook: per-message recovery lifecycle events, consumed by
+  /// the obs::LifecycleTracker. `peer` is the advertiser / request target
+  /// / payload source (kInvalidNode for kGaveUp). Not part of the
+  /// protocol; costs one branch when unset.
+  using LazyListener =
+      std::function<void(const MsgId&, LazyEvent, NodeId peer)>;
+  void set_lazy_listener(LazyListener listener) {
+    lazy_listener_ = std::move(listener);
+  }
+
  private:
   struct Pending {
     std::vector<NodeId> sources;          // advertisers, in arrival order
     std::unordered_set<NodeId> seen;      // advertisers ever queued
+    std::vector<NodeId> asked;            // sources consumed this pass
     sim::EventHandle timer{};
+    std::uint32_t round = 0;              // completed passes over sources
     bool requested_before = false;        // at least one IWANT sent
     NodeId last_request_target = kInvalidNode;
     SimTime last_request_time = 0;
@@ -149,6 +182,7 @@ class PayloadScheduler {
   SchedulerStats stats_;
   SendListener send_listener_;
   RttObserver rtt_observer_;
+  LazyListener lazy_listener_;
 };
 
 }  // namespace esm::core

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,6 +34,12 @@ struct RequestPolicy {
   /// Period between subsequent requests while sources remain known
   /// (paper T, an estimate of maximum end-to-end latency; §5.2: 400 ms).
   SimTime retransmission_period = 400 * kMillisecond;
+  /// Maximum number of full passes over the advertiser set before a
+  /// recovery is abandoned. The first pass asks each advertiser once;
+  /// later passes cycle through the already-asked sources again every
+  /// `retransmission_period`, so a single lost IWANT or DATA reply no
+  /// longer strands the message. 1 restores ask-each-source-once.
+  std::uint32_t max_rounds = 5;
 };
 
 /// Per-node transmission strategy.

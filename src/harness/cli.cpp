@@ -1,6 +1,8 @@
 #include "harness/cli.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cstdio>
 #include <sstream>
 
 namespace esm::harness {
@@ -41,6 +43,9 @@ Protocol parameters:
   --rounds T          max relay rounds                         (default 8)
   --degree D          overlay view size                        (default 15)
   --period-ms MS      retransmission period T                  (default 400)
+  --retry-rounds N    max full passes over a message's advertisers before
+                      its lazy recovery is abandoned; passes after the
+                      first re-ask already-asked sources       (default 5)
   --batch-ms MS       IHAVE aggregation window                 (default 0)
   --overlay NAME      cyclon | static | hyparview | neem | oracle
                                                                (default cyclon)
@@ -67,6 +72,10 @@ Execution:
 
 Output:
   --kv                print key=value lines instead of the table
+  --metrics-out FILE  write per-node + aggregated metrics and recovery
+                      lifecycle accounting as JSON (schema esm-metrics-v1;
+                      merged across --reps, bit-for-bit identical at every
+                      --jobs count)
   --help              this text
 )";
 }
@@ -242,6 +251,9 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
     } else if (flag == "--period-ms") {
       if (!next_u64(flag, u64)) return std::nullopt;
       c.retransmission_period = static_cast<SimTime>(u64) * kMillisecond;
+    } else if (flag == "--retry-rounds") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.max_request_rounds = static_cast<std::uint32_t>(u64);
     } else if (flag == "--batch-ms") {
       if (!next_u64(flag, u64)) return std::nullopt;
       c.ihave_batch_window = static_cast<SimTime>(u64) * kMillisecond;
@@ -313,6 +325,8 @@ bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
     config.mean_interval = static_cast<SimTime>(value * kMillisecond);
   } else if (name == "period-ms") {
     config.retransmission_period = static_cast<SimTime>(value * kMillisecond);
+  } else if (name == "retry-rounds") {
+    config.max_request_rounds = static_cast<std::uint32_t>(value);
   } else if (name == "fanout") {
     config.gossip.fanout = static_cast<std::uint32_t>(value);
   } else if (name == "nodes") {
@@ -366,6 +380,9 @@ std::string format_result_kv(const ExperimentResult& result) {
      << "total_bytes=" << result.total_bytes << "\n"
      << "duplicate_payloads=" << result.duplicate_payloads << "\n"
      << "requests_sent=" << result.requests_sent << "\n"
+     << "iwant_retries=" << result.iwant_retries << "\n"
+     << "recovery_gave_up=" << result.recovery_gave_up << "\n"
+     << "recovery_stalled=" << result.recovery_stalled << "\n"
      << "packets_lost=" << result.packets_lost << "\n"
      << "buffer_drops=" << result.buffer_drops << "\n"
      << "live_nodes=" << result.live_nodes << "\n"
@@ -390,6 +407,94 @@ std::string format_result_kv(const ExperimentResult& result) {
     }
   }
   return os.str();
+}
+
+namespace {
+
+// %.17g round-trips doubles exactly and is locale-independent for the
+// values we emit, so the JSON is byte-stable across runs and platforms.
+std::string json_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string format_metrics_json(
+    const obs::RunMetrics& metrics,
+    const std::vector<std::vector<stats::PhaseReport>>& phase_runs) {
+  std::string out;
+  out += "{\"schema\":\"esm-metrics-v1\",\"runs\":";
+  out += std::to_string(metrics.runs);
+  out += ",\"aggregate\":";
+  metrics.aggregate.append_json(out);
+  out += ",\"nodes\":[";
+  for (std::size_t i = 0; i < metrics.per_node.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"id\":";
+    out += std::to_string(i);
+    out += ",\"metrics\":";
+    metrics.per_node[i].append_json(out);
+    out += '}';
+  }
+  out += ']';
+
+  std::size_t num_phases = 0;
+  for (const auto& run : phase_runs) {
+    num_phases = std::max(num_phases, run.size());
+  }
+  if (num_phases > 0) {
+    out += ",\"phases\":[";
+    for (std::size_t p = 0; p < num_phases; ++p) {
+      if (p > 0) out += ',';
+      std::string label;
+      SimTime start = 0;
+      SimTime end = 0;
+      std::uint64_t messages = 0;
+      std::uint64_t deliveries = 0;
+      std::uint64_t payload_packets = 0;
+      bool first = true;
+      for (const auto& run : phase_runs) {
+        if (p >= run.size()) continue;
+        const stats::PhaseReport& report = run[p];
+        if (first) {
+          label = report.label;
+          start = report.start;
+          first = false;
+        }
+        end = std::max(end, report.end);
+        messages += report.messages;
+        deliveries += report.deliveries;
+        payload_packets += report.payload_packets;
+      }
+      out += "{\"label\":";
+      append_json_string(out, label);
+      out += ",\"start_ms\":";
+      out += json_double(to_ms(start));
+      out += ",\"end_ms\":";
+      out += json_double(to_ms(end));
+      out += ",\"messages\":";
+      out += std::to_string(messages);
+      out += ",\"deliveries\":";
+      out += std::to_string(deliveries);
+      out += ",\"payload_packets\":";
+      out += std::to_string(payload_packets);
+      out += '}';
+    }
+    out += ']';
+  }
+  out += "}\n";
+  return out;
 }
 
 }  // namespace esm::harness

@@ -38,10 +38,23 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
 /// scripts; one metric per line).
 std::string format_result_kv(const ExperimentResult& result);
 
+/// Renders merged run metrics as one deterministic JSON document (schema
+/// "esm-metrics-v1"): schema tag, replication count, aggregate registry,
+/// per-node registries, and (when scenarios ran) per-phase windows merged
+/// by index using only the merge-exact fields (start from the first run,
+/// end = max, message/delivery/payload counts summed). Every map is
+/// emitted in sorted key order and doubles are printed with %.17g, so the
+/// output is byte-identical however the runs were scheduled.
+/// `phase_runs` holds one phase-report vector per replication (empty
+/// vectors allowed; the "phases" key is omitted when none has phases).
+std::string format_metrics_json(
+    const obs::RunMetrics& metrics,
+    const std::vector<std::vector<stats::PhaseReport>>& phase_runs);
+
 /// Applies one named sweep parameter to a config (used by `esm_sweep`).
 /// Supported names: pi, u, rho, best, noise, t0-ms, loss, kill, churn,
-/// batch-ms, interval-ms, period-ms, fanout, nodes, messages, seed.
-/// Returns false and sets `error` for unknown names.
+/// batch-ms, interval-ms, period-ms, retry-rounds, fanout, nodes,
+/// messages, seed. Returns false and sets `error` for unknown names.
 bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
                        double value, std::string& error);
 

@@ -117,6 +117,12 @@ struct ExperimentConfig {
   StrategySpec strategy{};
   /// Retransmission period T (§5.2: 400 ms).
   SimTime retransmission_period = 400 * kMillisecond;
+  /// Maximum full passes over a message's advertiser set before its lazy
+  /// recovery is abandoned (RequestPolicy::max_rounds). Passes after the
+  /// first re-ask already-asked sources every retransmission_period, so a
+  /// lost IWANT or DATA reply does not strand the message. 1 restores the
+  /// old ask-each-source-once discipline.
+  std::uint32_t max_request_rounds = 5;
   /// IHAVE aggregation window (0 = one advertisement per packet, as the
   /// paper; >0 batches ids per destination to amortize headers).
   SimTime ihave_batch_window = 0;
@@ -162,6 +168,11 @@ struct ExperimentConfig {
   /// into ExperimentResult::trace, as the paper's testbed logged every
   /// multicast and delivery for offline processing (§5.3).
   bool collect_trace = false;
+
+  /// Collect per-node and aggregated metrics plus message-lifecycle
+  /// recovery episodes (src/obs) into ExperimentResult::metrics. Off by
+  /// default; the tools enable it for --metrics-out.
+  bool collect_metrics = false;
 
   /// Serialize every packet through the real wire codec (src/wire): byte
   /// accounting uses exact encoded sizes and receivers get freshly decoded

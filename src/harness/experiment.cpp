@@ -18,6 +18,7 @@
 #include "fault/injector.hpp"
 #include "net/latency_model.hpp"
 #include "net/transport.hpp"
+#include "obs/lifecycle.hpp"
 #include "overlay/cyclon.hpp"
 #include "overlay/hyparview.hpp"
 #include "overlay/neem.hpp"
@@ -199,6 +200,7 @@ std::unique_ptr<core::TransmissionStrategy> make_strategy(
   const StrategySpec& spec = config.strategy;
   core::RequestPolicy policy;
   policy.retransmission_period = config.retransmission_period;
+  policy.max_rounds = config.max_request_rounds;
   policy.first_request_delay = 0;
   if (spec.kind == StrategyKind::radius || spec.kind == StrategyKind::hybrid) {
     if (spec.t0 > 0) {
@@ -323,6 +325,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   stats::PhaseWindows phase_windows(config.warmup);
   stats::PhaseWindows* const pw =
       config.scenario.empty() ? nullptr : &phase_windows;
+  // Observability: metrics registries + message-lifecycle tracker, wired
+  // into the protocol layers' observation hooks. Only metrics runs pay.
+  std::shared_ptr<obs::RunMetrics> run_metrics =
+      config.collect_metrics ? std::make_shared<obs::RunMetrics>() : nullptr;
+  std::optional<obs::LifecycleTracker> tracker;
+  if (run_metrics) tracker.emplace(sim, config.num_nodes, *run_metrics);
+  obs::LifecycleTracker* const trk = tracker ? &*tracker : nullptr;
+  if (trk) {
+    transport.set_drop_listener(
+        [trk](NodeId src, NodeId dst, bool is_payload,
+              net::Transport::DropReason reason) {
+          trk->on_drop(src, dst, is_payload, reason);
+        });
+  }
 
   std::vector<std::unique_ptr<NodeStack>> nodes;
   nodes.reserve(config.num_nodes);
@@ -444,6 +460,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
             piggyback->observe(peer, rtt);
           });
     }
+    if (trk) {
+      stack->scheduler->set_lazy_listener(
+          [trk, id](const MsgId& mid, core::PayloadScheduler::LazyEvent event,
+                    NodeId peer) { trk->on_lazy_event(id, mid, event, peer); });
+    }
     stack->scheduler->set_send_listener(
         [&payload_tx_per_message, trace_log, pw, id, &sim](
             const core::AppMessage& msg, NodeId dst, bool eager) {
@@ -476,8 +497,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     stack->gossip = std::make_unique<core::GossipNode>(
         id, gossip_params, *stack->sampler, *stack->scheduler,
-        [&messages, &all_latency_ms, &sim, id, trace_log,
-         pw](const core::AppMessage& msg) {
+        [&messages, &all_latency_ms, &sim, id, trace_log, pw,
+         trk](const core::AppMessage& msg) {
           MsgRecord& rec = messages.at(msg.seq);
           ++rec.deliveries;
           const double ms = to_ms(sim.now() - msg.multicast_time);
@@ -486,12 +507,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
             all_latency_ms.add(ms);
           }
           if (pw) pw->on_delivery(msg.seq, ms, msg.origin == id);
+          if (trk) {
+            trk->on_delivery(id, msg.id, sim.now() - msg.multicast_time);
+          }
           if (trace_log) {
             trace_log->record_delivery({sim.now(), id, msg.origin, msg.seq,
                                         sim.now() - msg.multicast_time});
           }
         },
         node_rng.split(6));
+    if (trk) {
+      stack->gossip->set_relay_listener(
+          [trk, id](const MsgId&, Round, std::size_t relayed_to) {
+            trk->on_relay(id, relayed_to);
+          });
+    }
 
     nodes.push_back(std::move(stack));
   }
@@ -867,14 +897,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   std::uint64_t dups = 0, reqs = 0, prunes = 0;
+  std::uint64_t retries = 0, gave_up = 0, still_pending = 0;
   for (const auto& stack : nodes) {
     dups += stack->scheduler->stats().duplicate_payloads;
     reqs += stack->scheduler->stats().requests_sent;
     prunes += stack->scheduler->stats().prunes_sent;
+    retries += stack->scheduler->stats().iwant_retries;
+    gave_up += stack->scheduler->stats().recovery_gave_up;
+    still_pending += stack->scheduler->pending_requests();
   }
   result.duplicate_payloads = dups;
   result.requests_sent = reqs;
   result.prunes_sent = prunes;
+  result.iwant_retries = retries;
+  result.recovery_gave_up = gave_up;
+  result.recovery_stalled = gave_up + still_pending;
   result.payload_tx_per_message = std::move(payload_tx_per_message);
   result.trace = trace_log;
   result.peak_simultaneous_connections = peak_simultaneous;
@@ -900,6 +937,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   } else {
     result.mean_eager_rate_estimate =
         std::numeric_limits<double>::quiet_NaN();
+  }
+  if (trk) {
+    trk->finalize();
+    result.metrics = run_metrics;
   }
   return result;
 }

@@ -18,6 +18,7 @@
 
 #include "harness/config.hpp"
 #include "net/routing.hpp"
+#include "obs/metrics.hpp"
 #include "stats/phase_windows.hpp"
 #include "stats/running.hpp"
 #include "trace/trace_log.hpp"
@@ -66,6 +67,15 @@ struct ExperimentResult {
   std::uint64_t total_bytes = 0;
   std::uint64_t duplicate_payloads = 0;
   std::uint64_t requests_sent = 0;
+  /// IWANTs re-sent on retry passes over already-asked advertisers
+  /// (nonzero only when loss actually bit the lazy path).
+  std::uint64_t iwant_retries = 0;
+  /// Lazy recoveries abandoned after max_request_rounds full passes.
+  std::uint64_t recovery_gave_up = 0;
+  /// Lazy recoveries not completed by the end of the run: abandoned, or
+  /// still pending when the drain ended. 0 means every advertised payload
+  /// eventually arrived (always collected — no collect_metrics needed).
+  std::uint64_t recovery_stalled = 0;
   std::uint64_t packets_lost = 0;
   /// Packets purged at senders because the bounded egress buffer was full.
   std::uint64_t buffer_drops = 0;
@@ -100,6 +110,10 @@ struct ExperimentResult {
   std::uint64_t prunes_sent = 0;
   /// Full event trace (only when config.collect_trace).
   std::shared_ptr<trace::TraceLog> trace;
+  /// Per-node + aggregated metrics and recovery-lifecycle accounting
+  /// (only when config.collect_metrics). Shared so replicated runs can
+  /// merge registries without copying histograms.
+  std::shared_ptr<obs::RunMetrics> metrics;
 
   // --- fault scenarios ---
   /// Per-phase windowed metrics (only when config.scenario is non-empty).

@@ -125,9 +125,17 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
   ESM_CHECK(src != dst, "transport does not loop back to self");
   ESM_CHECK(static_cast<bool>(packet), "packet must not be null");
 
-  if (silenced_[src]) return;  // firewalled: nothing leaves the node
+  if (silenced_[src]) {  // firewalled: nothing leaves the node
+    if (drop_listener_) {
+      drop_listener_(src, dst, is_payload, DropReason::kSilenced);
+    }
+    return;
+  }
   if (!partition_.empty() && partition_[src] != partition_[dst]) {
     ++partition_drops_;
+    if (drop_listener_) {
+      drop_listener_(src, dst, is_payload, DropReason::kPartition);
+    }
     return;  // the split swallows cross-group traffic
   }
 
@@ -156,11 +164,17 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
   if (options_.egress_buffer_bytes > 0) {
     if (item.bytes > options_.egress_buffer_bytes) {
       ++buffer_drops_;
+      if (drop_listener_) {
+        drop_listener_(src, dst, is_payload, DropReason::kBuffer);
+      }
       return;  // can never fit
     }
     if (options_.purge_policy == TransportOptions::PurgePolicy::drop_newest) {
       if (egress.queued_bytes + item.bytes > options_.egress_buffer_bytes) {
         ++buffer_drops_;
+        if (drop_listener_) {
+          drop_listener_(src, dst, is_payload, DropReason::kBuffer);
+        }
         return;
       }
     } else {  // drop_oldest: purge stale packets until the fresh one fits.
@@ -172,11 +186,18 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
         const auto victim =
             egress.queue.begin() + static_cast<std::ptrdiff_t>(protect);
         egress.queued_bytes -= victim->bytes;
+        if (drop_listener_) {
+          drop_listener_(src, victim->dst, victim->is_payload,
+                         DropReason::kBuffer);
+        }
         egress.queue.erase(victim);
         ++buffer_drops_;
       }
       if (egress.queued_bytes + item.bytes > options_.egress_buffer_bytes) {
         ++buffer_drops_;
+        if (drop_listener_) {
+          drop_listener_(src, dst, is_payload, DropReason::kBuffer);
+        }
         return;  // even an empty (modulo head) buffer cannot take it
       }
     }
@@ -205,7 +226,11 @@ void Transport::drain(NodeId src) {
     Queued item = std::move(e.queue.front());
     e.queue.pop_front();
     e.queued_bytes -= item.bytes;
-    if (!silenced_[src]) transmit(src, std::move(item));
+    if (!silenced_[src]) {
+      transmit(src, std::move(item));
+    } else if (drop_listener_) {
+      drop_listener_(src, item.dst, item.is_payload, DropReason::kSilenced);
+    }
     drain(src);
   });
 }
@@ -229,11 +254,17 @@ void Transport::transmit(NodeId src, Queued item) {
 
   if (options_.loss_rate > 0.0 && rng_.chance(options_.loss_rate)) {
     ++packets_lost_;
+    if (drop_listener_) {
+      drop_listener_(src, item.dst, item.is_payload, DropReason::kLoss);
+    }
     return;
   }
   if (extra_loss > 0.0 && rng_.chance(extra_loss)) {
     ++packets_lost_;
     ++fault_drops_;
+    if (drop_listener_) {
+      drop_listener_(src, item.dst, item.is_payload, DropReason::kFault);
+    }
     return;
   }
 
@@ -249,7 +280,12 @@ void Transport::transmit(NodeId src, Queued item) {
   const SimTime arrival = sim_.now() + std::max<SimTime>(delay, 1);
   const NodeId dst = item.dst;
   sim_.schedule_at(arrival, [this, src, dst, item = std::move(item)] {
-    if (silenced_[dst]) return;  // firewalled: nothing gets in
+    if (silenced_[dst]) {  // firewalled: nothing gets in
+      if (drop_listener_) {
+        drop_listener_(src, dst, item.is_payload, DropReason::kSilenced);
+      }
+      return;
+    }
     if (handlers_[dst] == nullptr) return;
     if (options_.codec != nullptr) {
       handlers_[dst](src, options_.codec->decode(item.encoded));

@@ -202,6 +202,24 @@ class Transport {
   /// Effective egress bandwidth of a node (override or default).
   std::uint64_t node_bandwidth(NodeId node) const;
 
+  /// Why a packet never reached its destination handler.
+  enum class DropReason {
+    kLoss,       // base loss process
+    kFault,      // fault-injected extra loss
+    kBuffer,     // egress buffer overflow purge
+    kPartition,  // endpoints in different partition groups
+    kSilenced,   // src silenced at send / dst silenced at arrival
+  };
+
+  /// Observation hook: invoked for every dropped packet with the directed
+  /// link, payload flag, and reason. Feeds the obs lifecycle tracker; not
+  /// part of the network model (one branch per drop when unset).
+  using DropListener =
+      std::function<void(NodeId src, NodeId dst, bool is_payload, DropReason)>;
+  void set_drop_listener(DropListener listener) {
+    drop_listener_ = std::move(listener);
+  }
+
  private:
   /// One packet waiting on a node's egress link.
   struct Queued {
@@ -251,6 +269,7 @@ class Transport {
   double global_delay_factor_ = 1.0;
   std::unordered_map<std::uint64_t, LinkFault> link_faults_;
   std::uint64_t fault_drops_ = 0;
+  DropListener drop_listener_;
 };
 
 }  // namespace esm::net

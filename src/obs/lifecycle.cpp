@@ -1,0 +1,166 @@
+#include "obs/lifecycle.hpp"
+
+#include "common/check.hpp"
+
+namespace esm::obs {
+
+namespace {
+
+const char* drop_counter_name(net::Transport::DropReason reason) {
+  switch (reason) {
+    case net::Transport::DropReason::kLoss: return "drops_loss";
+    case net::Transport::DropReason::kFault: return "drops_fault";
+    case net::Transport::DropReason::kBuffer: return "drops_buffer";
+    case net::Transport::DropReason::kPartition: return "drops_partition";
+    case net::Transport::DropReason::kSilenced: return "drops_silenced";
+  }
+  return "drops_unknown";
+}
+
+}  // namespace
+
+LifecycleTracker::LifecycleTracker(sim::Simulator& sim,
+                                   std::uint32_t num_nodes,
+                                   RunMetrics& metrics)
+    : sim_(sim), metrics_(metrics) {
+  metrics_.per_node.resize(num_nodes);
+}
+
+void LifecycleTracker::on_lazy_event(NodeId node, const MsgId& id,
+                                     core::PayloadScheduler::LazyEvent event,
+                                     NodeId peer) {
+  (void)peer;
+  using LazyEvent = core::PayloadScheduler::LazyEvent;
+  const Key key{node, id};
+  switch (event) {
+    case LazyEvent::kFirstIHave: {
+      const auto [it, inserted] = episodes_.try_emplace(key);
+      if (inserted) {
+        it->second.first_ihave = sim_.now();
+        node_reg(node).add_counter("recovery_episodes");
+        metrics_.aggregate.add_counter("recovery_episodes");
+      } else if (it->second.state == EpisodeState::kGaveUp) {
+        // A fresh advertisement restarted an abandoned recovery; it is
+        // the same episode (same missing payload), re-opened.
+        it->second.state = EpisodeState::kOpen;
+      }
+      break;
+    }
+    case LazyEvent::kIWant:
+    case LazyEvent::kIWantRetry: {
+      Episode& ep = episodes_[key];
+      ++ep.iwants;
+      node_reg(node).add_counter("iwants_sent");
+      metrics_.aggregate.add_counter("iwants_sent");
+      if (event == LazyEvent::kIWantRetry) {
+        ++ep.retries;
+        node_reg(node).add_counter("iwant_retries");
+        metrics_.aggregate.add_counter("iwant_retries");
+      }
+      break;
+    }
+    case LazyEvent::kRecovered: {
+      const auto it = episodes_.find(key);
+      if (it == episodes_.end() ||
+          it->second.state == EpisodeState::kRecovered) {
+        break;
+      }
+      it->second.state = EpisodeState::kRecovered;
+      it->second.closed_at = sim_.now();
+      const auto ms = static_cast<std::uint64_t>(
+          (sim_.now() - it->second.first_ihave) / kMillisecond);
+      node_reg(node).add_counter("recovery_recovered");
+      node_reg(node).histogram("recovery_ms").add(ms);
+      metrics_.aggregate.add_counter("recovery_recovered");
+      metrics_.aggregate.histogram("recovery_ms").add(ms);
+      break;
+    }
+    case LazyEvent::kGaveUp: {
+      const auto it = episodes_.find(key);
+      if (it != episodes_.end() && it->second.state == EpisodeState::kOpen) {
+        it->second.state = EpisodeState::kGaveUp;
+        it->second.closed_at = sim_.now();
+      }
+      node_reg(node).add_counter("recovery_gave_up");
+      metrics_.aggregate.add_counter("recovery_gave_up");
+      break;
+    }
+  }
+}
+
+void LifecycleTracker::on_delivery(NodeId node, const MsgId& id,
+                                   SimTime latency) {
+  const auto ms =
+      static_cast<std::uint64_t>(latency < 0 ? 0 : latency / kMillisecond);
+  node_reg(node).add_counter("deliveries");
+  node_reg(node).histogram("delivery_latency_ms").add(ms);
+  metrics_.aggregate.add_counter("deliveries");
+  metrics_.aggregate.histogram("delivery_latency_ms").add(ms);
+
+  // A payload can also arrive eagerly after the lazy path gave up; either
+  // way, delivery closes the episode as recovered.
+  const auto it = episodes_.find(Key{node, id});
+  if (it != episodes_.end() && it->second.state != EpisodeState::kRecovered) {
+    it->second.state = EpisodeState::kRecovered;
+    it->second.closed_at = sim_.now();
+    const auto rec_ms = static_cast<std::uint64_t>(
+        (sim_.now() - it->second.first_ihave) / kMillisecond);
+    node_reg(node).add_counter("recovery_recovered");
+    node_reg(node).histogram("recovery_ms").add(rec_ms);
+    metrics_.aggregate.add_counter("recovery_recovered");
+    metrics_.aggregate.histogram("recovery_ms").add(rec_ms);
+  }
+}
+
+void LifecycleTracker::on_drop(NodeId src, NodeId dst, bool is_payload,
+                               net::Transport::DropReason reason) {
+  (void)dst;
+  const char* name = drop_counter_name(reason);
+  node_reg(src).add_counter(name);
+  metrics_.aggregate.add_counter(name);
+  if (is_payload) {
+    node_reg(src).add_counter("drops_payload");
+    metrics_.aggregate.add_counter("drops_payload");
+  }
+}
+
+void LifecycleTracker::on_relay(NodeId node, std::size_t relayed_to) {
+  node_reg(node).add_counter("relays");
+  node_reg(node).histogram("relay_fanout").add(relayed_to);
+  metrics_.aggregate.add_counter("relays");
+  metrics_.aggregate.histogram("relay_fanout").add(relayed_to);
+}
+
+void LifecycleTracker::on_pull_fetch(NodeId node, bool refetch) {
+  node_reg(node).add_counter("pull_fetches");
+  metrics_.aggregate.add_counter("pull_fetches");
+  if (refetch) {
+    node_reg(node).add_counter("pull_refetches");
+    metrics_.aggregate.add_counter("pull_refetches");
+  }
+}
+
+void LifecycleTracker::finalize() {
+  ESM_CHECK(!finalized_, "LifecycleTracker::finalize called twice");
+  finalized_ = true;
+  // Stalled = the payload never arrived: episodes still open at the end
+  // of the run plus abandoned ones never closed by a later delivery.
+  // (Histogram adds commute, so unordered iteration stays deterministic.)
+  for (const auto& [key, ep] : episodes_) {
+    metrics_.aggregate.histogram("recovery_iwants").add(ep.iwants);
+    if (ep.state != EpisodeState::kRecovered) {
+      node_reg(key.node).add_counter("recovery_stalled");
+      metrics_.aggregate.add_counter("recovery_stalled");
+    }
+  }
+  // Pin the headline keys into the aggregate even at zero, so the JSON
+  // schema is stable and "recovery_stalled":0 is visible proof rather
+  // than an absent key.
+  for (const char* name :
+       {"recovery_episodes", "recovery_recovered", "recovery_stalled",
+        "recovery_gave_up", "iwants_sent", "iwant_retries"}) {
+    metrics_.aggregate.add_counter(name, 0);
+  }
+}
+
+}  // namespace esm::obs

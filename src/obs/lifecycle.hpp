@@ -1,0 +1,104 @@
+// Message-lifecycle tracker — the event layer of the observability
+// subsystem.
+//
+// One tracker observes a whole experiment. The protocol layers expose
+// cheap observation hooks (PayloadScheduler lazy-lifecycle events,
+// Transport drops, GossipNode relays, PullNode fetches); the harness
+// forwards them here when metrics collection is on. The tracker follows
+// each (node, message) lazy *recovery episode* — opened by the first
+// IHAVE for a payload the node is missing, advanced by IWANTs and retry
+// passes, closed by the payload's arrival or by giving up — and
+// finalize() classifies every episode as recovered or stalled, emitting
+// counters and latency histograms into a RunMetrics (per node and
+// aggregated).
+//
+// The headline numbers this produces:
+//   * recovery_stalled   — episodes whose payload NEVER arrived; the
+//                          pre-fix lazy-path stall shows up here, and the
+//                          retry-cycling fix drives it to zero;
+//   * iwant_retries      — IWANTs re-sent on retry passes (proof the
+//                          retry discipline actually fired);
+//   * recovery_ms        — histogram of first-IHAVE-to-payload times.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "core/gossip.hpp"
+#include "core/scheduler.hpp"
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::obs {
+
+class LifecycleTracker {
+ public:
+  /// `metrics.per_node` is sized to `num_nodes`; the tracker writes into
+  /// both the per-node registries and the aggregate. `metrics` must
+  /// outlive the tracker.
+  LifecycleTracker(sim::Simulator& sim, std::uint32_t num_nodes,
+                   RunMetrics& metrics);
+
+  // --- hooks (forwarded by the harness from the protocol layers) ----------
+
+  /// PayloadScheduler lazy-lifecycle event on `node`.
+  void on_lazy_event(NodeId node, const MsgId& id,
+                     core::PayloadScheduler::LazyEvent event, NodeId peer);
+
+  /// A message was delivered on `node` with the given latency. Closes any
+  /// open episode for it (a payload can also arrive eagerly after the
+  /// scheduler gave up on the lazy path).
+  void on_delivery(NodeId node, const MsgId& id, SimTime latency);
+
+  /// Transport dropped a packet on the directed link.
+  void on_drop(NodeId src, NodeId dst, bool is_payload,
+               net::Transport::DropReason reason);
+
+  /// GossipNode on `node` executed Forward(), relaying to `relayed_to`
+  /// peers.
+  void on_relay(NodeId node, std::size_t relayed_to);
+
+  /// PullNode on `node` sent a PullFetch id (`refetch` = re-issued after
+  /// an earlier fetch timed out).
+  void on_pull_fetch(NodeId node, bool refetch);
+
+  /// Classifies all episodes and writes the episode-derived counters and
+  /// histograms into the RunMetrics. Call exactly once, after the run.
+  void finalize();
+
+ private:
+  enum class EpisodeState { kOpen, kRecovered, kGaveUp };
+
+  struct Episode {
+    SimTime first_ihave = 0;
+    SimTime closed_at = 0;
+    std::uint32_t iwants = 0;
+    std::uint32_t retries = 0;
+    EpisodeState state = EpisodeState::kOpen;
+  };
+
+  struct Key {
+    NodeId node;
+    MsgId id;
+    bool operator==(const Key& other) const {
+      return node == other.node && id == other.id;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return MsgIdHash{}(k.id) ^
+             (static_cast<std::size_t>(k.node) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  MetricsRegistry& node_reg(NodeId node) { return metrics_.per_node.at(node); }
+
+  sim::Simulator& sim_;
+  RunMetrics& metrics_;
+  std::unordered_map<Key, Episode, KeyHash> episodes_;
+  bool finalized_ = false;
+};
+
+}  // namespace esm::obs

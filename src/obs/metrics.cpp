@@ -1,0 +1,104 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace esm::obs {
+
+namespace {
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::gauge_max(const std::string& name, double value) {
+  const auto [it, inserted] = gauges_.try_emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const stats::LogHistogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauge_max(name, value);
+  for (const auto& [name, hist] : other.histograms_) {
+    histograms_[name].merge(hist);
+  }
+}
+
+void MetricsRegistry::append_json(std::string& out) const {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    out += format_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    out += hist.to_json();
+  }
+  out += "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  append_json(out);
+  return out;
+}
+
+void RunMetrics::merge(const RunMetrics& other) {
+  aggregate.merge(other.aggregate);
+  if (other.per_node.size() > per_node.size()) {
+    per_node.resize(other.per_node.size());
+  }
+  for (std::size_t i = 0; i < other.per_node.size(); ++i) {
+    per_node[i].merge(other.per_node[i]);
+  }
+  runs += other.runs;
+}
+
+}  // namespace esm::obs

@@ -99,11 +99,21 @@ bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
   }
   if (const auto* advertise =
           dynamic_cast<const PullAdvertisePacket*>(packet.get())) {
+    const SimTime timeout =
+        params_.refetch_timeout > 0 ? params_.refetch_timeout : params_.period;
     auto fetch = std::make_shared<PullFetchPacket>();
     for (const MsgId& id : advertise->ids) {
-      if (!known_.contains(id) && fetching_.insert(id).second) {
-        fetch->ids.push_back(id);
+      if (known_.contains(id)) continue;
+      const auto [it, inserted] = fetching_.try_emplace(id, sim_.now());
+      if (!inserted) {
+        // A fetch is already in flight; re-fetch only once it has had a
+        // full timeout to be answered (it or its reply may be lost).
+        if (sim_.now() - it->second < timeout) continue;
+        it->second = sim_.now();
+        ++refetches_;
       }
+      if (fetch_listener_) fetch_listener_(id, /*refetch=*/!inserted);
+      fetch->ids.push_back(id);
     }
     if (!fetch->ids.empty()) {
       const std::size_t bytes = fetch->wire_bytes();

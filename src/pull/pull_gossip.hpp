@@ -75,6 +75,10 @@ struct PullParams {
   /// Digest cap per request (bounds request size; older ids are garbage
   /// collected by the application).
   std::size_t max_digest = 512;
+  /// How long an in-flight PullFetch suppresses re-fetching the same id.
+  /// If the fetch or its reply is dropped, a later advertisement may
+  /// re-fetch once this much time has passed. 0 = one poll `period`.
+  SimTime refetch_timeout = 0;
 };
 
 /// One node of the pull-gossip protocol.
@@ -112,6 +116,17 @@ class PullNode {
   /// non-lazy pull).
   std::uint64_t duplicate_payloads() const { return duplicate_payloads_; }
 
+  /// PullFetch requests re-issued after an earlier fetch for the same id
+  /// timed out (the fetch or its reply was lost).
+  std::uint64_t refetches() const { return refetches_; }
+
+  /// Observation hook: invoked for every PullFetch id sent, with
+  /// `refetch` true when it re-fetches after a timed-out earlier attempt.
+  using FetchListener = std::function<void(const MsgId&, bool refetch)>;
+  void set_fetch_listener(FetchListener listener) {
+    fetch_listener_ = std::move(listener);
+  }
+
   /// Drops finished messages from the local store.
   void garbage_collect(const std::vector<MsgId>& ids);
 
@@ -127,11 +142,15 @@ class PullNode {
   DeliverFn deliver_;
   Rng rng_;
   std::unordered_map<MsgId, core::AppMessage, MsgIdHash> known_;
-  /// Ids requested via PullFetch and not yet received (avoids fetching the
-  /// same payload from several advertisers).
-  std::unordered_set<MsgId, MsgIdHash> fetching_;
+  /// Ids requested via PullFetch and not yet received, with the send time
+  /// of the latest fetch. Suppresses duplicate fetches from concurrent
+  /// advertisers, but only for `refetch_timeout`: a dropped fetch or
+  /// reply must not suppress recovery forever.
+  std::unordered_map<MsgId, SimTime, MsgIdHash> fetching_;
   sim::PeriodicTimer timer_;
   std::uint64_t duplicate_payloads_ = 0;
+  std::uint64_t refetches_ = 0;
+  FetchListener fetch_listener_;
 };
 
 }  // namespace esm::pull

@@ -1,0 +1,116 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace esm::stats {
+
+std::uint32_t LogHistogram::bucket_index(std::uint64_t v) {
+  if (v < 8) return static_cast<std::uint32_t>(v);
+  const auto msb = static_cast<std::uint32_t>(std::bit_width(v) - 1);
+  const auto sub = static_cast<std::uint32_t>((v >> (msb - 3)) & 7u);
+  return (msb - 3) * 8 + sub + 8;
+}
+
+std::uint64_t LogHistogram::bucket_lower_bound(std::uint32_t bucket) {
+  if (bucket < 8) return bucket;
+  const std::uint32_t octave = (bucket - 8) / 8;
+  const std::uint32_t sub = (bucket - 8) % 8;
+  return static_cast<std::uint64_t>(8 + sub) << octave;
+}
+
+void LogHistogram::add(std::uint64_t v, std::uint64_t count) {
+  if (count == 0) return;
+  const std::uint32_t idx = bucket_index(v);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += count;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += count;
+  sum_ += v * count;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LogHistogram::quantile(double p) const {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank >= count_) return max_;  // the extremes are tracked exactly
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp into [min, max]: the nearest-rank sample cannot lie outside
+      // the observed range even when its bucket bounds do.
+      return std::clamp(bucket_lower_bound(static_cast<std::uint32_t>(i)),
+                        min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+LogHistogram::nonzero_buckets() const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      out.emplace_back(static_cast<std::uint32_t>(i), buckets_[i]);
+    }
+  }
+  return out;
+}
+
+std::string LogHistogram::to_json() const {
+  std::string out = "{\"count\":" + std::to_string(count_) +
+                    ",\"sum\":" + std::to_string(sum_) +
+                    ",\"min\":" + std::to_string(min()) +
+                    ",\"max\":" + std::to_string(max_) + ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [idx, n] : nonzero_buckets()) {
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(idx) + ',' + std::to_string(n) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+bool LogHistogram::operator==(const LogHistogram& other) const {
+  if (count_ != other.count_ || sum_ != other.sum_ || min() != other.min() ||
+      max_ != other.max_) {
+    return false;
+  }
+  return nonzero_buckets() == other.nonzero_buckets();
+}
+
+}  // namespace esm::stats

@@ -1,0 +1,63 @@
+// Log-bucketed histogram for latency-style values.
+//
+// Fixed bucket layout shared by every instance: values 0..7 get their own
+// bucket; above that each power-of-two octave is split into 8 sub-buckets
+// (HDR-histogram style), bounding the relative error of any reconstructed
+// value by 12.5%. Because the layout is global, merging two histograms is
+// an exact bucket-wise add — merge(a, b) equals adding every sample of b
+// into a — which is what makes metrics aggregation across nodes, phases
+// and parallel experiment replicas order-insensitive and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esm::stats {
+
+/// Mergeable log-bucketed histogram of non-negative integer values
+/// (microseconds, counts, bytes — any uint64).
+class LogHistogram {
+ public:
+  /// Bucket index for a value: v for v < 8, else 8 sub-buckets per
+  /// power-of-two octave. Monotone in v.
+  static std::uint32_t bucket_index(std::uint64_t v);
+
+  /// Inclusive lower bound of a bucket (the smallest value mapping to it).
+  static std::uint64_t bucket_lower_bound(std::uint32_t bucket);
+
+  void add(std::uint64_t v, std::uint64_t count = 1);
+
+  /// Exact bucket-wise merge: equivalent to adding every sample of
+  /// `other` into this histogram.
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Approximate quantile: lower bound of the bucket holding the
+  /// nearest-rank sample, clamped to [min(), max()] (exact for values
+  /// < 8; within 12.5% above). quantile(0) == min(), quantile(1) == max().
+  std::uint64_t quantile(double p) const;
+
+  /// (bucket index, count) pairs for every nonzero bucket, ascending.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> nonzero_buckets() const;
+
+  /// Deterministic single-line JSON object:
+  /// {"count":..,"sum":..,"min":..,"max":..,"buckets":[[idx,n],...]}.
+  std::string to_json() const;
+
+  bool operator==(const LogHistogram& other) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace esm::stats

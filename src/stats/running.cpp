@@ -74,9 +74,12 @@ double Samples::quantile(double p) const {
     sorted_ = true;
   }
   const double clamped = std::clamp(p, 0.0, 1.0);
-  const auto pos = static_cast<std::size_t>(
-      clamped * static_cast<double>(values_.size() - 1));
-  return values_[pos];
+  // Nearest-rank: smallest value with at least ceil(p*n) samples <= it.
+  const auto n = values_.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(n)));
+  const std::size_t pos = rank == 0 ? 0 : rank - 1;
+  return values_[std::min(pos, n - 1)];
 }
 
 }  // namespace esm::stats

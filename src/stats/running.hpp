@@ -50,7 +50,9 @@ class Samples {
   void add(double x) { values_.push_back(x); sorted_ = false; }
   std::size_t count() const { return values_.size(); }
   double mean() const;
-  /// p in [0, 1]; nearest-rank on the sorted data. 0 if empty.
+  /// p in [0, 1]; true nearest-rank on the sorted data (index
+  /// ceil(p*n)-1, so quantile(1.0) is the max and quantile(0.0) the
+  /// min). 0 if empty.
   double quantile(double p) const;
 
  private:

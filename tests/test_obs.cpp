@@ -1,0 +1,217 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "obs/lifecycle.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::obs {
+namespace {
+
+using core::PayloadScheduler;
+using LazyEvent = PayloadScheduler::LazyEvent;
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("x"), 0u);
+  reg.add_counter("x");
+  reg.add_counter("x", 4);
+  EXPECT_EQ(reg.counter("x"), 5u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, GaugesKeepMax) {
+  MetricsRegistry reg;
+  reg.gauge_max("peak", 2.5);
+  reg.gauge_max("peak", 1.0);  // lower value must not overwrite
+  EXPECT_DOUBLE_EQ(reg.gauge("peak"), 2.5);
+  reg.gauge_max("peak", 7.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("peak"), 7.0);
+}
+
+TEST(MetricsRegistry, HistogramsCreatedOnFirstUse) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_histogram("h"), nullptr);
+  reg.histogram("h").add(10);
+  ASSERT_NE(reg.find_histogram("h"), nullptr);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 1u);
+}
+
+TEST(MetricsRegistry, MergeSemanticsPerKind) {
+  MetricsRegistry a, b;
+  a.add_counter("c", 2);
+  b.add_counter("c", 3);
+  b.add_counter("only_b", 1);
+  a.gauge_max("g", 1.0);
+  b.gauge_max("g", 9.0);
+  a.histogram("h").add(1);
+  b.histogram("h").add(100);
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);
+  EXPECT_EQ(a.find_histogram("h")->count(), 2u);
+  EXPECT_EQ(a.find_histogram("h")->max(), 100u);
+}
+
+TEST(MetricsRegistry, MergeIsOrderInsensitive) {
+  // The determinism keystone for --jobs invariance: merging the same set
+  // of registries in any order produces byte-identical JSON.
+  std::vector<MetricsRegistry> parts(3);
+  parts[0].add_counter("a", 1);
+  parts[0].histogram("h").add(5);
+  parts[1].add_counter("a", 10);
+  parts[1].gauge_max("g", 3.5);
+  parts[2].add_counter("b", 7);
+  parts[2].gauge_max("g", 2.0);
+  parts[2].histogram("h").add(500);
+
+  MetricsRegistry forward, backward;
+  for (const auto& p : parts) forward.merge(p);
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    backward.merge(*it);
+  }
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+}
+
+TEST(MetricsRegistry, JsonSortedAndStable) {
+  MetricsRegistry reg;
+  reg.add_counter("zeta", 1);
+  reg.add_counter("alpha", 2);
+  reg.gauge_max("g", 0.5);
+  reg.histogram("h").add(3);
+  EXPECT_EQ(reg.to_json(),
+            "{\"counters\":{\"alpha\":2,\"zeta\":1},"
+            "\"gauges\":{\"g\":0.5},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":3,\"min\":3,"
+            "\"max\":3,\"buckets\":[[3,1]]}}}");
+}
+
+TEST(RunMetrics, MergeAlignsNodesAndSumsRuns) {
+  RunMetrics a, b;
+  a.per_node.resize(2);
+  b.per_node.resize(2);
+  a.aggregate.add_counter("c", 1);
+  b.aggregate.add_counter("c", 2);
+  a.per_node[0].add_counter("n", 1);
+  b.per_node[0].add_counter("n", 5);
+  b.per_node[1].add_counter("n", 7);
+  a.merge(b);
+  EXPECT_EQ(a.runs, 2u);
+  EXPECT_EQ(a.aggregate.counter("c"), 3u);
+  EXPECT_EQ(a.per_node[0].counter("n"), 6u);
+  EXPECT_EQ(a.per_node[1].counter("n"), 7u);
+}
+
+TEST(LifecycleTracker, RecoveredEpisodeProducesLatency) {
+  sim::Simulator sim;
+  RunMetrics metrics;
+  LifecycleTracker tracker(sim, 2, metrics);
+  const MsgId id{1, 1};
+  sim.schedule_at(10 * kMillisecond, [&] {
+    tracker.on_lazy_event(1, id, LazyEvent::kFirstIHave, 0);
+    tracker.on_lazy_event(1, id, LazyEvent::kIWant, 0);
+  });
+  sim.schedule_at(30 * kMillisecond, [&] {
+    tracker.on_lazy_event(1, id, LazyEvent::kRecovered, 0);
+  });
+  sim.run();
+  tracker.finalize();
+  EXPECT_EQ(metrics.aggregate.counter("recovery_episodes"), 1u);
+  EXPECT_EQ(metrics.aggregate.counter("recovery_recovered"), 1u);
+  EXPECT_EQ(metrics.aggregate.counter("recovery_stalled"), 0u);
+  EXPECT_EQ(metrics.aggregate.counter("iwants_sent"), 1u);
+  ASSERT_NE(metrics.aggregate.find_histogram("recovery_ms"), nullptr);
+  EXPECT_EQ(metrics.aggregate.find_histogram("recovery_ms")->sum(), 20u);
+  // Per-node registry mirrors the aggregate for the owning node.
+  EXPECT_EQ(metrics.per_node.at(1).counter("recovery_recovered"), 1u);
+  EXPECT_EQ(metrics.per_node.at(0).counter("recovery_recovered"), 0u);
+}
+
+TEST(LifecycleTracker, OpenEpisodeCountsAsStalled) {
+  sim::Simulator sim;
+  RunMetrics metrics;
+  LifecycleTracker tracker(sim, 1, metrics);
+  const MsgId id{2, 2};
+  tracker.on_lazy_event(0, id, LazyEvent::kFirstIHave, 0);
+  tracker.on_lazy_event(0, id, LazyEvent::kIWant, 0);
+  tracker.on_lazy_event(0, id, LazyEvent::kIWantRetry, 0);
+  tracker.finalize();
+  EXPECT_EQ(metrics.aggregate.counter("recovery_stalled"), 1u);
+  EXPECT_EQ(metrics.aggregate.counter("recovery_recovered"), 0u);
+  EXPECT_EQ(metrics.aggregate.counter("iwant_retries"), 1u);
+}
+
+TEST(LifecycleTracker, GaveUpThenEagerDeliveryIsRecovered) {
+  // The scheduler abandoned the lazy path, but the payload later arrived
+  // eagerly — the episode must classify as recovered, not stalled.
+  sim::Simulator sim;
+  RunMetrics metrics;
+  LifecycleTracker tracker(sim, 1, metrics);
+  const MsgId id{3, 3};
+  tracker.on_lazy_event(0, id, LazyEvent::kFirstIHave, 0);
+  tracker.on_lazy_event(0, id, LazyEvent::kGaveUp, kInvalidNode);
+  tracker.on_delivery(0, id, 5 * kMillisecond);
+  tracker.finalize();
+  EXPECT_EQ(metrics.aggregate.counter("recovery_gave_up"), 1u);
+  EXPECT_EQ(metrics.aggregate.counter("recovery_recovered"), 1u);
+  EXPECT_EQ(metrics.aggregate.counter("recovery_stalled"), 0u);
+  EXPECT_EQ(metrics.aggregate.counter("deliveries"), 1u);
+}
+
+TEST(LifecycleTracker, HeadlineKeysPinnedAtZero) {
+  // Even a run with no lazy traffic must export the headline keys, so
+  // "recovery_stalled":0 is visible proof rather than an absent key.
+  sim::Simulator sim;
+  RunMetrics metrics;
+  LifecycleTracker tracker(sim, 1, metrics);
+  tracker.finalize();
+  const std::string json = metrics.aggregate.to_json();
+  EXPECT_NE(json.find("\"recovery_stalled\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"iwant_retries\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_episodes\":0"), std::string::npos);
+}
+
+TEST(FormatMetricsJson, SchemaAndPhaseMerge) {
+  RunMetrics metrics;
+  metrics.runs = 2;
+  metrics.aggregate.add_counter("deliveries", 10);
+  metrics.per_node.resize(1);
+  metrics.per_node[0].add_counter("deliveries", 10);
+
+  stats::PhaseReport p0;
+  p0.label = "baseline";
+  p0.start = 0;
+  p0.end = 10 * kSecond;
+  p0.messages = 4;
+  p0.deliveries = 40;
+  p0.payload_packets = 50;
+  stats::PhaseReport p0b = p0;
+  p0b.end = 12 * kSecond;
+  p0b.messages = 6;
+  p0b.deliveries = 60;
+  p0b.payload_packets = 70;
+
+  const std::string json =
+      harness::format_metrics_json(metrics, {{p0}, {p0b}});
+  EXPECT_NE(json.find("\"schema\":\"esm-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  // Phase fields merge exactly: counts sum, end takes the max.
+  EXPECT_NE(json.find("\"label\":\"baseline\""), std::string::npos);
+  EXPECT_NE(json.find("\"end_ms\":12000"), std::string::npos);
+  EXPECT_NE(json.find("\"messages\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"deliveries\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"payload_packets\":120"), std::string::npos);
+
+  // Without any phases the key is omitted entirely.
+  const std::string no_phases = harness::format_metrics_json(metrics, {});
+  EXPECT_EQ(no_phases.find("\"phases\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esm::obs

@@ -20,8 +20,8 @@ struct Swarm {
   std::vector<std::unique_ptr<PullNode>> nodes;
   std::vector<std::vector<core::AppMessage>> delivered;
 
-  Swarm(std::uint32_t n, PullParams params)
-      : transport(sim, latency, n, {}, Rng(41)), delivered(n) {
+  Swarm(std::uint32_t n, PullParams params, net::TransportOptions options = {})
+      : transport(sim, latency, n, options, Rng(41)), delivered(n) {
     for (NodeId id = 0; id < n; ++id) {
       samplers.push_back(std::make_unique<overlay::FullMembershipSampler>(
           transport, id, Rng(900 + id)));
@@ -165,6 +165,48 @@ TEST(PullGossip, SurvivesFailures) {
   std::size_t live_delivered = 0;
   for (NodeId id = 0; id < 15; ++id) live_delivered += swarm.delivered[id].size();
   EXPECT_EQ(live_delivered, 15u);
+}
+
+TEST(PullGossip, RefetchAfterTimeoutRecoversLostFetch) {
+  // A PullFetch whose request or reply is lost must only suppress
+  // re-fetching of the same id for refetch_timeout (default: one poll
+  // period), not forever.
+  Swarm swarm(2, lazy_params());
+  for (auto& node : swarm.nodes) node->stop();  // no background polling
+  const MsgId id{7, 7};
+  std::vector<bool> fetches;  // value = was it a refetch
+  swarm.nodes[1]->set_fetch_listener(
+      [&](const MsgId&, bool refetch) { fetches.push_back(refetch); });
+  auto advertise = std::make_shared<PullAdvertisePacket>();
+  advertise->ids.push_back(id);
+  // First advertisement fetches; node 0 does not hold the payload, so the
+  // fetch is never answered (equivalent to a lost reply).
+  swarm.nodes[1]->handle_packet(0, advertise);
+  ASSERT_EQ(fetches.size(), 1u);
+  EXPECT_FALSE(fetches[0]);
+  // Within the timeout the in-flight fetch suppresses duplicates.
+  swarm.sim.run_until(50 * kMillisecond);
+  swarm.nodes[1]->handle_packet(0, advertise);
+  EXPECT_EQ(fetches.size(), 1u);
+  EXPECT_EQ(swarm.nodes[1]->refetches(), 0u);
+  // Past the timeout the id is fetched again.
+  swarm.sim.run_until(150 * kMillisecond);
+  swarm.nodes[1]->handle_packet(0, advertise);
+  ASSERT_EQ(fetches.size(), 2u);
+  EXPECT_TRUE(fetches[1]);
+  EXPECT_EQ(swarm.nodes[1]->refetches(), 1u);
+}
+
+TEST(PullGossip, LazyPullSurvivesLossViaRefetch) {
+  // Pre-fix, a lost fetch (or its reply) suppressed that id at that node
+  // permanently; under sustained loss some nodes never converged. With
+  // the re-fetch timeout, lazy pull eventually delivers everywhere.
+  net::TransportOptions options;
+  options.loss_rate = 0.25;
+  Swarm swarm(15, lazy_params(), options);
+  swarm.nodes[0]->multicast(64, 0, 0);
+  swarm.sim.run_until(120 * kSecond);
+  EXPECT_EQ(swarm.total_delivered(), 15u);
 }
 
 TEST(PullGossip, RejectsBadParams) {

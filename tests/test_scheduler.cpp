@@ -164,11 +164,12 @@ TEST(Scheduler, RetriesNextSourceAfterPeriod) {
   f.sim.run();
   ASSERT_EQ(f.received[2].size(), 1u);
   EXPECT_EQ(f.received[2][0].src, 1u);
-  // IWANT to 0 fires at 10 ms (swallowed). The queue is empty when the
-  // second IHAVE lands at 15 ms, so the retry to node 1 is armed a full
-  // period after that advertisement.
-  EXPECT_EQ(f.received[2][0].at, 15 * kMillisecond + kPeriod + 2 * kDelay);
+  // IWANT to 0 fires at 10 ms (swallowed) and arms the timer; the second
+  // IHAVE lands at 15 ms while it is armed. One period after the first
+  // request the timer fires and falls back to node 1.
+  EXPECT_EQ(f.received[2][0].at, 10 * kMillisecond + kPeriod + 2 * kDelay);
   EXPECT_EQ(f.schedulers[2]->stats().requests_sent, 2u);
+  EXPECT_EQ(f.schedulers[2]->stats().iwant_retries, 0u);
 }
 
 TEST(Scheduler, DuplicateAdvertisementFromSameSourceIgnored) {
@@ -219,7 +220,35 @@ TEST(Scheduler, GarbageCollectedCacheYieldsUnservedRequest) {
   f.schedulers[0]->garbage_collect({m.id});
   f.sim.run();
   EXPECT_TRUE(f.received[1].empty());
-  EXPECT_EQ(f.schedulers[0]->stats().requests_unserved, 1u);
+  // The requester cycles its only advertiser once per period until the
+  // max_rounds passes are spent, so node 0 sees one unserved IWANT per
+  // pass (default RequestPolicy::max_rounds = 5).
+  EXPECT_EQ(f.schedulers[0]->stats().requests_unserved, 5u);
+  EXPECT_EQ(f.schedulers[1]->stats().iwant_retries, 4u);
+  EXPECT_EQ(f.schedulers[1]->stats().recovery_gave_up, 1u);
+  EXPECT_EQ(f.schedulers[1]->pending_requests(), 0u);
+}
+
+TEST(Scheduler, RetryRecoversAfterTransientCacheMiss) {
+  // The only advertiser fails to serve the first IWANT (its cache was
+  // garbage-collected), then regains the payload. The retry pass must
+  // re-ask the already-asked source instead of stalling forever.
+  Fixture f(3, [](const MsgId&, Round, NodeId) { return false; });
+  const AppMessage m = f.msg(1);
+  f.schedulers[0]->l_send(m, 1, 2);
+  f.sim.run_until(12 * kMillisecond);  // IHAVE delivered, IWANT in flight
+  f.schedulers[0]->garbage_collect({m.id});
+  f.sim.run_until(100 * kMillisecond);
+  EXPECT_TRUE(f.received[2].empty());
+  f.schedulers[0]->l_send(m, 1, 1);  // cache repopulated
+  f.sim.run();
+  ASSERT_EQ(f.received[2].size(), 1u);
+  // The 10 ms IWANT went unserved; the retry fires one period after it
+  // and the payload arrives an RTT later.
+  EXPECT_EQ(f.received[2][0].at, 10 * kMillisecond + kPeriod + 2 * kDelay);
+  EXPECT_EQ(f.schedulers[2]->stats().iwant_retries, 1u);
+  EXPECT_EQ(f.schedulers[2]->stats().recovery_gave_up, 0u);
+  EXPECT_EQ(f.schedulers[2]->pending_requests(), 0u);
 }
 
 TEST(Scheduler, HasPayloadTracksSenderAndReceiver) {
@@ -232,24 +261,42 @@ TEST(Scheduler, HasPayloadTracksSenderAndReceiver) {
   EXPECT_TRUE(f.schedulers[1]->has_payload(m.id));
 }
 
-TEST(Scheduler, QueueDrainsAndReArms) {
-  // Single advertiser that never answers; after its one request the queue
-  // is empty. A later IHAVE from another node must re-arm the request.
+TEST(Scheduler, QueueDrainsAndKeepsCyclingUntilMaxRounds) {
+  // Single advertiser that never answers. Draining the advertiser queue
+  // must NOT kill the retransmission timer (the pre-fix stall): the timer
+  // keeps cycling over the already-asked source once per period, and the
+  // recovery is abandoned only after max_rounds full passes.
   Fixture f(3, [](const MsgId&, Round, NodeId) { return false; });
   const AppMessage m = f.msg(1);
-  f.transport.silence(0);
-  // 0 is silenced, so instead let 1 advertise and silence 1 after.
+  f.schedulers[1]->l_send(m, 1, 2);
+  f.sim.run_until(9 * kMillisecond);
+  f.transport.silence(1);  // advertiser swallows every IWANT
+  f.sim.run();
+  EXPECT_TRUE(f.received[2].empty());
+  // Default max_rounds = 5: the first ask plus four retry passes.
+  EXPECT_EQ(f.schedulers[2]->stats().requests_sent, 5u);
+  EXPECT_EQ(f.schedulers[2]->stats().iwant_retries, 4u);
+  EXPECT_EQ(f.schedulers[2]->stats().recovery_gave_up, 1u);
+  EXPECT_EQ(f.schedulers[2]->pending_requests(), 0u);
+}
+
+TEST(Scheduler, MaxRoundsOneRestoresAskEachSourceOnce) {
+  RequestPolicy policy;
+  policy.first_request_delay = 0;
+  policy.retransmission_period = kPeriod;
+  policy.max_rounds = 1;
+  Fixture f(3, [](const MsgId&, Round, NodeId) { return false; }, policy);
+  const AppMessage m = f.msg(1);
   f.schedulers[1]->l_send(m, 1, 2);
   f.sim.run_until(9 * kMillisecond);
   f.transport.silence(1);
-  f.sim.run_until(2 * kPeriod);
+  f.sim.run();
   EXPECT_TRUE(f.received[2].empty());
+  // The old discipline: one ask per advertiser, then give up.
   EXPECT_EQ(f.schedulers[2]->stats().requests_sent, 1u);
-  // Node 0 is silenced; bring the payload via a fresh advertiser path:
-  // un-silencing isn't supported, so use a third party. (Node 0 stays
-  // silenced; schedulers[0] cannot help.) Re-advertise from node 1 is
-  // also silenced — so assert only the drained/re-arm bookkeeping:
-  EXPECT_EQ(f.schedulers[2]->pending_requests(), 1u);
+  EXPECT_EQ(f.schedulers[2]->stats().iwant_retries, 0u);
+  EXPECT_EQ(f.schedulers[2]->stats().recovery_gave_up, 1u);
+  EXPECT_EQ(f.schedulers[2]->pending_requests(), 0u);
 }
 
 TEST(Scheduler, IHaveBatchingAggregatesPerDestination) {

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "stats/histogram.hpp"
 
 namespace esm::stats {
 namespace {
@@ -121,6 +124,133 @@ TEST(Samples, QuantileClampsP) {
   s.add(2);
   EXPECT_DOUBLE_EQ(s.quantile(-1.0), 1.0);
   EXPECT_DOUBLE_EQ(s.quantile(2.0), 2.0);
+}
+
+TEST(Samples, QuantileIsTrueNearestRank) {
+  // Regression: the old floor(p*(n-1)) index biased quantiles low — with
+  // 20 samples it reported p95 as the 19th value instead of the 20th.
+  // Nearest-rank is the value at index ceil(p*n)-1.
+  Samples s;
+  for (int i = 1; i <= 20; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.95), 19.0);  // ceil(0.95*20) = 19
+  EXPECT_DOUBLE_EQ(s.quantile(0.96), 20.0);  // ceil(0.96*20) = 20
+  EXPECT_DOUBLE_EQ(s.quantile(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.051), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+
+  Samples four;
+  for (int i = 1; i <= 4; ++i) four.add(i);
+  EXPECT_DOUBLE_EQ(four.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(four.quantile(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(four.quantile(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(four.quantile(1.0), 4.0);
+
+  Samples one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_index(v), v);
+    EXPECT_EQ(LogHistogram::bucket_lower_bound(static_cast<std::uint32_t>(v)),
+              v);
+  }
+}
+
+TEST(LogHistogram, BucketBoundariesAtOctaveEdges) {
+  // 8..15 is the first split octave: 8 values over 8 sub-buckets.
+  EXPECT_EQ(LogHistogram::bucket_index(7), 7u);
+  EXPECT_EQ(LogHistogram::bucket_index(8), 8u);
+  EXPECT_EQ(LogHistogram::bucket_index(15), 15u);
+  EXPECT_EQ(LogHistogram::bucket_index(16), 16u);
+  EXPECT_EQ(LogHistogram::bucket_index(17), 16u);  // 16..17 share a bucket
+  // Monotone, and lower_bound inverts bucket_index on bucket edges.
+  std::uint32_t prev = 0;
+  for (std::uint64_t v = 0; v < 100'000; v = v * 2 + 1) {
+    const std::uint32_t b = LogHistogram::bucket_index(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LE(LogHistogram::bucket_lower_bound(b), v);
+    prev = b;
+  }
+}
+
+TEST(LogHistogram, RelativeErrorBounded) {
+  for (std::uint64_t v = 1; v < 1'000'000; v = v * 3 / 2 + 1) {
+    const std::uint64_t lo =
+        LogHistogram::bucket_lower_bound(LogHistogram::bucket_index(v));
+    EXPECT_LE(lo, v);
+    EXPECT_LE(static_cast<double>(v - lo), 0.125 * static_cast<double>(v))
+        << "value " << v << " bucket lower bound " << lo;
+  }
+}
+
+TEST(LogHistogram, TracksCountSumMinMaxMean) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.add(10);
+  h.add(2, 3);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_EQ(h.min(), 2u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(LogHistogram, MergeEqualsAddAll) {
+  // The determinism keystone: merge(a, b) must equal adding every sample
+  // of b into a, exactly (same buckets, same count/sum/min/max).
+  Rng rng(7);
+  std::vector<std::uint64_t> a_vals, b_vals;
+  for (int i = 0; i < 500; ++i) {
+    a_vals.push_back(rng.below(1'000'000));
+    b_vals.push_back(rng.below(300));
+  }
+  LogHistogram a, b, all;
+  for (const auto v : a_vals) {
+    a.add(v);
+    all.add(v);
+  }
+  for (const auto v : b_vals) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_TRUE(a == all);
+  EXPECT_EQ(a.to_json(), all.to_json());
+  // Merging an empty histogram is a no-op both ways.
+  LogHistogram empty;
+  LogHistogram copy = all;
+  copy.merge(empty);
+  EXPECT_TRUE(copy == all);
+  empty.merge(all);
+  EXPECT_TRUE(empty == all);
+}
+
+TEST(LogHistogram, QuantileWithinBucketError) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+  const double p50 = static_cast<double>(h.quantile(0.5));
+  EXPECT_NEAR(p50, 500.0, 0.125 * 500.0);
+  const double p95 = static_cast<double>(h.quantile(0.95));
+  EXPECT_NEAR(p95, 950.0, 0.125 * 950.0);
+}
+
+TEST(LogHistogram, JsonShapeIsStable) {
+  LogHistogram h;
+  h.add(0);
+  h.add(5, 2);
+  h.add(9);
+  EXPECT_EQ(h.to_json(),
+            "{\"count\":4,\"sum\":19,\"min\":0,\"max\":9,"
+            "\"buckets\":[[0,1],[5,2],[9,1]]}");
 }
 
 }  // namespace

@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
                  out_path.c_str());
     return 1;
   }
-  char buf[256];
+  char buf[384];
   out << "{\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"workload\": \"flat pi sweep, 8 points + 1 fault "
@@ -141,10 +141,13 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf),
                   "    {\"label\": \"%s\", \"pi\": %g, \"latency_ms\": %.3f, "
                   "\"payload_per_msg\": %.3f, \"deliveries\": %.5f, "
+                  "\"iwant_retries\": %llu, \"recovery_stalled\": %llu, "
                   "\"faults_injected\": %llu, \"events\": %llu}%s\n",
                   fault_point ? "fault_scenario" : "flat",
                   fault_point ? 1.0 : kPis[i], r.mean_latency_ms,
                   r.load_all.payload_per_msg, r.mean_delivery_fraction,
+                  static_cast<unsigned long long>(r.iwant_retries),
+                  static_cast<unsigned long long>(r.recovery_stalled),
                   static_cast<unsigned long long>(r.faults_injected),
                   static_cast<unsigned long long>(r.events_executed),
                   i + 1 < results.size() ? "," : "");

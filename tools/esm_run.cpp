@@ -21,12 +21,14 @@
 int main(int argc, char** argv) {
   using namespace esm;
   std::vector<std::string> args(argv + 1, argv + argc);
-  // --trace FILE and --reps N are handled here (file IO and replication
-  // are the tool's business, not the parser's).
+  // --trace FILE, --metrics-out FILE and --reps N are handled here (file
+  // IO and replication are the tool's business, not the parser's).
   std::string trace_path;
+  std::string metrics_path;
   std::uint64_t reps = 1;
   for (std::size_t i = 0; i < args.size();) {
-    if (args[i] == "--trace" || args[i] == "--reps") {
+    if (args[i] == "--trace" || args[i] == "--metrics-out" ||
+        args[i] == "--reps") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "esm_run: %s requires a value\n",
                      args[i].c_str());
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
       }
       if (args[i] == "--trace") {
         trace_path = args[i + 1];
+      } else if (args[i] == "--metrics-out") {
+        metrics_path = args[i + 1];
       } else {
         reps = std::strtoull(args[i + 1].c_str(), nullptr, 10);
         if (reps == 0) {
@@ -57,6 +61,9 @@ int main(int argc, char** argv) {
   if (options && !trace_path.empty()) {
     options->config.collect_trace = true;
   }
+  if (options && !metrics_path.empty()) {
+    options->config.collect_metrics = true;
+  }
   if (!options) {
     std::fprintf(stderr, "esm_run: %s\nTry esm_run --help\n", error.c_str());
     return 2;
@@ -79,6 +86,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Writes the merged metrics document. Merging happens in input (seed)
+  // order and every merge op is associative/commutative, so the file is
+  // byte-identical at any --jobs count.
+  auto write_metrics =
+      [&](const obs::RunMetrics& merged,
+          const std::vector<std::vector<stats::PhaseReport>>& phase_runs) {
+        std::ofstream out(metrics_path);
+        if (!out) {
+          std::fprintf(stderr, "esm_run: cannot write %s\n",
+                       metrics_path.c_str());
+          return false;
+        }
+        out << harness::format_metrics_json(merged, phase_runs);
+        std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+        return true;
+      };
+
   if (reps > 1) {
     std::vector<harness::ExperimentConfig> configs(reps, options->config);
     for (std::uint64_t r = 0; r < reps; ++r) configs[r].seed += r;
@@ -88,6 +112,23 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "esm_run: %s\n", e.what());
       return 1;
+    }
+    if (!metrics_path.empty()) {
+      obs::RunMetrics merged;
+      std::vector<std::vector<stats::PhaseReport>> phase_runs;
+      phase_runs.reserve(results.size());
+      bool first = true;
+      for (const auto& r : results) {
+        phase_runs.push_back(r.phase_reports);
+        if (!r.metrics) continue;
+        if (first) {
+          merged = *r.metrics;
+          first = false;
+        } else {
+          merged.merge(*r.metrics);
+        }
+      }
+      if (!write_metrics(merged, phase_runs)) return 1;
     }
     stats::RunningStat latency, payload, deliveries, top5;
     for (const auto& r : results) {
@@ -154,6 +195,10 @@ int main(int argc, char** argv) {
                  result.trace->payloads().size());
   }
 
+  if (!metrics_path.empty() && result.metrics) {
+    if (!write_metrics(*result.metrics, {result.phase_reports})) return 1;
+  }
+
   if (options->json) {
     std::fputs(harness::format_result_kv(result).c_str(), stdout);
     return 0;
@@ -189,6 +234,10 @@ int main(int argc, char** argv) {
                  std::to_string(result.requests_sent) + " / " +
                  std::to_string(result.packets_lost) + " / " +
                  std::to_string(result.buffer_drops)});
+  table.row({"iwant retries / gave up / stalled",
+             std::to_string(result.iwant_retries) + " / " +
+                 std::to_string(result.recovery_gave_up) + " / " +
+                 std::to_string(result.recovery_stalled)});
   table.row({"events executed", std::to_string(result.events_executed)});
   table.print();
 

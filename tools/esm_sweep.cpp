@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "esm_sweep: --param NAME and --values V1,V2,... are "
                  "required.\nSweepable: pi u rho best noise t0-ms loss kill "
-                 "churn batch-ms interval-ms period-ms fanout nodes messages "
+                 "churn batch-ms interval-ms period-ms retry-rounds fanout "
+                 "nodes messages "
                  "seed.\nAll esm_run flags form the base configuration;\n"
                  "--jobs N runs points concurrently (default: all cores).\n");
     return 2;
@@ -100,26 +101,32 @@ int main(int argc, char** argv) {
   harness::Table table("sweep of " + param + " (" +
                        base->config.strategy.describe() + ")");
   table.header({param, "latency ms", "p95 ms", "payload/msg",
-                "deliveries %", "top5 %"});
+                "deliveries %", "top5 %", "retries", "stalled"});
   if (csv) {
     std::printf(
-        "%s,latency_ms,p95_ms,payload_per_msg,deliveries,top5_share\n",
+        "%s,latency_ms,p95_ms,payload_per_msg,deliveries,top5_share,"
+        "iwant_retries,recovery_stalled\n",
         param.c_str());
   }
   for (std::size_t i = 0; i < results.size(); ++i) {
     const double v = (*values)[i];
     const harness::ExperimentResult& r = results[i];
     if (csv) {
-      std::printf("%g,%.3f,%.3f,%.3f,%.5f,%.5f\n", v, r.mean_latency_ms,
-                  r.p95_latency_ms, r.load_all.payload_per_msg,
-                  r.mean_delivery_fraction, r.top5_connection_share);
+      std::printf("%g,%.3f,%.3f,%.3f,%.5f,%.5f,%llu,%llu\n", v,
+                  r.mean_latency_ms, r.p95_latency_ms,
+                  r.load_all.payload_per_msg, r.mean_delivery_fraction,
+                  r.top5_connection_share,
+                  static_cast<unsigned long long>(r.iwant_retries),
+                  static_cast<unsigned long long>(r.recovery_stalled));
     } else {
       table.row({harness::Table::num(v, 3),
                  harness::Table::num(r.mean_latency_ms, 0),
                  harness::Table::num(r.p95_latency_ms, 0),
                  harness::Table::num(r.load_all.payload_per_msg, 2),
                  harness::Table::num(100.0 * r.mean_delivery_fraction, 2),
-                 harness::Table::num(100.0 * r.top5_connection_share, 1)});
+                 harness::Table::num(100.0 * r.top5_connection_share, 1),
+                 std::to_string(r.iwant_retries),
+                 std::to_string(r.recovery_stalled)});
     }
   }
   if (!csv) table.print();
