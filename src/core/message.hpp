@@ -60,6 +60,12 @@ inline std::size_t ihave_bytes(std::size_t n) {
   return kHeaderBytes + 2 + 16 * n;
 }
 
+/// Largest id list one IHAVE packet can carry: the wire count field is a
+/// u16 (wire/codec writes the size with w.u16). The scheduler flushes a
+/// batch when it reaches this many ids and splits any larger backlog
+/// across packets, so encode never sees an oversized list.
+inline constexpr std::size_t kMaxIHaveIds = 0xffff;
+
 /// IWANT(i): request for the payload of a previously advertised message.
 struct IWantPacket final : public net::Packet {
   MsgId id{};

@@ -59,6 +59,14 @@ void PayloadScheduler::enqueue_ihave(const MsgId& id, NodeId dst) {
   }
   IHaveBatch& batch = ihave_outbox_[dst];
   batch.ids.push_back(id);
+  // The wire codec's id count is a u16: a batch window long enough to
+  // accumulate more than kMaxIHaveIds ids would make encode throw. Flush
+  // eagerly at the cap (the timer, if armed, finds an empty batch later
+  // and is a no-op).
+  if (batch.ids.size() >= kMaxIHaveIds) {
+    flush_ihaves(dst);
+    return;
+  }
   if (!batch.timer.valid() || !sim_.pending(batch.timer)) {
     batch.timer = sim_.schedule_after(ihave_batch_window_,
                                       [this, dst] { flush_ihaves(dst); });
@@ -68,12 +76,20 @@ void PayloadScheduler::enqueue_ihave(const MsgId& id, NodeId dst) {
 void PayloadScheduler::flush_ihaves(NodeId dst) {
   const auto it = ihave_outbox_.find(dst);
   if (it == ihave_outbox_.end() || it->second.ids.empty()) return;
-  auto ihave = std::make_shared<IHavePacket>();
-  ihave->ids = std::move(it->second.ids);
-  const std::size_t bytes = ihave_bytes(ihave->ids.size());
+  std::vector<MsgId> ids = std::move(it->second.ids);
   ihave_outbox_.erase(it);
-  transport_.send(self_, dst, std::move(ihave), bytes, /*is_payload=*/false);
-  ++stats_.advertisements_sent;
+  // Split at the u16 wire cap; each chunk is billed as its own packet
+  // (header + count + ids), keeping byte accounting consistent with what
+  // the codec would actually put on the wire.
+  for (std::size_t off = 0; off < ids.size(); off += kMaxIHaveIds) {
+    const std::size_t count = std::min(kMaxIHaveIds, ids.size() - off);
+    auto ihave = std::make_shared<IHavePacket>();
+    ihave->ids.assign(ids.begin() + static_cast<std::ptrdiff_t>(off),
+                      ids.begin() + static_cast<std::ptrdiff_t>(off + count));
+    transport_.send(self_, dst, std::move(ihave), ihave_bytes(count),
+                    /*is_payload=*/false);
+    ++stats_.advertisements_sent;
+  }
 }
 
 void PayloadScheduler::queue_source(const MsgId& id, NodeId src) {

@@ -29,6 +29,13 @@ Workload and network:
   --payload BYTES     application payload per message          (default 256)
   --interval-ms MS    mean multicast spacing                   (default 500)
   --seed S            experiment seed                          (default 42)
+  --path-model M      dense | ondemand | auto: pairwise path-metric storage.
+                      dense keeps the N^2 latency/hop matrix; ondemand
+                      computes Dijkstra rows lazily under an LRU byte
+                      budget (same values, bounded memory — required
+                      for large --nodes). auto = dense up to 2048 nodes
+                                                               (default auto)
+  --path-cache-mb MB  on-demand row-cache budget               (default 256)
   --sender N          single-source mode: node N sends everything
   --loss P            packet loss probability                  (default 0)
   --bandwidth BPS     per-node egress bandwidth                (default 100M)
@@ -214,6 +221,21 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       c.mean_interval = static_cast<SimTime>(u64) * kMillisecond;
     } else if (flag == "--seed") {
       if (!next_u64(flag, c.seed)) return std::nullopt;
+    } else if (flag == "--path-model") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "dense") {
+        c.path_model = net::PathModelKind::dense;
+      } else if (v == "ondemand") {
+        c.path_model = net::PathModelKind::ondemand;
+      } else if (v == "auto") {
+        c.path_model = net::PathModelKind::automatic;
+      } else {
+        error = "--path-model: unknown model: " + v;
+        return std::nullopt;
+      }
+    } else if (flag == "--path-cache-mb") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.path_cache_bytes = static_cast<std::size_t>(u64) << 20;
     } else if (flag == "--sender") {
       if (!next_u64(flag, u64)) return std::nullopt;
       c.single_sender = static_cast<NodeId>(u64);
@@ -386,7 +408,10 @@ std::string format_result_kv(const ExperimentResult& result) {
      << "packets_lost=" << result.packets_lost << "\n"
      << "buffer_drops=" << result.buffer_drops << "\n"
      << "live_nodes=" << result.live_nodes << "\n"
-     << "events_executed=" << result.events_executed << "\n";
+     << "events_executed=" << result.events_executed << "\n"
+     << "path_model_bytes=" << result.path_model_bytes << "\n"
+     << "path_rows_computed=" << result.path_rows_computed << "\n"
+     << "path_row_evictions=" << result.path_row_evictions << "\n";
   if (!result.phase_reports.empty()) {
     os << "faults_injected=" << result.faults_injected << "\n"
        << "phases=" << result.phase_reports.size() << "\n";

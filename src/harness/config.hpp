@@ -7,6 +7,7 @@
 #include "common/types.hpp"
 #include "core/gossip.hpp"
 #include "fault/scenario.hpp"
+#include "net/path_model.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
 #include "overlay/cyclon.hpp"
@@ -87,6 +88,15 @@ struct ExperimentConfig {
   /// Virtual nodes (paper: 100, low-bandwidth configs also at 200).
   std::uint32_t num_nodes = 100;
   net::TopologyParams topology{};  // num_clients is overwritten by num_nodes
+
+  /// Pairwise path-metric storage: dense N×N matrix, memory-bounded
+  /// on-demand Dijkstra rows, or automatic by node count (dense up to
+  /// net::kDensePathMaxClients). Dense and on-demand answer identical
+  /// values; only memory/time trade off. CLI: --path-model.
+  net::PathModelKind path_model = net::PathModelKind::automatic;
+  /// Byte budget for the on-demand row cache (0 = model default, 256 MB).
+  /// CLI: --path-cache-mb.
+  std::size_t path_cache_bytes = 0;
 
   // Transport.
   double loss_rate = 0.0;

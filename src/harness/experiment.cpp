@@ -17,6 +17,7 @@
 #include "core/strategies.hpp"
 #include "fault/injector.hpp"
 #include "net/latency_model.hpp"
+#include "net/path_model.hpp"
 #include "net/transport.hpp"
 #include "obs/lifecycle.hpp"
 #include "overlay/cyclon.hpp"
@@ -152,15 +153,16 @@ std::string StrategySpec::describe() const {
   return out;
 }
 
-std::vector<NodeId> rank_by_closeness(const net::ClientMetrics& metrics) {
-  const std::uint32_t n = metrics.num_clients();
+namespace {
+
+/// Closeness ranking from precomputed per-node latency sums. Splitting
+/// this out lets run_experiment reuse one closeness_sums() pass for the
+/// ranking, the kill list and the gossip-rank seed scores.
+std::vector<NodeId> order_by_closeness_sums(const std::vector<double>& sums) {
+  const auto n = static_cast<std::uint32_t>(sums.size());
   std::vector<double> mean_latency(n, 0.0);
   for (NodeId a = 0; a < n; ++a) {
-    double sum = 0.0;
-    for (NodeId b = 0; b < n; ++b) {
-      if (a != b) sum += static_cast<double>(metrics.latency(a, b));
-    }
-    mean_latency[a] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+    mean_latency[a] = n > 1 ? sums[a] / static_cast<double>(n - 1) : 0.0;
   }
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -171,6 +173,12 @@ std::vector<NodeId> rank_by_closeness(const net::ClientMetrics& metrics) {
     return a < b;
   });
   return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> rank_by_closeness(const net::PathModel& metrics) {
+  return order_by_closeness_sums(metrics.closeness_sums());
 }
 
 namespace {
@@ -256,16 +264,45 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   net::TopologyParams topo_params = config.topology;
   topo_params.num_clients = config.num_nodes;
   const net::Topology topo = generate_topology(topo_params, config.seed);
-  net::MatrixLatencyModel latency(net::compute_client_metrics(topo));
-  const net::ClientMetrics& metrics = latency.metrics();
-  const std::vector<NodeId> closeness_order = rank_by_closeness(metrics);
+  // Pairwise path metrics: dense matrix for small N, memory-bounded
+  // on-demand rows above the cutover (or whatever the config forces).
+  const std::unique_ptr<net::PathModel> path_model =
+      net::make_path_model(topo, config.path_model, config.path_cache_bytes);
+  const net::PathModel& metrics = *path_model;
+  net::PathLatencyModel latency(metrics);
 
-  const auto num_best = static_cast<std::uint32_t>(std::lround(
-      config.strategy.best_fraction * static_cast<double>(config.num_nodes)));
-  std::vector<NodeId> oracle_best(
-      closeness_order.begin(),
-      closeness_order.begin() +
-          std::min<std::uint32_t>(num_best, config.num_nodes));
+  const bool needs_monitor = config.strategy.kind == StrategyKind::radius ||
+                             config.strategy.kind == StrategyKind::hybrid;
+  const bool needs_best = config.strategy.kind == StrategyKind::ranked ||
+                          config.strategy.kind == StrategyKind::hybrid;
+  const bool use_gossip_rank = needs_best && config.strategy.use_gossip_rank;
+  // The oracle closeness ranking costs O(N²) point queries, so it is only
+  // computed when something consumes it: a ranked/hybrid best set, a
+  // best-ranked kill list, or a fault scenario (whose crash-best events
+  // address nodes by rank).
+  const bool needs_closeness =
+      needs_best ||
+      (config.kill_fraction > 0.0 &&
+       config.kill_mode == KillMode::best_ranked) ||
+      !config.scenario.empty();
+
+  std::vector<double> closeness_sums;
+  std::vector<NodeId> closeness_order;
+  if (needs_closeness) {
+    closeness_sums = metrics.closeness_sums();
+    closeness_order = order_by_closeness_sums(closeness_sums);
+  }
+
+  std::vector<NodeId> oracle_best;
+  if (needs_best) {
+    const auto num_best = static_cast<std::uint32_t>(std::lround(
+        config.strategy.best_fraction *
+        static_cast<double>(config.num_nodes)));
+    oracle_best.assign(closeness_order.begin(),
+                       closeness_order.begin() +
+                           std::min<std::uint32_t>(num_best,
+                                                   config.num_nodes));
+  }
 
   sim::Simulator sim;
   net::TransportOptions topts;
@@ -294,12 +331,6 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   core::OracleLatencyMonitor oracle_monitor(latency);
   core::DistanceMonitor distance_monitor(topo.client_coords);
   core::StaticBestSet static_best(oracle_best);
-
-  const bool needs_monitor = config.strategy.kind == StrategyKind::radius ||
-                             config.strategy.kind == StrategyKind::hybrid;
-  const bool needs_best = config.strategy.kind == StrategyKind::ranked ||
-                          config.strategy.kind == StrategyKind::hybrid;
-  const bool use_gossip_rank = needs_best && config.strategy.use_gossip_rank;
 
   // One system-wide noise calibration (paper §4.3: a single constant c).
   // Strategies are also wrapped (at zero noise, an exact identity) when a
@@ -343,13 +374,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::vector<std::unique_ptr<NodeStack>> nodes;
   nodes.reserve(config.num_nodes);
 
+  // Oracle closeness seeds for the gossip-rank estimator (higher = closer
+  // to everyone = better node). Reuses the closeness pass from section 1;
+  // runs without gossip rank skip it entirely.
   std::vector<double> closeness_score(config.num_nodes, 0.0);
-  for (NodeId n = 0; n < config.num_nodes; ++n) {
-    double sum = 0.0;
-    for (NodeId m = 0; m < config.num_nodes; ++m) {
-      if (m != n) sum += static_cast<double>(metrics.latency(n, m));
+  if (use_gossip_rank) {
+    for (NodeId n = 0; n < config.num_nodes; ++n) {
+      closeness_score[n] = -closeness_sums[n];
     }
-    closeness_score[n] = -sum;  // higher = closer to everyone = better node
   }
 
   // Fixed symmetric neighbor sets, when requested.
@@ -938,7 +970,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.mean_eager_rate_estimate =
         std::numeric_limits<double>::quiet_NaN();
   }
+  result.path_model_bytes = metrics.memory_bytes();
+  result.path_rows_computed = metrics.rows_computed();
+  result.path_row_evictions = metrics.row_evictions();
   if (trk) {
+    // Deterministic memory gauges (peak RSS is process-wide and
+    // scheduling-dependent, so it stays out of the metrics document).
+    run_metrics->aggregate.gauge_max(
+        "path_model.bytes", static_cast<double>(result.path_model_bytes));
+    run_metrics->aggregate.gauge_max(
+        "path_model.rows_computed",
+        static_cast<double>(result.path_rows_computed));
+    run_metrics->aggregate.gauge_max(
+        "path_model.row_evictions",
+        static_cast<double>(result.path_row_evictions));
     trk->finalize();
     result.metrics = run_metrics;
   }

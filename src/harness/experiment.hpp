@@ -88,6 +88,12 @@ struct ExperimentResult {
   // --- bookkeeping ---
   std::uint32_t live_nodes = 0;
   std::uint64_t events_executed = 0;
+  /// Path-model footprint: resident bytes of pairwise-path state (dense
+  /// matrix or cached on-demand rows), Dijkstra row solves, and LRU
+  /// evictions (0 for the dense model).
+  std::size_t path_model_bytes = 0;
+  std::uint64_t path_rows_computed = 0;
+  std::uint64_t path_row_evictions = 0;
   /// Noise calibration check (Fig. 6(a)): eager-rate estimate c averaged
   /// over nodes; NaN when noise is off.
   double mean_eager_rate_estimate = 0.0;
@@ -132,9 +138,11 @@ struct ExperimentResult {
 /// Runs one experiment. Deterministic given the config (including seed).
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
-/// Ranks nodes by closeness centrality over the latency matrix (lower mean
+/// Ranks nodes by closeness centrality over the path model (lower mean
 /// latency to all others = better), best first. This is the oracle node
 /// "capacity" ranking used by Ranked/Hybrid and by KillMode::best_ranked.
-std::vector<NodeId> rank_by_closeness(const net::ClientMetrics& metrics);
+/// Works on any PathModel (dense matrix or on-demand rows); results are
+/// identical because closeness_sums() fixes the accumulation order.
+std::vector<NodeId> rank_by_closeness(const net::PathModel& metrics);
 
 }  // namespace esm::harness

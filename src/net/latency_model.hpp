@@ -51,6 +51,24 @@ class MatrixLatencyModel final : public LatencyModel {
   ClientMetrics metrics_;
 };
 
+/// Delay answered by a PathModel the caller keeps alive (dense matrix or
+/// on-demand rows — whatever make_path_model selected). Unlike
+/// MatrixLatencyModel it does not copy the metrics, so it is the adapter
+/// the harness uses for large N.
+class PathLatencyModel final : public LatencyModel {
+ public:
+  explicit PathLatencyModel(const PathModel& paths) : paths_(paths) {}
+
+  SimTime one_way(NodeId a, NodeId b) const override {
+    return paths_.latency(a, b);
+  }
+
+  const PathModel& paths() const { return paths_; }
+
+ private:
+  const PathModel& paths_;
+};
+
 /// Symmetric random pairwise delays in [lo, hi] — a cheap stand-in for a
 /// routed topology in tests that only need latency *diversity*.
 class RandomLatencyModel final : public LatencyModel {

@@ -12,36 +12,49 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "net/path_model.hpp"
 #include "net/topology.hpp"
 
 namespace esm::net {
 
-/// Dense client-to-client one-way latency and hop-count matrices.
-class ClientMetrics {
+/// Dense client-to-client one-way latency and hop-count matrices — the
+/// PathModel used for small N (O(N²) memory, O(1) query). Large-N runs use
+/// OnDemandPathModel instead; see net/path_model.hpp.
+class ClientMetrics final : public PathModel {
  public:
   ClientMetrics(std::uint32_t n)
       : n_(n), latency_(std::size_t(n) * n, 0), hops_(std::size_t(n) * n, 0) {}
 
-  std::uint32_t num_clients() const { return n_; }
+  std::uint32_t num_clients() const override { return n_; }
 
-  SimTime latency(NodeId a, NodeId b) const { return latency_[idx(a, b)]; }
-  std::uint16_t hops(NodeId a, NodeId b) const { return hops_[idx(a, b)]; }
+  SimTime latency(NodeId a, NodeId b) const override {
+    return latency_[idx(a, b)];
+  }
+  std::uint16_t hops(NodeId a, NodeId b) const override {
+    return hops_[idx(a, b)];
+  }
 
   void set(NodeId a, NodeId b, SimTime lat, std::uint16_t h) {
     latency_[idx(a, b)] = lat;
     hops_[idx(a, b)] = h;
   }
 
+  std::size_t memory_bytes() const override {
+    return latency_.size() * sizeof(SimTime) +
+           hops_.size() * sizeof(std::uint16_t);
+  }
+  std::uint64_t rows_computed() const override { return n_; }
+
   /// Mean one-way latency over ordered pairs (a != b).
-  double mean_latency_us() const;
+  double mean_latency_us() const override;
   /// Mean hop count over ordered pairs (a != b).
-  double mean_hops() const;
+  double mean_hops() const override;
   /// Fraction of ordered pairs whose hop count is in [lo, hi].
-  double hop_fraction(std::uint16_t lo, std::uint16_t hi) const;
+  double hop_fraction(std::uint16_t lo, std::uint16_t hi) const override;
   /// Fraction of ordered pairs whose latency is in [lo, hi] microseconds.
-  double latency_fraction(SimTime lo, SimTime hi) const;
+  double latency_fraction(SimTime lo, SimTime hi) const override;
   /// p-quantile (0..1) of the pairwise one-way latency distribution.
-  SimTime latency_quantile(double p) const;
+  SimTime latency_quantile(double p) const override;
 
  private:
   std::size_t idx(NodeId a, NodeId b) const {

@@ -72,7 +72,8 @@ struct Topology {
   /// Coordinates per vertex (clients share their access vertex's location,
   /// perturbed slightly so plots can distinguish them).
   std::vector<Point> coords;
-  /// Underlay vertex each client attaches to (distinct stub vertices, §5.1).
+  /// Underlay vertex each client attaches to (distinct stub vertices per
+  /// §5.1; shared round-robin when clients outnumber stubs).
   std::vector<VertexId> client_vertex;
   /// Graph vertex representing each client itself (leaf behind the access
   /// link); `client_vertex[i]` is its single neighbor.
@@ -85,8 +86,8 @@ struct Topology {
 };
 
 /// Generates a transit-stub topology. Deterministic given (params, seed).
-/// Throws CheckFailure on inconsistent parameters (e.g. more clients than
-/// stub vertices).
+/// Throws CheckFailure on inconsistent parameters. More clients than stub
+/// vertices is allowed: stubs are then shared round-robin (large-N runs).
 Topology generate_topology(const TopologyParams& params, std::uint64_t seed);
 
 }  // namespace esm::net

@@ -322,6 +322,18 @@ void Transport::prune_link_fault(NodeId a, NodeId b) {
   if (it != link_faults_.end() && it->second.neutral()) link_faults_.erase(it);
 }
 
+double Transport::link_extra_loss(NodeId src, NodeId dst) const {
+  // Same directed lookup transmit() performs; the setters keep both
+  // directions in sync, so this is symmetric in (src, dst).
+  const auto it = link_faults_.find(link_key(src, dst));
+  return it == link_faults_.end() ? 0.0 : it->second.extra_loss;
+}
+
+double Transport::link_delay_factor(NodeId src, NodeId dst) const {
+  const auto it = link_faults_.find(link_key(src, dst));
+  return it == link_faults_.end() ? 1.0 : it->second.delay_factor;
+}
+
 void Transport::set_extra_loss(double extra) {
   ESM_CHECK(extra >= 0.0 && extra < 1.0, "extra loss must be in [0, 1)");
   global_extra_loss_ = extra;

@@ -167,8 +167,10 @@ class Transport {
 
   /// Additional loss applied on top of options_.loss_rate, composed as
   /// independent drop processes: p = 1 - (1-loss_rate)(1-extra). Global
-  /// (all links) and per-link variants; per-link faults are symmetric
-  /// (installed on both directions). Used by the fault injector for
+  /// (all links) and per-link variants. Per-link faults are SYMMETRIC by
+  /// contract: the setters install the value on both directed keys, so
+  /// the send path's directed (src, dst) lookup observes the same fault
+  /// whichever endpoint transmits. Used by the fault injector for
   /// loss_burst events. Pass 0 to clear.
   void set_extra_loss(double extra);
   void set_link_extra_loss(NodeId a, NodeId b, double extra);
@@ -178,6 +180,12 @@ class Transport {
   void set_link_delay_factor(NodeId a, NodeId b, double factor);
   double extra_loss() const { return global_extra_loss_; }
   double delay_factor() const { return global_delay_factor_; }
+  /// Installed per-link fault as the send path sees it for a packet from
+  /// `src` to `dst` (excluding the global modifiers). Symmetric in its
+  /// arguments by the setter contract above; exposed so tests and tools
+  /// can pin that orientation-independence.
+  double link_extra_loss(NodeId src, NodeId dst) const;
+  double link_delay_factor(NodeId src, NodeId dst) const;
   /// Packets dropped by the *extra* (fault-injected) loss process.
   std::uint64_t fault_drops() const { return fault_drops_; }
 
@@ -253,7 +261,11 @@ class Transport {
   /// Partition group per node; empty = no partition.
   std::vector<int> partition_;
   std::uint64_t partition_drops_ = 0;
-  /// Per-node egress queues (bandwidth model).
+  /// Per-node egress queues (bandwidth model). A deque, NOT a vector:
+  /// drain pops the head per transmitted packet and the drop-oldest purge
+  /// erases at (or one past) the front, so under sustained overload a
+  /// contiguous buffer would go quadratic — exactly the regime the
+  /// bounded-buffer model exists to study.
   struct Egress {
     std::deque<Queued> queue;
     std::uint64_t queued_bytes = 0;

@@ -7,7 +7,7 @@
 
 namespace esm::tree {
 
-std::vector<NodeId> build_spanning_tree(const net::ClientMetrics& metrics,
+std::vector<NodeId> build_spanning_tree(const net::PathModel& metrics,
                                         NodeId root, std::uint32_t max_degree) {
   const std::uint32_t n = metrics.num_clients();
   ESM_CHECK(root < n, "root out of range");
@@ -49,7 +49,7 @@ std::vector<NodeId> build_spanning_tree(const net::ClientMetrics& metrics,
 }
 
 std::vector<SimTime> tree_path_latencies(const std::vector<NodeId>& parents,
-                                         const net::ClientMetrics& metrics,
+                                         const net::PathModel& metrics,
                                          NodeId from) {
   const auto n = static_cast<std::uint32_t>(parents.size());
   // Build adjacency and BFS-accumulate path latency from `from`.

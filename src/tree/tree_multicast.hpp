@@ -32,12 +32,12 @@ namespace esm::tree {
 /// Builds a degree-constrained spanning tree over the latency metric.
 /// Returns parent[] with parent[root] == root. Throws if the degree cap
 /// makes the tree infeasible (cap < 2 with more than 2 nodes).
-std::vector<NodeId> build_spanning_tree(const net::ClientMetrics& metrics,
+std::vector<NodeId> build_spanning_tree(const net::PathModel& metrics,
                                         NodeId root, std::uint32_t max_degree);
 
 /// Sum of tree-path latencies from `from` to every other node (diagnostic).
 std::vector<SimTime> tree_path_latencies(const std::vector<NodeId>& parents,
-                                         const net::ClientMetrics& metrics,
+                                         const net::PathModel& metrics,
                                          NodeId from);
 
 struct TreeParams {

@@ -80,7 +80,7 @@ core::AppMessage read_app_message(ByteReader& r) {
 }
 
 void write_id_list(ByteWriter& w, const std::vector<MsgId>& ids) {
-  if (ids.size() > 0xffff) throw DecodeError("id list too long");
+  if (ids.size() > core::kMaxIHaveIds) throw DecodeError("id list too long");
   w.u16(static_cast<std::uint16_t>(ids.size()));
   for (const MsgId& id : ids) write_msg_id(w, id);
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "net/routing.hpp"
@@ -102,10 +103,28 @@ TEST(Topology, DeterministicGivenSeed) {
   EXPECT_NE(a.client_vertex, c.client_vertex);
 }
 
-TEST(Topology, RejectsTooManyClients) {
+TEST(Topology, SharesStubsWhenClientsOutnumberThem) {
   TopologyParams p = small_params();
-  p.num_clients = p.num_underlay_vertices;  // more than stub count
-  EXPECT_THROW(generate_topology(p, 1), CheckFailure);
+  const std::uint32_t num_stub = p.num_underlay_vertices -
+                                 p.num_transit_domains * p.transit_per_domain;
+  p.num_clients = num_stub + 37;  // more clients than stub vertices
+  const Topology topo = generate_topology(p, 1);
+  ASSERT_EQ(topo.client_vertex.size(), p.num_clients);
+  // Every stub hosts at least one client, none hosts more than ceil(N/S),
+  // and every attachment is still a stub router behind a degree-1 leaf.
+  std::map<VertexId, std::uint32_t> per_stub;
+  for (std::uint32_t c = 0; c < p.num_clients; ++c) {
+    const VertexId v = topo.client_vertex[c];
+    EXPECT_EQ(topo.kind[v], VertexKind::stub);
+    ++per_stub[v];
+    const auto& edges = topo.graph.neighbors(topo.client_leaf[c]);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0].to, v);
+  }
+  EXPECT_EQ(per_stub.size(), num_stub);
+  for (const auto& [stub, count] : per_stub) {
+    EXPECT_LE(count, (p.num_clients + num_stub - 1) / num_stub) << stub;
+  }
 }
 
 TEST(Topology, CalibrationHitsTargetMeanLatency) {

@@ -238,6 +238,43 @@ TEST(Transport, LinkDelayFactorOnlySlowsThatLink) {
   EXPECT_EQ(arrivals[1], (std::pair<NodeId, SimTime>{1, 20 * kMillisecond}));
 }
 
+TEST(Transport, LinkFaultsAreOrientationIndependent) {
+  // Per-link faults are symmetric by contract: installing (a, b) must be
+  // observable — and effective — for traffic in BOTH directions, however
+  // the endpoints are ordered at the call site.
+  Fixture f(3);
+  f.transport.set_link_extra_loss(0, 1, 0.25);
+  EXPECT_EQ(f.transport.link_extra_loss(0, 1), 0.25);
+  EXPECT_EQ(f.transport.link_extra_loss(1, 0), 0.25);
+  EXPECT_EQ(f.transport.link_extra_loss(0, 2), 0.0);
+  f.transport.set_link_delay_factor(2, 1, 4.0);
+  EXPECT_EQ(f.transport.link_delay_factor(2, 1), 4.0);
+  EXPECT_EQ(f.transport.link_delay_factor(1, 2), 4.0);
+  EXPECT_EQ(f.transport.link_delay_factor(0, 1), 1.0);
+
+  // The delay installed as (2, 1) stretches a 1 -> 2 send: the send path's
+  // directed lookup sees the same fault whichever endpoint transmits.
+  std::vector<SimTime> arrivals;
+  f.transport.register_handler(2, [&](NodeId, const PacketPtr&) {
+    arrivals.push_back(f.sim.now());
+  });
+  f.transport.send(1, 2, make_packet(), 10, false);
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 40 * kMillisecond);
+
+  // Clearing through either orientation clears both directions.
+  f.transport.set_link_extra_loss(1, 0, 0.0);
+  EXPECT_EQ(f.transport.link_extra_loss(0, 1), 0.0);
+  EXPECT_EQ(f.transport.link_extra_loss(1, 0), 0.0);
+  f.transport.set_link_delay_factor(1, 2, 1.0);
+  EXPECT_EQ(f.transport.link_delay_factor(2, 1), 1.0);
+  f.transport.send(1, 2, make_packet(), 10, false);
+  f.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 10 * kMillisecond);
+}
+
 TEST(Transport, FaultModifierValidation) {
   Fixture f(3);
   EXPECT_THROW(f.transport.set_extra_loss(1.0), CheckFailure);
@@ -365,6 +402,30 @@ TEST(Transport, DropOldestKeepsFreshest) {
   // NEWEST packet; the stale middle of the queue was purged.
   EXPECT_EQ(f.received[1][0].second, 0);
   EXPECT_EQ(f.received[1][1].second, 4);
+}
+
+TEST(Transport, DropOldestSustainedOverloadIsExactAndOrdered) {
+  // Sustained-overload pinning for the deque-backed egress queue: a
+  // front-of-queue purge per arrival must keep exact drop counts and the
+  // head-survives / freshest-survives delivery pattern at burst sizes
+  // where an erase-at-front-of-vector implementation would go quadratic.
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;  // 1 byte/ms: every send overflows
+  opts.egress_buffer_bytes = 2500;
+  opts.purge_policy = TransportOptions::PurgePolicy::drop_oldest;
+  Fixture f(2, opts);
+  constexpr int kBurst = 200;
+  for (int i = 0; i < kBurst; ++i) {
+    f.transport.send(0, 1, make_packet(i), 1000, true);
+  }
+  f.sim.run();
+  // The in-flight head is protected from the purge, one queued slot
+  // churns: everything but the head and the newest packet is dropped.
+  EXPECT_EQ(f.transport.buffer_drops(), static_cast<std::uint64_t>(kBurst - 2));
+  ASSERT_EQ(f.received[1].size(), 2u);
+  EXPECT_EQ(f.received[1][0].second, 0);
+  EXPECT_EQ(f.received[1][1].second, kBurst - 1);
+  EXPECT_EQ(f.transport.stats().link(0, 1).payload_packets, 2u);
 }
 
 TEST(Transport, OversizedPacketAlwaysDropped) {

@@ -322,6 +322,25 @@ TEST(Codec, RandomMutationNeverCrashes) {
   }
 }
 
+TEST(Codec, IHaveIdListWireCapBoundary) {
+  // The id count travels as a u16: exactly kMaxIHaveIds must round-trip,
+  // one more must be refused at encode (the scheduler splits batches at
+  // the cap so live traffic never hits the throw).
+  core::IHavePacket full;
+  full.ids.reserve(core::kMaxIHaveIds);
+  for (std::uint64_t i = 0; i < core::kMaxIHaveIds; ++i) {
+    full.ids.push_back(MsgId{i, i});
+  }
+  const auto decoded = round_trip(full);
+  ASSERT_EQ(decoded->ids.size(), core::kMaxIHaveIds);
+  EXPECT_EQ(decoded->ids.front(), full.ids.front());
+  EXPECT_EQ(decoded->ids.back(), full.ids.back());
+
+  core::IHavePacket overflow = full;
+  overflow.ids.push_back(MsgId{1, 2});
+  EXPECT_THROW(encode_packet(overflow, 0, 1), DecodeError);
+}
+
 TEST(Codec, RandomInputNeverCrashes) {
   Rng rng(123);
   for (int trial = 0; trial < 2000; ++trial) {

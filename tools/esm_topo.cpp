@@ -8,9 +8,11 @@
 // The CSV modes feed external plotting (the Fig. 4 style network renders).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "harness/table.hpp"
+#include "net/path_model.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
   std::uint32_t clients = 100;
   std::uint64_t seed = 2007;
   std::string csv;
+  net::PathModelKind path_kind = net::PathModelKind::automatic;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> const char* {
@@ -46,9 +49,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       csv = v;
+    } else if (flag == "--path-model") {
+      const char* v = value();
+      if (v == nullptr) {
+        std::fprintf(stderr, "esm_topo: --path-model needs a value\n");
+        return 2;
+      }
+      if (std::strcmp(v, "dense") == 0) {
+        path_kind = net::PathModelKind::dense;
+      } else if (std::strcmp(v, "ondemand") == 0) {
+        path_kind = net::PathModelKind::ondemand;
+      } else if (std::strcmp(v, "auto") == 0) {
+        path_kind = net::PathModelKind::automatic;
+      } else {
+        std::fprintf(stderr, "esm_topo: unknown path model %s\n", v);
+        return 2;
+      }
     } else if (flag == "--help") {
       std::puts(
-          "esm_topo --clients N --seed S [--csv coords|latency|histogram]");
+          "esm_topo --clients N --seed S [--csv coords|latency|histogram]"
+          " [--path-model dense|ondemand|auto]");
       return 0;
     } else {
       std::fprintf(stderr, "esm_topo: unknown flag %s\n", flag.c_str());
@@ -59,7 +79,9 @@ int main(int argc, char** argv) {
   net::TopologyParams params;
   params.num_clients = clients;
   const net::Topology topo = net::generate_topology(params, seed);
-  const net::ClientMetrics metrics = net::compute_client_metrics(topo);
+  const std::unique_ptr<net::PathModel> path_model =
+      net::make_path_model(topo, path_kind);
+  const net::PathModel& metrics = *path_model;
 
   if (csv == "coords") {
     std::puts("client,x,y");
