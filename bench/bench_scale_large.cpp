@@ -14,17 +14,105 @@
 //
 //   bench_scale_large            # full 2k/10k/50k sweep
 //   bench_scale_large --quick    # 2k/10k only (CI-friendly)
+//   bench_scale_large --traced   # streaming-trace memory check
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "net/path_model.hpp"
+
+namespace {
+
+double peak_rss_mb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB
+}
+
+// --traced: proves TraceLog's streaming sink keeps memory bounded. Runs
+// the same event-heavy configuration twice — untraced first (so the
+// simulator's own footprint is folded into the process RSS high-water
+// mark), then with the trace streamed to a file. Because ru_maxrss is
+// process-lifetime monotonic, any RSS growth in the second run is
+// attributable to tracing. Buffering this trace in memory would cost
+// roughly as much RAM as the CSV is large, so the bound is a fraction of
+// the file size; exit is nonzero on violation.
+int run_traced_check() {
+  using namespace esm;
+  using harness::ExperimentConfig;
+  using harness::Table;
+
+  ExperimentConfig c;
+  c.seed = 2007;
+  c.num_nodes = 2'000;
+  c.overlay_kind = harness::OverlayKind::static_random;
+  c.strategy = harness::StrategySpec::make_flat(0.0);
+  c.num_messages = 400;
+  c.mean_interval = 50 * kMillisecond;
+
+  const std::string trace_path = "bench_scale_large_trace.csv";
+  Table table("streaming trace memory bound (2k nodes, 400 msgs)");
+  table.header({"variant", "wall s", "events", "trace MB", "peak RSS MB"});
+
+  double base_rss = 0.0, traced_rss = 0.0;
+  double trace_mb = 0.0;
+  for (const bool traced : {false, true}) {
+    ExperimentConfig config = c;
+    std::ofstream sink;
+    if (traced) {
+      sink.open(trace_path);
+      if (!sink) {
+        std::fprintf(stderr, "bench_scale_large: cannot write %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      config.trace_sink = &sink;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const harness::ExperimentResult r = harness::run_experiment(config);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rss = peak_rss_mb();
+    if (traced) {
+      sink.close();
+      std::ifstream size_check(trace_path,
+                               std::ios::binary | std::ios::ate);
+      trace_mb = static_cast<double>(size_check.tellg()) / 1048576.0;
+      traced_rss = rss;
+    } else {
+      base_rss = rss;
+    }
+    table.row({traced ? "streamed trace" : "untraced", Table::num(wall, 1),
+               std::to_string(r.events_executed),
+               traced ? Table::num(trace_mb, 1) : "-", Table::num(rss, 0)});
+  }
+  table.print();
+  std::remove(trace_path.c_str());
+
+  const double growth_mb = traced_rss - base_rss;
+  const double limit_mb = std::max(48.0, trace_mb / 3.0);
+  std::printf("traced RSS growth: %.1f MB (limit %.1f MB, trace %.1f MB)\n",
+              growth_mb, limit_mb, trace_mb);
+  if (growth_mb > limit_mb) {
+    std::fprintf(stderr,
+                 "bench_scale_large: streaming trace grew RSS by %.1f MB "
+                 "(> %.1f MB) — is the trace being buffered?\n",
+                 growth_mb, limit_mb);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace esm;
@@ -33,14 +121,18 @@ int main(int argc, char** argv) {
   using harness::Table;
 
   bool quick = false;
+  bool traced = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--traced") == 0) {
+      traced = true;
     } else {
       std::fprintf(stderr, "bench_scale_large: unknown flag %s\n", argv[i]);
       return 2;
     }
   }
+  if (traced) return run_traced_check();
 
   std::vector<std::uint32_t> scales = {2'000u, 10'000u};
   if (!quick) scales.push_back(50'000u);
@@ -65,10 +157,7 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
 
-    struct rusage usage {};
-    getrusage(RUSAGE_SELF, &usage);
-    const double rss_mb =
-        static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB
+    const double rss_mb = peak_rss_mb();
 
     table.row({std::to_string(nodes), Table::num(wall, 1),
                Table::num(static_cast<double>(r.events_executed) / wall, 0),

@@ -169,7 +169,9 @@ void PayloadScheduler::clear(const MsgId& id) {
 
 bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
   if (const auto* data = dynamic_cast<const DataPacket*>(packet.get())) {
-    if (!received_.insert(data->msg.id).second) {
+    const bool fresh = received_.insert(data->msg.id).second;
+    if (accept_listener_) accept_listener_(src, data->msg, !fresh);
+    if (!fresh) {
       ++stats_.duplicate_payloads;
       if (strategy_.wants_feedback()) {
         // Plumtree PRUNE demotes the redundant edge at *both* ends: we

@@ -120,6 +120,17 @@ class PayloadScheduler {
     rtt_observer_ = std::move(observer);
   }
 
+  /// Observation hook: invoked for every MSG (payload) packet that reaches
+  /// this node, before duplicate suppression, with the sending peer and
+  /// whether the payload was already held. The harness uses it to stamp
+  /// payload receive times and attribute deliveries to their sender (the
+  /// dissemination-tree parent); not part of the protocol.
+  using AcceptListener =
+      std::function<void(NodeId src, const AppMessage&, bool duplicate)>;
+  void set_accept_listener(AcceptListener listener) {
+    accept_listener_ = std::move(listener);
+  }
+
   /// Stages of a lazy recovery, reported through the lifecycle hook.
   enum class LazyEvent {
     kFirstIHave,   // first advertisement queued for a missing payload
@@ -181,6 +192,7 @@ class PayloadScheduler {
 
   SchedulerStats stats_;
   SendListener send_listener_;
+  AcceptListener accept_listener_;
   RttObserver rtt_observer_;
   LazyListener lazy_listener_;
 };

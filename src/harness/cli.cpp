@@ -79,10 +79,23 @@ Execution:
 
 Output:
   --kv                print key=value lines instead of the table
+  --tree-stats        reconstruct per-message first-delivery dissemination
+                      trees from the run's trace and report their structure
+                      metrics (eager-hop share, tree-edge latency vs the
+                      overlay baseline, interior-node concentration on
+                      top-ranked nodes, depth, stretch, consecutive-tree
+                      Jaccard overlap); adds tree_* output lines, tree.*
+                      metrics JSON keys and per-phase tree columns
   --metrics-out FILE  write per-node + aggregated metrics and recovery
                       lifecycle accounting as JSON (schema esm-metrics-v1;
                       merged across --reps, bit-for-bit identical at every
                       --jobs count)
+  --trace FILE        buffer the run's event trace and write it as CSV at
+                      the end (single run only); feed it to esm_trees for
+                      offline tree analysis
+  --trace-stream FILE stream trace rows to FILE while the run executes;
+                      memory stays bounded at large N (single run only,
+                      incompatible with --trace and --tree-stats)
   --help              this text
 )";
 }
@@ -303,6 +316,8 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       c.overlay_kind = OverlayKind::static_random;
     } else if (flag == "--exclude-sender") {
       c.gossip.exclude_sender = true;
+    } else if (flag == "--tree-stats") {
+      c.collect_tree_stats = true;
     } else if (flag == "--churn") {
       if (!next_double(flag, c.churn_rate)) return std::nullopt;
     } else if (flag == "--scenario") {
@@ -412,6 +427,7 @@ std::string format_result_kv(const ExperimentResult& result) {
      << "path_model_bytes=" << result.path_model_bytes << "\n"
      << "path_rows_computed=" << result.path_rows_computed << "\n"
      << "path_row_evictions=" << result.path_row_evictions << "\n";
+  if (result.tree_stats) os << format_tree_kv(*result.tree_stats);
   if (!result.phase_reports.empty()) {
     os << "faults_injected=" << result.faults_injected << "\n"
        << "phases=" << result.phase_reports.size() << "\n";
@@ -429,8 +445,41 @@ std::string format_result_kv(const ExperimentResult& result) {
          << prefix << "payload_per_msg=" << p.payload_per_msg << "\n"
          << prefix << "top5_connection_share=" << p.top5_connection_share
          << "\n";
+      if (result.tree_stats) {
+        os << prefix << "tree_edges=" << p.tree_edges << "\n"
+           << prefix << "tree_eager_hop_share=" << p.tree_eager_hop_share
+           << "\n"
+           << prefix << "tree_edge_latency_ms=" << p.tree_mean_edge_latency_ms
+           << "\n";
+      }
     }
   }
+  return os.str();
+}
+
+std::string format_tree_kv(const obs::TreeStats& stats) {
+  std::ostringstream os;
+  os << "tree_messages=" << stats.messages << "\n"
+     << "tree_edges=" << stats.edges << "\n"
+     << "tree_eager_edges=" << stats.eager_edges << "\n"
+     << "tree_orphan_deliveries=" << stats.orphan_deliveries << "\n"
+     << "tree_eager_hop_share=" << stats.eager_hop_share() << "\n"
+     << "tree_edge_latency_ms_mean=" << stats.mean_edge_latency_ms() << "\n"
+     << "tree_edge_latency_ms_p95="
+     << static_cast<double>(stats.edge_latency_us.quantile(0.95)) / 1000.0
+     << "\n"
+     << "tree_link_latency_ms_mean=" << stats.mean_link_latency_ms() << "\n"
+     << "tree_overlay_latency_ms_mean=" << stats.overlay_mean_link_ms()
+     << "\n"
+     << "tree_mean_depth=" << stats.mean_depth() << "\n"
+     << "tree_max_depth=" << stats.max_depth() << "\n"
+     << "tree_mean_stretch_pct=" << stats.mean_stretch() << "\n"
+     << "tree_mean_jaccard=" << stats.mean_jaccard() << "\n"
+     << "tree_interior_top_share=" << stats.interior_top_share() << "\n"
+     << "tree_eager_from_top_share=" << stats.eager_from_top_share() << "\n"
+     << "tree_top_fraction=" << stats.top_fraction << "\n"
+     << "tree_eager_child_top5_share="
+     << stats.eager_child_concentration(0.05) << "\n";
   return os.str();
 }
 
@@ -488,6 +537,8 @@ std::string format_metrics_json(
       std::uint64_t messages = 0;
       std::uint64_t deliveries = 0;
       std::uint64_t payload_packets = 0;
+      std::uint64_t tree_edges = 0;
+      std::uint64_t tree_eager_edges = 0;
       bool first = true;
       for (const auto& run : phase_runs) {
         if (p >= run.size()) continue;
@@ -501,6 +552,8 @@ std::string format_metrics_json(
         messages += report.messages;
         deliveries += report.deliveries;
         payload_packets += report.payload_packets;
+        tree_edges += report.tree_edges;
+        tree_eager_edges += report.tree_eager_edges;
       }
       out += "{\"label\":";
       append_json_string(out, label);
@@ -514,6 +567,10 @@ std::string format_metrics_json(
       out += std::to_string(deliveries);
       out += ",\"payload_packets\":";
       out += std::to_string(payload_packets);
+      out += ",\"tree_edges\":";
+      out += std::to_string(tree_edges);
+      out += ",\"tree_eager_edges\":";
+      out += std::to_string(tree_eager_edges);
       out += '}';
     }
     out += ']';

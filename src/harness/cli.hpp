@@ -38,6 +38,12 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
 /// scripts; one metric per line).
 std::string format_result_kv(const ExperimentResult& result);
 
+/// Renders emergent-structure tree metrics as `tree_*=value` lines.
+/// Appended to format_result_kv output automatically when the result
+/// carries tree stats; exposed so tools can print stats merged across
+/// --reps the same way.
+std::string format_tree_kv(const obs::TreeStats& stats);
+
 /// Renders merged run metrics as one deterministic JSON document (schema
 /// "esm-metrics-v1"): schema tag, replication count, aggregate registry,
 /// per-node registries, and (when scenarios ran) per-phase windows merged

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "common/types.hpp"
@@ -178,6 +179,20 @@ struct ExperimentConfig {
   /// into ExperimentResult::trace, as the paper's testbed logged every
   /// multicast and delivery for offline processing (§5.3).
   bool collect_trace = false;
+
+  /// Stream the event trace as CSV rows into this sink while the run
+  /// executes, instead of buffering it into ExperimentResult::trace —
+  /// memory stays O(in-flight packets) at any N. The sink must outlive
+  /// run_experiment. Mutually exclusive with collect_tree_stats (the
+  /// analyzer needs the buffered events); single-run only (the parallel
+  /// runner would interleave rows). CLI: esm_run --trace-stream FILE.
+  std::ostream* trace_sink = nullptr;
+
+  /// Reconstruct per-message first-delivery dissemination trees and report
+  /// their structure metrics (obs::analyze_trees) in
+  /// ExperimentResult::tree_stats. Implies trace collection for the run.
+  /// CLI: --tree-stats.
+  bool collect_tree_stats = false;
 
   /// Collect per-node and aggregated metrics plus message-lifecycle
   /// recovery episodes (src/obs) into ExperimentResult::metrics. Off by

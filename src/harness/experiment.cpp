@@ -8,6 +8,7 @@
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "core/gossip.hpp"
@@ -284,7 +285,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       needs_best ||
       (config.kill_fraction > 0.0 &&
        config.kill_mode == KillMode::best_ranked) ||
-      !config.scenario.empty();
+      !config.scenario.empty() ||
+      // Tree stats compare interior-node concentration against the
+      // capacity ranking even for unranked strategies.
+      config.collect_tree_stats;
 
   std::vector<double> closeness_sums;
   std::vector<NodeId> closeness_order;
@@ -350,8 +354,37 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::vector<MsgRecord> messages(config.num_messages);
   stats::Samples all_latency_ms;
   std::vector<std::uint32_t> payload_tx_per_message(config.num_messages, 0);
+  ESM_CHECK(!(config.collect_tree_stats && config.trace_sink != nullptr),
+            "tree stats need the buffered trace; incompatible with a stream "
+            "sink");
   std::shared_ptr<trace::TraceLog> trace_log =
-      config.collect_trace ? std::make_shared<trace::TraceLog>() : nullptr;
+      (config.collect_trace || config.collect_tree_stats ||
+       config.trace_sink != nullptr)
+          ? std::make_shared<trace::TraceLog>()
+          : nullptr;
+  if (trace_log && config.trace_sink != nullptr) {
+    trace_log->stream_to(*config.trace_sink);
+  }
+  // Delivery attribution for tree reconstruction: per-directed-link FIFO
+  // queues match each accepted payload packet back to the send that
+  // produced it (stamping its receive time on the trace row), and
+  // last_accept remembers which sender's payload delivered each message at
+  // each node — the node's parent in the dissemination tree. Pure
+  // observation: no RNG draws, no protocol effect, zero cost without a
+  // trace.
+  struct InFlightPayload {
+    std::uint32_t seq = 0;
+    SimTime sent = 0;
+    trace::TraceLog::PayloadHandle handle = trace::TraceLog::kNoHandle;
+    bool eager = false;
+  };
+  std::unordered_map<std::uint64_t, std::deque<InFlightPayload>> in_flight;
+  struct LastAccept {
+    MsgId id{};
+    NodeId from = kInvalidNode;
+    bool eager = true;
+  };
+  std::vector<LastAccept> last_accept(trace_log ? config.num_nodes : 0);
   // Per-phase windowed metrics; only scenario runs pay for the tracking.
   stats::PhaseWindows phase_windows(config.warmup);
   stats::PhaseWindows* const pw =
@@ -498,17 +531,50 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                     NodeId peer) { trk->on_lazy_event(id, mid, event, peer); });
     }
     stack->scheduler->set_send_listener(
-        [&payload_tx_per_message, trace_log, pw, id, &sim](
+        [&payload_tx_per_message, trace_log, pw, id, &sim, &in_flight](
             const core::AppMessage& msg, NodeId dst, bool eager) {
           if (msg.seq < payload_tx_per_message.size()) {
             ++payload_tx_per_message[msg.seq];
           }
           if (pw) pw->on_payload(id, dst);
           if (trace_log) {
-            trace_log->record_payload(
+            const auto handle = trace_log->record_payload(
                 {sim.now(), id, dst, msg.seq, eager});
+            const std::uint64_t link =
+                (static_cast<std::uint64_t>(id) << 32) | dst;
+            in_flight[link].push_back({msg.seq, sim.now(), handle, eager});
           }
         });
+    if (trace_log) {
+      stack->scheduler->set_accept_listener(
+          [trace_log, &in_flight, &last_accept, id, &sim](
+              NodeId src, const core::AppMessage& msg, bool duplicate) {
+            const std::uint64_t link =
+                (static_cast<std::uint64_t>(src) << 32) | id;
+            bool eager = true;
+            const auto it = in_flight.find(link);
+            if (it != in_flight.end()) {
+              auto& queue = it->second;
+              // Entries older than any plausible one-way delay belong to
+              // lost packets; drop them so the scan stays bounded.
+              constexpr SimTime kLostAfter = 30 * kSecond;
+              while (!queue.empty() &&
+                     queue.front().sent + kLostAfter < sim.now()) {
+                queue.pop_front();
+              }
+              for (auto q = queue.begin(); q != queue.end(); ++q) {
+                if (q->seq == msg.seq) {
+                  trace_log->set_payload_recv(q->handle, sim.now());
+                  eager = q->eager;
+                  queue.erase(q);
+                  break;
+                }
+              }
+              if (queue.empty()) in_flight.erase(it);
+            }
+            if (!duplicate) last_accept[id] = {msg.id, src, eager};
+          });
+    }
 
     core::GossipParams gossip_params = config.gossip;
     if (config.adaptive_fanout) {
@@ -529,8 +595,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     stack->gossip = std::make_unique<core::GossipNode>(
         id, gossip_params, *stack->sampler, *stack->scheduler,
-        [&messages, &all_latency_ms, &sim, id, trace_log, pw,
-         trk](const core::AppMessage& msg) {
+        [&messages, &all_latency_ms, &sim, id, trace_log, pw, trk,
+         &last_accept](const core::AppMessage& msg) {
           MsgRecord& rec = messages.at(msg.seq);
           ++rec.deliveries;
           const double ms = to_ms(sim.now() - msg.multicast_time);
@@ -543,8 +609,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
             trk->on_delivery(id, msg.id, sim.now() - msg.multicast_time);
           }
           if (trace_log) {
+            // The payload that delivered here was matched by the accept
+            // listener synchronously upstream of this callback; the origin
+            // delivers its own multicast (parent = itself, "eager").
+            NodeId from = id;
+            bool eager = true;
+            if (msg.origin != id) {
+              const LastAccept& acc = last_accept[id];
+              if (acc.id == msg.id) {
+                from = acc.from;
+                eager = acc.eager;
+              } else {
+                from = kInvalidNode;
+              }
+            }
             trace_log->record_delivery({sim.now(), id, msg.origin, msg.seq,
-                                        sim.now() - msg.multicast_time});
+                                        sim.now() - msg.multicast_time, from,
+                                        eager});
           }
         },
         node_rng.split(6));
@@ -833,6 +914,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   gc_timer.stop();
   churn_timer.stop();
   census_timer.stop();
+  // Streaming trace: emit payload rows whose packets never arrived.
+  if (trace_log && trace_log->streaming()) trace_log->flush();
 
   // --- 6. Aggregate --------------------------------------------------------------
   ExperimentResult result;
@@ -970,6 +1053,40 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.mean_eager_rate_estimate =
         std::numeric_limits<double>::quiet_NaN();
   }
+  // Emergent-structure analysis: reconstruct the per-message dissemination
+  // trees from the trace and aggregate their structure metrics, run-wide
+  // and per scenario phase window (messages attributed by send time, the
+  // same rule PhaseWindows uses).
+  if (config.collect_tree_stats && trace_log) {
+    obs::TreeStatsOptions topt;
+    topt.ranked = closeness_order;
+    topt.top_fraction = report_fraction;
+    topt.paths = &metrics;
+    auto tree = std::make_shared<obs::TreeStats>(
+        obs::analyze_trees(*trace_log, topt));
+    // All-pairs mean one-way overlay latency: the strategy-independent
+    // baseline for the tree-edge latency comparison, derived from the
+    // closeness pass of section 1.
+    double closeness_total = 0.0;
+    for (const double s : closeness_sums) closeness_total += s;
+    const double ordered_pairs =
+        static_cast<double>(config.num_nodes) *
+        static_cast<double>(config.num_nodes - 1);
+    tree->overlay_mean_link_us =
+        ordered_pairs > 0.0 ? closeness_total / ordered_pairs : 0.0;
+    for (stats::PhaseReport& p : result.phase_reports) {
+      obs::TreeStatsOptions wopt = topt;
+      wopt.window_start = p.start;
+      wopt.window_end = p.end;
+      const obs::TreeStats w = obs::analyze_trees(*trace_log, wopt);
+      p.tree_edges = w.edges;
+      p.tree_eager_edges = w.eager_edges;
+      p.tree_eager_hop_share = w.eager_hop_share();
+      p.tree_mean_edge_latency_ms = w.mean_edge_latency_ms();
+    }
+    result.tree_stats = std::move(tree);
+  }
+
   result.path_model_bytes = metrics.memory_bytes();
   result.path_rows_computed = metrics.rows_computed();
   result.path_row_evictions = metrics.row_evictions();
@@ -984,6 +1101,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     run_metrics->aggregate.gauge_max(
         "path_model.row_evictions",
         static_cast<double>(result.path_row_evictions));
+    if (result.tree_stats) {
+      // Only merge-exact quantities go into the metrics document: counters
+      // (sum), histograms (bucket-add) and one max-semantics gauge, so the
+      // tree.* keys stay byte-identical across --reps at any --jobs.
+      const obs::TreeStats& t = *result.tree_stats;
+      obs::MetricsRegistry& agg = run_metrics->aggregate;
+      agg.add_counter("tree.messages", t.messages);
+      agg.add_counter("tree.edges", t.edges);
+      agg.add_counter("tree.eager_edges", t.eager_edges);
+      agg.add_counter("tree.eager_edges_from_top", t.eager_edges_from_top);
+      agg.add_counter("tree.orphan_deliveries", t.orphan_deliveries);
+      agg.add_counter("tree.interior_nodes", t.interior_nodes);
+      agg.add_counter("tree.interior_top_ranked", t.interior_top_ranked);
+      agg.add_counter("tree.jaccard_pairs", t.jaccard_pairs);
+      agg.gauge_max("tree.overlay_mean_link_us", t.overlay_mean_link_us);
+      agg.histogram("tree.edge_latency_us").merge(t.edge_latency_us);
+      agg.histogram("tree.link_latency_us").merge(t.link_latency_us);
+      agg.histogram("tree.depth").merge(t.depth);
+      agg.histogram("tree.fanout").merge(t.fanout);
+      agg.histogram("tree.stretch_pct").merge(t.stretch_pct);
+      agg.histogram("tree.jaccard_permille").merge(t.jaccard_permille);
+    }
     trk->finalize();
     result.metrics = run_metrics;
   }

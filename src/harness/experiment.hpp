@@ -19,6 +19,7 @@
 #include "harness/config.hpp"
 #include "net/routing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tree_stats.hpp"
 #include "stats/phase_windows.hpp"
 #include "stats/running.hpp"
 #include "trace/trace_log.hpp"
@@ -120,6 +121,10 @@ struct ExperimentResult {
   /// (only when config.collect_metrics). Shared so replicated runs can
   /// merge registries without copying histograms.
   std::shared_ptr<obs::RunMetrics> metrics;
+  /// Emergent-structure metrics over the reconstructed per-message
+  /// dissemination trees (only when config.collect_tree_stats). Merges
+  /// associatively across --reps replicas.
+  std::shared_ptr<obs::TreeStats> tree_stats;
 
   // --- fault scenarios ---
   /// Per-phase windowed metrics (only when config.scenario is non-empty).

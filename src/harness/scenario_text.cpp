@@ -216,6 +216,12 @@ fault::ScenarioScript parse_scenario(std::istream& is) {
         event.label += tokens[i];
       }
       if (event.label.empty()) fail(line_no, "phase needs a label");
+      if (event.label.find(',') != std::string::npos) {
+        // Caught here so the diagnostic names the scenario line instead of
+        // a "bad field count" error deep in a later trace-CSV parse.
+        fail(line_no, "phase label must not contain commas (it becomes a "
+                      "trace CSV field): '" + event.label + "'");
+      }
     } else if (command == "crash" || command == "recover") {
       event.kind =
           command == "crash" ? FaultKind::crash : FaultKind::recover;

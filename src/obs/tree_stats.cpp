@@ -1,0 +1,279 @@
+#include "obs/tree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "net/path_model.hpp"
+
+namespace esm::obs {
+
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+std::uint64_t edge_key(NodeId parent, NodeId child) {
+  return (static_cast<std::uint64_t>(parent) << 32) | child;
+}
+
+}  // namespace
+
+void TreeStats::merge(const TreeStats& other) {
+  messages += other.messages;
+  edges += other.edges;
+  eager_edges += other.eager_edges;
+  orphan_deliveries += other.orphan_deliveries;
+  interior_nodes += other.interior_nodes;
+  interior_top_ranked += other.interior_top_ranked;
+  eager_edges_from_top += other.eager_edges_from_top;
+  has_rank_info = has_rank_info || other.has_rank_info;
+  if (top_fraction == 0.0) top_fraction = other.top_fraction;
+  if (overlay_mean_link_us == 0.0) {
+    overlay_mean_link_us = other.overlay_mean_link_us;
+  }
+  edge_latency_us.merge(other.edge_latency_us);
+  link_latency_us.merge(other.link_latency_us);
+  depth.merge(other.depth);
+  fanout.merge(other.fanout);
+  stretch_pct.merge(other.stretch_pct);
+  jaccard_permille.merge(other.jaccard_permille);
+  jaccard_sum += other.jaccard_sum;
+  jaccard_pairs += other.jaccard_pairs;
+  if (eager_children.size() < other.eager_children.size()) {
+    eager_children.resize(other.eager_children.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.eager_children.size(); ++i) {
+    eager_children[i] += other.eager_children[i];
+  }
+}
+
+double TreeStats::eager_hop_share() const { return ratio(eager_edges, edges); }
+
+double TreeStats::mean_edge_latency_ms() const {
+  return edge_latency_us.mean() / 1000.0;
+}
+
+double TreeStats::mean_link_latency_ms() const {
+  return link_latency_us.mean() / 1000.0;
+}
+
+double TreeStats::mean_depth() const { return depth.mean(); }
+
+double TreeStats::mean_stretch() const { return stretch_pct.mean(); }
+
+double TreeStats::mean_jaccard() const {
+  return jaccard_pairs == 0
+             ? 0.0
+             : jaccard_sum / static_cast<double>(jaccard_pairs);
+}
+
+double TreeStats::interior_top_share() const {
+  return ratio(interior_top_ranked, interior_nodes);
+}
+
+double TreeStats::eager_from_top_share() const {
+  return ratio(eager_edges_from_top, eager_edges);
+}
+
+double TreeStats::eager_child_concentration(double fraction) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : eager_children) total += c;
+  if (total == 0 || eager_children.empty()) return 0.0;
+  std::vector<std::uint64_t> sorted = eager_children;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto k = static_cast<std::size_t>(std::max<long>(
+      1, std::lround(fraction * static_cast<double>(sorted.size()))));
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < std::min(k, sorted.size()); ++i) {
+    top += sorted[i];
+  }
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+TreeStats analyze_trees(const trace::TraceLog& trace,
+                        const TreeStatsOptions& options) {
+  TreeStats ts;
+  ts.top_fraction = options.top_fraction;
+  ts.has_rank_info = !options.ranked.empty();
+
+  // Top-ranked membership (at least one node when a ranking is supplied).
+  std::vector<bool> is_top;
+  if (ts.has_rank_info) {
+    NodeId max_id = 0;
+    for (const NodeId n : options.ranked) max_id = std::max(max_id, n);
+    is_top.assign(static_cast<std::size_t>(max_id) + 1, false);
+    const auto top_count = static_cast<std::size_t>(std::clamp<long>(
+        std::lround(options.top_fraction *
+                    static_cast<double>(options.ranked.size())),
+        1, static_cast<long>(options.ranked.size())));
+    for (std::size_t i = 0; i < top_count; ++i) {
+      is_top[options.ranked[i]] = true;
+    }
+  }
+  const auto top = [&is_top](NodeId n) {
+    return n < is_top.size() && is_top[n];
+  };
+
+  // Group by message. std::map keeps sequence order, which fixes the
+  // "consecutive messages" pairing for the Jaccard overlap.
+  std::map<std::uint32_t, std::vector<const trace::DeliveryEvent*>> by_seq;
+  std::unordered_map<std::uint32_t, SimTime> mcast_time;
+  NodeId max_node = 0;
+  for (const trace::DeliveryEvent& d : trace.deliveries()) {
+    by_seq[d.seq].push_back(&d);
+    mcast_time.emplace(d.seq, d.time - d.latency);
+    max_node = std::max({max_node, d.node, d.origin});
+    if (d.from != kInvalidNode) max_node = std::max(max_node, d.from);
+  }
+  ts.eager_children.assign(static_cast<std::size_t>(max_node) + 1, 0);
+
+  const auto in_window = [&options](SimTime t) {
+    if (t < options.window_start) return false;
+    return options.window_end <= 0 || t < options.window_end;
+  };
+
+  std::unordered_map<std::uint32_t, std::vector<const trace::PayloadEvent*>>
+      payloads_by_seq;
+  for (const trace::PayloadEvent& p : trace.payloads()) {
+    const auto mt = mcast_time.find(p.seq);
+    if (mt == mcast_time.end() || !in_window(mt->second)) continue;
+    payloads_by_seq[p.seq].push_back(&p);
+    // Latency of every link that carried payload for an analyzed message —
+    // the "links used" baseline the tree-edge distribution is compared to.
+    if (p.recv_time > p.time) {
+      ts.link_latency_us.add(static_cast<std::uint64_t>(p.recv_time - p.time));
+    }
+  }
+
+  std::vector<std::uint64_t> prev_edges;  // previous tree's edge set, sorted
+  for (const auto& [seq, deliveries] : by_seq) {
+    if (!in_window(mcast_time.at(seq))) continue;
+    ++ts.messages;
+
+    // Payload sends of this message, keyed by directed link, for matching
+    // a delivery to the transmission that caused it (recv == delivery
+    // time).
+    std::unordered_map<std::uint64_t, std::vector<const trace::PayloadEvent*>>
+        link_payloads;
+    const auto pls = payloads_by_seq.find(seq);
+    if (pls != payloads_by_seq.end()) {
+      for (const trace::PayloadEvent* p : pls->second) {
+        link_payloads[edge_key(p->src, p->dst)].push_back(p);
+      }
+    }
+
+    NodeId origin = kInvalidNode;
+    std::unordered_map<NodeId, NodeId> parent;
+    std::unordered_map<NodeId, std::uint32_t> child_count;
+    std::vector<std::uint64_t> edge_set;
+    for (const trace::DeliveryEvent* d : deliveries) {
+      if (d->node == d->origin) {
+        origin = d->node;
+        continue;
+      }
+      if (d->from == kInvalidNode || d->from == d->node) {
+        ++ts.orphan_deliveries;
+        continue;
+      }
+      ++ts.edges;
+      parent.emplace(d->node, d->from);
+      ++child_count[d->from];
+      edge_set.push_back(edge_key(d->from, d->node));
+      if (d->eager) {
+        ++ts.eager_edges;
+        ++ts.eager_children[d->from];
+        if (top(d->from)) ++ts.eager_edges_from_top;
+      }
+      // Edge latency: the payload transmission that delivered here.
+      const auto lp = link_payloads.find(edge_key(d->from, d->node));
+      if (lp != link_payloads.end()) {
+        for (const trace::PayloadEvent* p : lp->second) {
+          if (p->recv_time == d->time && p->time <= d->time) {
+            ts.edge_latency_us.add(
+                static_cast<std::uint64_t>(d->time - p->time));
+            break;
+          }
+        }
+      }
+      // Latency stretch vs. the routed shortest path.
+      if (options.paths != nullptr && d->latency > 0) {
+        const SimTime direct = options.paths->latency(d->origin, d->node);
+        if (direct > 0) {
+          ts.stretch_pct.add(static_cast<std::uint64_t>(std::llround(
+              100.0 * static_cast<double>(d->latency) /
+              static_cast<double>(direct))));
+        }
+      }
+    }
+
+    for (const auto& [node, count] : child_count) {
+      ++ts.interior_nodes;
+      ts.fanout.add(count);
+      if (top(node)) ++ts.interior_top_ranked;
+    }
+
+    // Tree depth per delivered node: walk the parent chain to the origin.
+    // Chains broken by an orphan (or a malformed cycle) are skipped.
+    std::unordered_map<NodeId, std::int32_t> memo;  // -1 = unresolvable
+    if (origin != kInvalidNode) memo.emplace(origin, 0);
+    for (const auto& [node, par] : parent) {
+      std::vector<NodeId> chain;
+      NodeId cur = node;
+      std::int32_t base = -1;
+      while (true) {
+        const auto m = memo.find(cur);
+        if (m != memo.end()) {
+          base = m->second;
+          break;
+        }
+        if (std::find(chain.begin(), chain.end(), cur) != chain.end()) {
+          break;  // cycle: unresolvable
+        }
+        chain.push_back(cur);
+        const auto p = parent.find(cur);
+        if (p == parent.end()) break;  // orphaned ancestor
+        cur = p->second;
+      }
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const std::int32_t dpt = base < 0 ? -1 : ++base;
+        memo.emplace(*it, dpt);
+        if (dpt > 0) ts.depth.add(static_cast<std::uint64_t>(dpt));
+      }
+    }
+
+    // Edge stability across consecutive messages (Jaccard overlap).
+    std::sort(edge_set.begin(), edge_set.end());
+    if (!edge_set.empty()) {
+      if (!prev_edges.empty()) {
+        std::size_t inter = 0, i = 0, j = 0;
+        while (i < prev_edges.size() && j < edge_set.size()) {
+          if (prev_edges[i] == edge_set[j]) {
+            ++inter;
+            ++i;
+            ++j;
+          } else if (prev_edges[i] < edge_set[j]) {
+            ++i;
+          } else {
+            ++j;
+          }
+        }
+        const std::size_t uni = prev_edges.size() + edge_set.size() - inter;
+        const double jac =
+            static_cast<double>(inter) / static_cast<double>(uni);
+        ts.jaccard_sum += jac;
+        ++ts.jaccard_pairs;
+        ts.jaccard_permille.add(
+            static_cast<std::uint64_t>(std::llround(1000.0 * jac)));
+      }
+      prev_edges = std::move(edge_set);
+    }
+  }
+  return ts;
+}
+
+}  // namespace esm::obs

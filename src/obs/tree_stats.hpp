@@ -1,0 +1,125 @@
+// Emergent-structure analyzer: per-message dissemination trees.
+//
+// The paper's central claim (§5–§6) is structural: under biased
+// transmission strategies the implicit spanning tree each multicast builds
+// comes to prefer fast links and high-capacity nodes. This module makes
+// that claim measurable. From a v2 trace (trace/trace_log.hpp) it
+// reconstructs, for every message, the first-delivery spanning tree —
+// node's parent = sender of the payload that first delivered the message
+// there — and aggregates:
+//
+//   * eager-hop share: fraction of tree edges carried by eager pushes
+//     rather than lazy IHAVE/IWANT recovery;
+//   * tree-edge latency vs. the latency of all payload-carrying links
+//     (the paper's "latency of links used" comparison) and vs. the
+//     all-pairs overlay baseline supplied by the harness;
+//   * per-node eager fanout and interior degree, against a capacity
+//     ranking when one is available (concentration on "best" nodes);
+//   * tree depth, and latency stretch vs. PathModel shortest paths;
+//   * edge stability: Jaccard overlap between the edge sets of
+//     consecutive messages — the emergence signal itself.
+//
+// Everything in TreeStats merges associatively (counters sum, histograms
+// bucket-add, ratios derive from merged sums), so results across --reps
+// replicas are identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/histogram.hpp"
+#include "trace/trace_log.hpp"
+
+namespace esm::net {
+class PathModel;
+}
+
+namespace esm::obs {
+
+struct TreeStatsOptions {
+  /// Restrict analysis to messages multicast in [window_start, window_end);
+  /// window_end <= 0 means no upper bound. Deliveries are attributed to the
+  /// window their multicast was *sent* in, matching stats::PhaseWindows.
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  /// Capacity ranking, best node first (e.g. the harness's closeness
+  /// order). Empty = no rank information; the interior-concentration
+  /// counters stay zero.
+  std::vector<NodeId> ranked;
+  /// Fraction of `ranked` considered the top class (at least one node).
+  double top_fraction = 0.05;
+  /// Optional shortest-path oracle for latency stretch (nullptr = skip).
+  const net::PathModel* paths = nullptr;
+};
+
+/// Aggregated structure metrics over the reconstructed trees.
+struct TreeStats {
+  std::uint64_t messages = 0;      // messages with at least one delivery
+  std::uint64_t edges = 0;         // reconstructed parent->child tree edges
+  std::uint64_t eager_edges = 0;   // of those, carried by an eager push
+  /// Non-origin deliveries whose parent is unknown (v1 trace rows, or
+  /// delivery paths that bypass the payload scheduler).
+  std::uint64_t orphan_deliveries = 0;
+  /// (message, node) pairs where the node relayed to >= 1 child.
+  std::uint64_t interior_nodes = 0;
+  /// Of those, pairs whose node is in the top `top_fraction` of the
+  /// capacity ranking (0 when no ranking was supplied).
+  std::uint64_t interior_top_ranked = 0;
+  /// Eager tree edges whose parent is a top-ranked node.
+  std::uint64_t eager_edges_from_top = 0;
+  bool has_rank_info = false;
+  double top_fraction = 0.0;
+  /// All-pairs mean one-way overlay latency in µs — the strategy-
+  /// independent baseline for the tree-edge latency comparison. Filled by
+  /// the harness from PathModel::closeness_sums(); 0 when analyzing a
+  /// trace offline without a topology.
+  double overlay_mean_link_us = 0.0;
+
+  stats::LogHistogram edge_latency_us;   // recv - send over tree edges
+  stats::LogHistogram link_latency_us;   // recv - send over ALL payload sends
+  stats::LogHistogram depth;             // hops from origin, per delivery
+  stats::LogHistogram fanout;            // children per (message, interior)
+  stats::LogHistogram stretch_pct;       // delivery latency / shortest path %
+  stats::LogHistogram jaccard_permille;  // consecutive-tree edge overlap
+
+  /// Exact Jaccard accumulation (the histogram quantizes).
+  double jaccard_sum = 0.0;
+  std::uint64_t jaccard_pairs = 0;
+
+  /// Eager tree-edge children credited to each node (index = NodeId).
+  std::vector<std::uint64_t> eager_children;
+
+  /// Associative merge (counters sum, histograms bucket-add; the overlay
+  /// baseline and top fraction are config constants, kept from whichever
+  /// operand has them set).
+  void merge(const TreeStats& other);
+
+  double eager_hop_share() const;
+  double mean_edge_latency_ms() const;
+  double mean_link_latency_ms() const;
+  double overlay_mean_link_ms() const { return overlay_mean_link_us / 1000.0; }
+  double mean_depth() const;
+  std::uint64_t max_depth() const { return depth.max(); }
+  double mean_stretch() const;  // percent
+  double mean_jaccard() const;
+  /// interior_top_ranked / interior_nodes — under a flat strategy this
+  /// approaches top_fraction; under ranked strategies it concentrates.
+  double interior_top_share() const;
+  /// Share of eager tree edges whose parent is top-ranked.
+  double eager_from_top_share() const;
+  /// Share of eager tree edges sent by the top `fraction` of nodes when
+  /// nodes are self-ranked by their own eager child counts. Needs no
+  /// capacity oracle, so it works on offline traces (Fig. 4 style
+  /// concentration: ~fraction for unbiased trees, >> fraction when a
+  /// stable backbone emerged).
+  double eager_child_concentration(double fraction) const;
+};
+
+/// Reconstructs the per-message first-delivery trees from `trace`
+/// (buffered mode) and aggregates their structure metrics. Deterministic:
+/// messages are processed in ascending sequence order.
+TreeStats analyze_trees(const trace::TraceLog& trace,
+                        const TreeStatsOptions& options = {});
+
+}  // namespace esm::obs

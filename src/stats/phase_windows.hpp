@@ -40,6 +40,12 @@ struct PhaseReport {
   std::uint64_t payload_packets = 0;  // payload sends while phase active
   double payload_per_msg = 0.0;       // payload_packets / messages
   double top5_connection_share = 0.0;
+  // Dissemination-tree structure over the messages sent in this phase
+  // (filled by the harness when config.collect_tree_stats; 0 otherwise).
+  std::uint64_t tree_edges = 0;
+  std::uint64_t tree_eager_edges = 0;
+  double tree_eager_hop_share = 0.0;
+  double tree_mean_edge_latency_ms = 0.0;
 };
 
 /// Streaming accumulator. The harness feeds it multicasts, deliveries and

@@ -118,6 +118,13 @@ TEST(Cli, KvFlag) {
   EXPECT_TRUE(options->json);
 }
 
+TEST(Cli, TreeStatsFlag) {
+  EXPECT_FALSE(parse({})->config.collect_tree_stats);
+  const auto options = parse({"--tree-stats"});
+  ASSERT_TRUE(options);
+  EXPECT_TRUE(options->config.collect_tree_stats);
+}
+
 TEST(Cli, RejectsUnknownFlag) {
   std::string error;
   EXPECT_FALSE(parse_cli({"--frobnicate"}, error));

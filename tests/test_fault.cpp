@@ -125,6 +125,9 @@ TEST(ScenarioText, ErrorsCarryLineNumbers) {
   expect_parse_error("1s crash best 0\n", "count must be > 0");
   expect_parse_error("1s crash nodes 5..2\n", "backwards range");
   expect_parse_error("1s phase\n", "phase needs a label");
+  // Comma labels would land in a trace CSV field and fail to re-parse far
+  // from the cause; rejected at scenario-parse time instead.
+  expect_parse_error("1s phase warm,up\n", "must not contain commas");
   expect_parse_error("1s loss for=5s\n", "loss needs rate=");
   expect_parse_error("1s loss rate=abc\n", "bad number");
   expect_parse_error("1s latency rate=2\n", "latency needs factor=");

@@ -9,6 +9,7 @@
 // mean ± 95% CI over the replications. See `esm_run --help` for every flag.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,14 +22,18 @@
 int main(int argc, char** argv) {
   using namespace esm;
   std::vector<std::string> args(argv + 1, argv + argc);
-  // --trace FILE, --metrics-out FILE and --reps N are handled here (file
-  // IO and replication are the tool's business, not the parser's).
+  // --trace FILE, --trace-stream FILE, --metrics-out FILE and --reps N are
+  // handled here (file IO and replication are the tool's business, not the
+  // parser's). --trace buffers the run's events and writes them at the
+  // end; --trace-stream writes rows while the run executes, so memory
+  // stays bounded at large N.
   std::string trace_path;
+  std::string trace_stream_path;
   std::string metrics_path;
   std::uint64_t reps = 1;
   for (std::size_t i = 0; i < args.size();) {
-    if (args[i] == "--trace" || args[i] == "--metrics-out" ||
-        args[i] == "--reps") {
+    if (args[i] == "--trace" || args[i] == "--trace-stream" ||
+        args[i] == "--metrics-out" || args[i] == "--reps") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "esm_run: %s requires a value\n",
                      args[i].c_str());
@@ -36,6 +41,8 @@ int main(int argc, char** argv) {
       }
       if (args[i] == "--trace") {
         trace_path = args[i + 1];
+      } else if (args[i] == "--trace-stream") {
+        trace_stream_path = args[i + 1];
       } else if (args[i] == "--metrics-out") {
         metrics_path = args[i + 1];
       } else {
@@ -81,10 +88,73 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (reps > 1 && !trace_path.empty()) {
-    std::fprintf(stderr, "esm_run: --trace is single-run; drop --reps\n");
+  if (reps > 1 && (!trace_path.empty() || !trace_stream_path.empty())) {
+    std::fprintf(stderr,
+                 "esm_run: --trace/--trace-stream are single-run; drop "
+                 "--reps\n");
     return 2;
   }
+  if (!trace_path.empty() && !trace_stream_path.empty()) {
+    std::fprintf(stderr,
+                 "esm_run: pick one of --trace (buffered) or --trace-stream "
+                 "(streaming)\n");
+    return 2;
+  }
+  if (!trace_stream_path.empty() && options->config.collect_tree_stats) {
+    std::fprintf(stderr,
+                 "esm_run: --tree-stats needs the buffered trace; use "
+                 "--trace instead of --trace-stream\n");
+    return 2;
+  }
+  std::ofstream trace_stream;
+  if (!trace_stream_path.empty()) {
+    trace_stream.open(trace_stream_path);
+    if (!trace_stream) {
+      std::fprintf(stderr, "esm_run: cannot write %s\n",
+                   trace_stream_path.c_str());
+      return 1;
+    }
+    options->config.trace_sink = &trace_stream;
+  }
+
+  // Renders the emergent-structure summary (one row per headline metric).
+  auto print_tree_table = [](const obs::TreeStats& t) {
+    harness::Table tree("emergent structure (first-delivery trees)");
+    tree.header({"metric", "value"});
+    tree.row({"messages / tree edges",
+              std::to_string(t.messages) + " / " + std::to_string(t.edges)});
+    tree.row({"eager hop share (%)",
+              harness::Table::num(100.0 * t.eager_hop_share(), 2)});
+    tree.row({"tree-edge latency mean (ms)",
+              harness::Table::num(t.mean_edge_latency_ms(), 2)});
+    tree.row({"overlay-link latency mean (ms)",
+              harness::Table::num(t.mean_link_latency_ms(), 2)});
+    if (t.overlay_mean_link_us > 0.0) {
+      tree.row({"overlay all-pairs mean (ms)",
+                harness::Table::num(t.overlay_mean_link_ms(), 2)});
+    }
+    tree.row({"tree depth mean / max",
+              harness::Table::num(t.mean_depth(), 2) + " / " +
+                  std::to_string(t.max_depth())});
+    if (t.stretch_pct.count() > 0) {
+      tree.row({"latency stretch mean (%)",
+                harness::Table::num(t.mean_stretch(), 1)});
+    }
+    tree.row({"edge overlap (Jaccard)",
+              harness::Table::num(t.mean_jaccard(), 3)});
+    if (t.has_rank_info) {
+      tree.row({"interior nodes in top ranks (%)",
+                harness::Table::num(100.0 * t.interior_top_share(), 1) +
+                    " (top " +
+                    harness::Table::num(100.0 * t.top_fraction, 0) + "%)"});
+      tree.row({"eager edges from top ranks (%)",
+                harness::Table::num(100.0 * t.eager_from_top_share(), 1)});
+    }
+    tree.row({"eager fanout: top-5% node share (%)",
+              harness::Table::num(100.0 * t.eager_child_concentration(0.05),
+                                  1)});
+    tree.print();
+  };
 
   // Writes the merged metrics document. Merging happens in input (seed)
   // order and every merge op is associative/commutative, so the file is
@@ -137,6 +207,17 @@ int main(int argc, char** argv) {
       deliveries.add(100.0 * r.mean_delivery_fraction);
       top5.add(100.0 * r.top5_connection_share);
     }
+    // Tree stats merge in seed order (results come back in config order
+    // regardless of --jobs), so the combined numbers are deterministic.
+    std::shared_ptr<obs::TreeStats> tree_merged;
+    for (const auto& r : results) {
+      if (!r.tree_stats) continue;
+      if (!tree_merged) {
+        tree_merged = std::make_shared<obs::TreeStats>(*r.tree_stats);
+      } else {
+        tree_merged->merge(*r.tree_stats);
+      }
+    }
     if (options->json) {
       std::printf("reps=%llu\n", static_cast<unsigned long long>(reps));
       std::printf("mean_latency_ms=%g\nmean_latency_ms_ci95=%g\n",
@@ -148,6 +229,9 @@ int main(int argc, char** argv) {
           deliveries.mean() / 100.0, deliveries.ci95_half_width() / 100.0);
       std::printf("top5_connection_share=%g\ntop5_connection_share_ci95=%g\n",
                   top5.mean() / 100.0, top5.ci95_half_width() / 100.0);
+      if (tree_merged) {
+        std::fputs(harness::format_tree_kv(*tree_merged).c_str(), stdout);
+      }
       return 0;
     }
     harness::Table table("replications: " +
@@ -172,6 +256,7 @@ int main(int argc, char** argv) {
                harness::Table::num(top5.mean(), 1) + " ± " +
                    harness::Table::num(top5.ci95_half_width(), 1)});
     table.print();
+    if (tree_merged) print_tree_table(*tree_merged);
     return 0;
   }
 
@@ -181,6 +266,15 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esm_run: %s\n", e.what());
     return 1;
+  }
+
+  if (!trace_stream_path.empty() && result.trace) {
+    trace_stream.flush();
+    std::fprintf(
+        stderr, "trace streamed to %s (%llu deliveries, %llu payloads)\n",
+        trace_stream_path.c_str(),
+        static_cast<unsigned long long>(result.trace->delivery_count()),
+        static_cast<unsigned long long>(result.trace->payload_count()));
   }
 
   if (!trace_path.empty() && result.trace) {
@@ -241,21 +335,37 @@ int main(int argc, char** argv) {
   table.row({"events executed", std::to_string(result.events_executed)});
   table.print();
 
+  if (result.tree_stats) print_tree_table(*result.tree_stats);
+
   if (!result.phase_reports.empty()) {
+    const bool tree_cols = result.tree_stats != nullptr;
     harness::Table phases("scenario phases (" +
                           std::to_string(result.faults_injected) +
                           " fault events)");
-    phases.header({"phase", "window s", "msgs", "reliability %", "latency ms",
-                   "payload/msg", "top5 %"});
+    std::vector<std::string> phase_header = {
+        "phase",      "window s", "msgs", "reliability %", "latency ms",
+        "payload/msg", "top5 %"};
+    if (tree_cols) {
+      phase_header.insert(phase_header.end(),
+                          {"tree edges", "eager %", "edge ms"});
+    }
+    phases.header(phase_header);
     for (const auto& p : result.phase_reports) {
-      phases.row({p.label,
-                  harness::Table::num(to_ms(p.start) / 1000.0, 1) + "-" +
-                      harness::Table::num(to_ms(p.end) / 1000.0, 1),
-                  std::to_string(p.messages),
-                  harness::Table::num(100.0 * p.reliability, 2),
-                  harness::Table::num(p.mean_latency_ms, 1),
-                  harness::Table::num(p.payload_per_msg, 2),
-                  harness::Table::num(100.0 * p.top5_connection_share, 1)});
+      std::vector<std::string> row = {
+          p.label,
+          harness::Table::num(to_ms(p.start) / 1000.0, 1) + "-" +
+              harness::Table::num(to_ms(p.end) / 1000.0, 1),
+          std::to_string(p.messages),
+          harness::Table::num(100.0 * p.reliability, 2),
+          harness::Table::num(p.mean_latency_ms, 1),
+          harness::Table::num(p.payload_per_msg, 2),
+          harness::Table::num(100.0 * p.top5_connection_share, 1)};
+      if (tree_cols) {
+        row.push_back(std::to_string(p.tree_edges));
+        row.push_back(harness::Table::num(100.0 * p.tree_eager_hop_share, 2));
+        row.push_back(harness::Table::num(p.tree_mean_edge_latency_ms, 2));
+      }
+      phases.row(row);
     }
     phases.print();
   }

@@ -98,35 +98,73 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // With --tree-stats each point also reports the emergent-structure
+  // series: eager-hop share, tree-edge latency vs the all-pairs overlay
+  // baseline, and consecutive-tree Jaccard overlap.
+  const bool tree = base->config.collect_tree_stats;
+
   harness::Table table("sweep of " + param + " (" +
                        base->config.strategy.describe() + ")");
-  table.header({param, "latency ms", "p95 ms", "payload/msg",
-                "deliveries %", "top5 %", "retries", "stalled"});
+  std::vector<std::string> header = {param, "latency ms", "p95 ms",
+                                     "payload/msg", "deliveries %", "top5 %",
+                                     "retries", "stalled"};
+  if (tree) {
+    header.insert(header.end(),
+                  {"eager %", "edge ms", "overlay ms", "jaccard"});
+  }
+  table.header(header);
   if (csv) {
     std::printf(
         "%s,latency_ms,p95_ms,payload_per_msg,deliveries,top5_share,"
-        "iwant_retries,recovery_stalled\n",
-        param.c_str());
+        "iwant_retries,recovery_stalled%s\n",
+        param.c_str(),
+        tree ? ",tree_eager_hop_share,tree_edge_latency_ms,"
+               "tree_overlay_latency_ms,tree_mean_jaccard"
+             : "");
   }
   for (std::size_t i = 0; i < results.size(); ++i) {
     const double v = (*values)[i];
     const harness::ExperimentResult& r = results[i];
     if (csv) {
-      std::printf("%g,%.3f,%.3f,%.3f,%.5f,%.5f,%llu,%llu\n", v,
+      std::printf("%g,%.3f,%.3f,%.3f,%.5f,%.5f,%llu,%llu", v,
                   r.mean_latency_ms, r.p95_latency_ms,
                   r.load_all.payload_per_msg, r.mean_delivery_fraction,
                   r.top5_connection_share,
                   static_cast<unsigned long long>(r.iwant_retries),
                   static_cast<unsigned long long>(r.recovery_stalled));
+      if (tree && r.tree_stats) {
+        std::printf(",%.5f,%.3f,%.3f,%.5f", r.tree_stats->eager_hop_share(),
+                    r.tree_stats->mean_edge_latency_ms(),
+                    r.tree_stats->overlay_mean_link_ms(),
+                    r.tree_stats->mean_jaccard());
+      } else if (tree) {
+        std::printf(",,,,");
+      }
+      std::printf("\n");
     } else {
-      table.row({harness::Table::num(v, 3),
-                 harness::Table::num(r.mean_latency_ms, 0),
-                 harness::Table::num(r.p95_latency_ms, 0),
-                 harness::Table::num(r.load_all.payload_per_msg, 2),
-                 harness::Table::num(100.0 * r.mean_delivery_fraction, 2),
-                 harness::Table::num(100.0 * r.top5_connection_share, 1),
-                 std::to_string(r.iwant_retries),
-                 std::to_string(r.recovery_stalled)});
+      std::vector<std::string> row = {
+          harness::Table::num(v, 3),
+          harness::Table::num(r.mean_latency_ms, 0),
+          harness::Table::num(r.p95_latency_ms, 0),
+          harness::Table::num(r.load_all.payload_per_msg, 2),
+          harness::Table::num(100.0 * r.mean_delivery_fraction, 2),
+          harness::Table::num(100.0 * r.top5_connection_share, 1),
+          std::to_string(r.iwant_retries),
+          std::to_string(r.recovery_stalled)};
+      if (tree) {
+        if (r.tree_stats) {
+          row.push_back(harness::Table::num(
+              100.0 * r.tree_stats->eager_hop_share(), 2));
+          row.push_back(
+              harness::Table::num(r.tree_stats->mean_edge_latency_ms(), 2));
+          row.push_back(
+              harness::Table::num(r.tree_stats->overlay_mean_link_ms(), 2));
+          row.push_back(harness::Table::num(r.tree_stats->mean_jaccard(), 3));
+        } else {
+          row.insert(row.end(), {"-", "-", "-", "-"});
+        }
+      }
+      table.row(row);
     }
   }
   if (!csv) table.print();
