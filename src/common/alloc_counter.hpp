@@ -1,0 +1,37 @@
+// Opt-in global allocation counters.
+//
+// The matching .cpp replaces the global `operator new` family with
+// malloc-backed versions that bump two relaxed atomic counters. Because
+// the replacement lives in a static-library TU, it is linked into a
+// binary ONLY when that binary references one of the functions below —
+// binaries that never ask for the counters keep the stock allocator.
+//
+// `esm_bench_report` uses this to record allocation totals per sweep
+// point in BENCH_sweep.json: the compact node core is expected to show
+// near-zero steady-state allocation (slab reuse), and the counters make
+// regressions visible in review instead of only in RSS.
+//
+// Counters are process-global. With --jobs > 1 worker threads interleave,
+// so per-point attribution is exact only in serial runs; the report tool
+// records them at jobs==1.
+#pragma once
+
+#include <cstdint>
+
+namespace esm::alloc {
+
+/// Heap allocations (operator new calls) since process start.
+std::uint64_t allocation_count();
+
+/// Total bytes requested from operator new since process start.
+std::uint64_t allocated_bytes();
+
+struct Snapshot {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Both counters, read together (each relaxed; exact when quiescent).
+Snapshot snapshot();
+
+}  // namespace esm::alloc

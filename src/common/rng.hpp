@@ -69,8 +69,16 @@ class Rng {
   /// replacement. If k >= items.size(), returns a shuffled copy of all.
   template <typename T>
   std::vector<T> sample(const std::vector<T>& items, std::size_t k) {
-    std::vector<T> pool = items;
-    const std::size_t n = pool.size();
+    return sample(items.data(), items.size(), k);
+  }
+
+  /// Pointer-range overload (CSR adjacency rows and other borrowed spans).
+  /// Draw-for-draw identical to the vector overload on the same elements,
+  /// so switching a caller from an owned copy to a borrowed view cannot
+  /// change any downstream random sequence.
+  template <typename T>
+  std::vector<T> sample(const T* items, std::size_t n, std::size_t k) {
+    std::vector<T> pool(items, items + n);
     const std::size_t take = k < n ? k : n;
     for (std::size_t i = 0; i < take; ++i) {
       const std::size_t j = i + static_cast<std::size_t>(below(n - i));

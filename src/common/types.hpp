@@ -50,6 +50,15 @@ struct MsgId {
 /// Renders a MsgId as fixed-width hex, e.g. for logs and test diagnostics.
 std::string to_string(const MsgId& id);
 
+/// Dense per-run handle for an interned MsgId (core::MessageArena). Keys
+/// are assigned 0, 1, 2, ... in first-sight order, so per-node message
+/// state can live in flat vectors/bitsets indexed by MsgKey instead of
+/// hash tables keyed by the 128-bit id.
+using MsgKey = std::uint32_t;
+
+/// Sentinel for "no interned message".
+inline constexpr MsgKey kInvalidMsgKey = std::numeric_limits<MsgKey>::max();
+
 struct MsgIdHash {
   std::size_t operator()(const MsgId& id) const noexcept {
     // hi and lo are independently uniform, so mixing them with a

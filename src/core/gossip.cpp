@@ -44,13 +44,13 @@ AppMessage GossipNode::multicast(std::vector<std::uint8_t> data,
 }
 
 void GossipNode::l_receive(const AppMessage& msg, Round round, NodeId source) {
-  if (known_.contains(msg.id)) return;
+  if (knows(msg.id)) return;
   forward(msg, round, source);
 }
 
 void GossipNode::forward(const AppMessage& msg, Round round, NodeId from) {
   deliver_(msg);
-  known_.insert(msg.id);
+  known_.set(scheduler_.arena().intern(msg.id));
   if (round >= params_.max_rounds) {
     if (relay_listener_) relay_listener_(msg.id, round, 0);
     return;
@@ -69,7 +69,10 @@ void GossipNode::forward(const AppMessage& msg, Round round, NodeId from) {
 }
 
 void GossipNode::garbage_collect(const std::vector<MsgId>& ids) {
-  for (const MsgId& id : ids) known_.erase(id);
+  for (const MsgId& id : ids) {
+    const MsgKey key = scheduler_.arena().find(id);
+    if (key != kInvalidMsgKey) known_.reset(key);
+  }
 }
 
 }  // namespace esm::core

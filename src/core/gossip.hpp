@@ -8,8 +8,8 @@
 #pragma once
 
 #include <functional>
-#include <unordered_set>
 
+#include "common/compact.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/message.hpp"
@@ -56,8 +56,11 @@ class GossipNode {
   void l_receive(const AppMessage& msg, Round round, NodeId source);
 
   /// Number of distinct messages known (|K|).
-  std::size_t known_count() const { return known_.size(); }
-  bool knows(const MsgId& id) const { return known_.contains(id); }
+  std::size_t known_count() const { return known_.count(); }
+  bool knows(const MsgId& id) const {
+    const MsgKey key = scheduler_.arena().find(id);
+    return key != kInvalidMsgKey && known_.test(key);
+  }
 
   /// Drops ids from K (garbage collection; §3.1 notes efficient schemes
   /// exist — the harness calls this for messages past their lifetime).
@@ -82,7 +85,9 @@ class GossipNode {
   PayloadScheduler& scheduler_;
   DeliverFn deliver_;
   Rng rng_;
-  std::unordered_set<MsgId, MsgIdHash> known_;
+  /// K, as a bitset over the scheduler's arena keys (one bit per message
+  /// ever seen in the run instead of a hash-set node per known id).
+  compact::DynamicBitset known_;
   RelayListener relay_listener_;
 };
 

@@ -50,33 +50,37 @@ bool PingMonitor::handle_packet(NodeId src, const net::PacketPtr& packet) {
   }
 
   const auto rtt = static_cast<double>(sim_.now() - ping->sent_at);
-  auto [it, inserted] = srtt_us_.try_emplace(src, rtt);
-  if (!inserted) {
-    it->second += params_.alpha * (rtt - it->second);
+  auto [srtt, inserted] = srtt_us_.try_emplace(src);
+  if (inserted) {
+    *srtt = rtt;
+  } else {
+    *srtt += params_.alpha * (rtt - *srtt);
   }
   return true;
 }
 
 double PingMonitor::metric(NodeId self, NodeId peer) const {
   ESM_CHECK(self == self_, "PingMonitor is per-node");
-  const auto it = srtt_us_.find(peer);
-  if (it == srtt_us_.end()) return std::numeric_limits<double>::infinity();
-  return to_ms(static_cast<SimTime>(it->second / 2.0));
+  const double* srtt = srtt_us_.find(peer);
+  if (srtt == nullptr) return std::numeric_limits<double>::infinity();
+  return to_ms(static_cast<SimTime>(*srtt / 2.0));
 }
 
 void PiggybackMonitor::observe(NodeId peer, SimTime rtt) {
   const auto sample = static_cast<double>(rtt);
-  auto [it, inserted] = srtt_us_.try_emplace(peer, sample);
-  if (!inserted) {
-    it->second += alpha_ * (sample - it->second);
+  auto [srtt, inserted] = srtt_us_.try_emplace(peer);
+  if (inserted) {
+    *srtt = sample;
+  } else {
+    *srtt += alpha_ * (sample - *srtt);
   }
 }
 
 double PiggybackMonitor::metric(NodeId self, NodeId peer) const {
   ESM_CHECK(self == self_, "PiggybackMonitor is per-node");
-  const auto it = srtt_us_.find(peer);
-  if (it == srtt_us_.end()) return std::numeric_limits<double>::infinity();
-  return it->second / 2.0 / kMillisecond;
+  const double* srtt = srtt_us_.find(peer);
+  if (srtt == nullptr) return std::numeric_limits<double>::infinity();
+  return *srtt / 2.0 / kMillisecond;
 }
 
 }  // namespace esm::core

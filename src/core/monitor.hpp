@@ -12,9 +12,9 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/compact.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/latency_model.hpp"
@@ -111,7 +111,7 @@ class PingMonitor final : public PerformanceMonitor {
   overlay::PeerSampler& sampler_;
   Params params_;
   Rng rng_;
-  std::unordered_map<NodeId, double> srtt_us_;
+  compact::FlatMap<NodeId, double> srtt_us_;
   sim::PeriodicTimer timer_;
 };
 
@@ -139,7 +139,7 @@ class PiggybackMonitor final : public PerformanceMonitor {
  private:
   NodeId self_;
   double alpha_;
-  std::unordered_map<NodeId, double> srtt_us_;
+  compact::FlatMap<NodeId, double> srtt_us_;
 };
 
 }  // namespace esm::core

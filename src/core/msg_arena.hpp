@@ -1,0 +1,138 @@
+// Per-run message interning and canonical payload storage.
+//
+// Every 128-bit MsgId that appears anywhere in a run — multicast locally,
+// carried by a DATA packet, listed in an IHAVE — is interned here into a
+// dense MsgKey (0, 1, 2, ... in first-sight order). Per-node protocol
+// state (received/known sets, payload caches, pending-request tables) then
+// keys off the small integer: bitsets and open-addressing tables instead
+// of per-node hash maps over 16-byte structs.
+//
+// The arena also holds ONE canonical copy of each message's AppMessage.
+// Relays never alter a message's content (id, origin, seq, payload size,
+// multicast time, shared data pointer are all immutable after the
+// multicast), so the per-node payload cache reduces to {MsgKey -> Round}:
+// ~8 bytes per cached message per node instead of a 56-byte AppMessage
+// copy inside a hash node. A node "holds" a payload iff its own cache
+// table has the key — per-node garbage collection keeps its exact
+// semantics (a GC'd node answers IWANTs with requests_unserved even
+// though the canonical copy still exists for nodes that did not GC).
+//
+// Determinism: intern order equals the deterministic event order of the
+// run, and one arena is shared by all nodes of one Simulator (never across
+// runs), so results are bit-for-bit reproducible at any --jobs. The wire
+// format is untouched — packets still carry full MsgIds; translation
+// happens at the scheduler boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/compact.hpp"
+#include "common/types.hpp"
+#include "core/message.hpp"
+
+namespace esm::core {
+
+class MessageArena {
+ public:
+  /// Pre-sizes the intern table and side arrays for `n` messages.
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want * 3 < n * 4) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+    ids_.reserve(n);
+    messages_.reserve(n);
+    stored_.reserve(n);
+  }
+
+  /// Returns the key for `id`, assigning the next dense key on first
+  /// sight. Intern order is the run's event order: deterministic.
+  MsgKey intern(const MsgId& id) {
+    if (slots_.empty() || (ids_.size() + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    std::size_t i = probe(id);
+    if (slots_[i].key != kInvalidMsgKey) return slots_[i].key;
+    const MsgKey key = static_cast<MsgKey>(ids_.size());
+    ESM_CHECK(key != kInvalidMsgKey, "message arena exhausted");
+    slots_[i] = Slot{id, key};
+    ids_.push_back(id);
+    messages_.emplace_back();
+    stored_.push_back(0);
+    return key;
+  }
+
+  /// Key for `id`, or kInvalidMsgKey when never interned.
+  MsgKey find(const MsgId& id) const {
+    if (slots_.empty()) return kInvalidMsgKey;
+    return slots_[probe(id)].key;
+  }
+
+  const MsgId& id(MsgKey key) const { return ids_[key]; }
+
+  /// Interns `msg.id` and records the canonical AppMessage on first call.
+  MsgKey store(const AppMessage& msg) {
+    const MsgKey key = intern(msg.id);
+    if (!stored_[key]) {
+      messages_[key] = msg;
+      stored_[key] = 1;
+    }
+    return key;
+  }
+
+  /// Canonical message for `key`; requires a prior store().
+  const AppMessage& message(MsgKey key) const {
+    ESM_CHECK(stored_[key], "message was never stored in the arena");
+    return messages_[key];
+  }
+
+  bool has_message(MsgKey key) const { return stored_[key] != 0; }
+
+  /// Messages interned so far (== the smallest unassigned key).
+  std::size_t size() const { return ids_.size(); }
+
+  /// Heap owned by the arena (intern table + id/message arrays).
+  std::size_t bytes() const {
+    return slots_.capacity() * sizeof(Slot) + ids_.capacity() * sizeof(MsgId) +
+           messages_.capacity() * sizeof(AppMessage) + stored_.capacity();
+  }
+
+ private:
+  struct Slot {
+    MsgId id{};
+    MsgKey key = kInvalidMsgKey;
+  };
+
+  /// Slot holding `id`, or the empty slot where it belongs. MsgIds are
+  /// uniform random bits, so hi^mix(lo) probes uniformly.
+  std::size_t probe(const MsgId& id) const {
+    std::size_t i =
+        static_cast<std::size_t>(compact::mix_key(id.lo) ^ id.hi) & mask_;
+    while (slots_[i].key != kInvalidMsgKey && !(slots_[i].id == id)) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    for (const Slot& s : old) {
+      if (s.key == kInvalidMsgKey) continue;
+      std::size_t i =
+          static_cast<std::size_t>(compact::mix_key(s.id.lo) ^ s.id.hi) & mask_;
+      while (slots_[i].key != kInvalidMsgKey) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::vector<MsgId> ids_;             // key -> id
+  std::vector<AppMessage> messages_;   // key -> canonical message
+  std::vector<std::uint8_t> stored_;   // key -> canonical copy recorded?
+};
+
+}  // namespace esm::core

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "common/rng.hpp"
 #include "core/strategy.hpp"
@@ -66,7 +67,7 @@ class NoisyStrategy final : public TransmissionStrategy {
   RequestPolicy request_policy() const override {
     return inner_->request_policy();
   }
-  std::size_t pick_source(const std::vector<NodeId>& sources) override {
+  std::size_t pick_source(std::span<const NodeId> sources) override {
     return inner_->pick_source(sources);
   }
 

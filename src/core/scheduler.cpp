@@ -1,5 +1,7 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
+#include <span>
 #include <utility>
 
 #include "common/check.hpp"
@@ -9,13 +11,32 @@ namespace esm::core {
 PayloadScheduler::PayloadScheduler(sim::Simulator& sim,
                                    net::Transport& transport, NodeId self,
                                    TransmissionStrategy& strategy,
-                                   ReceiveFn receive)
+                                   ReceiveFn receive, MessageArena* arena)
     : sim_(sim),
       transport_(transport),
       self_(self),
       strategy_(strategy),
-      receive_(std::move(receive)) {
+      receive_(std::move(receive)),
+      owned_arena_(arena ? nullptr : std::make_unique<MessageArena>()),
+      arena_(arena ? arena : owned_arena_.get()) {
   ESM_CHECK(static_cast<bool>(receive_), "receive up-call must be callable");
+}
+
+void PayloadScheduler::reserve(std::size_t expected_messages) {
+  received_.reserve(expected_messages);
+  cache_.reserve(expected_messages);
+  pending_index_.reserve(expected_messages);
+  // Unlike the key tables above, live Pending slots are bounded by the
+  // recovery window over the injection interval (a handful of concurrent
+  // recoveries), not by the total message count — reserving the full
+  // window here would commit ~sizeof(Pending) * window bytes per node
+  // (gigabytes at 1M nodes) that alloc() never touches.
+  pending_slab_.reserve(std::min<std::size_t>(expected_messages, 8));
+}
+
+PayloadScheduler::Pending* PayloadScheduler::find_pending(MsgKey key) {
+  const auto* slot = pending_index_.find(key);
+  return slot ? &pending_slab_[*slot] : nullptr;
 }
 
 void PayloadScheduler::send_data(const AppMessage& msg, Round round,
@@ -38,27 +59,36 @@ void PayloadScheduler::l_send(const AppMessage& msg, Round round, NodeId dst) {
   // by *any* peer it advertised to, and the gossip layer has already
   // recorded the id in K, so this node will never re-enter here for the
   // same message after forwarding once.
-  received_.insert(msg.id);
+  const MsgKey key = arena_->store(msg);
+  received_.set(key);
+  // May still be IWANTed by others, so cache regardless of eagerness; only
+  // the first insertion records the relay round.
+  const auto [round_slot, inserted] = cache_.try_emplace(key);
+  if (inserted) *round_slot = round;
   if (strategy_.eager(msg.id, round, dst)) {
-    cache_.try_emplace(msg.id, msg, round);  // may still be IWANTed by others
     send_data(msg, round, dst, /*eager=*/true);
   } else {
-    cache_.try_emplace(msg.id, msg, round);
-    enqueue_ihave(msg.id, dst);
+    enqueue_ihave(key, dst);
   }
 }
 
-void PayloadScheduler::enqueue_ihave(const MsgId& id, NodeId dst) {
+void PayloadScheduler::enqueue_ihave(MsgKey key, NodeId dst) {
   if (ihave_batch_window_ <= 0) {
     auto ihave = std::make_shared<IHavePacket>();
-    ihave->ids.push_back(id);
+    ihave->ids.push_back(arena_->id(key));
     transport_.send(self_, dst, std::move(ihave), ihave_bytes(1),
                     /*is_payload=*/false);
     ++stats_.advertisements_sent;
     return;
   }
-  IHaveBatch& batch = ihave_outbox_[dst];
-  batch.ids.push_back(id);
+  const auto [slot, fresh] = ihave_outbox_.try_emplace(dst);
+  if (fresh) {
+    *slot = batch_slab_.alloc();
+    batch_slab_[*slot].ids.clear();
+    batch_slab_[*slot].timer = sim::EventHandle{};
+  }
+  IHaveBatch& batch = batch_slab_[*slot];
+  batch.ids.push_back(key);
   // The wire codec's id count is a u16: a batch window long enough to
   // accumulate more than kMaxIHaveIds ids would make encode throw. Flush
   // eagerly at the cap (the timer, if armed, finds an empty batch later
@@ -74,31 +104,47 @@ void PayloadScheduler::enqueue_ihave(const MsgId& id, NodeId dst) {
 }
 
 void PayloadScheduler::flush_ihaves(NodeId dst) {
-  const auto it = ihave_outbox_.find(dst);
-  if (it == ihave_outbox_.end() || it->second.ids.empty()) return;
-  std::vector<MsgId> ids = std::move(it->second.ids);
-  ihave_outbox_.erase(it);
+  const auto* slot = ihave_outbox_.find(dst);
+  if (slot == nullptr) return;
+  const auto idx = *slot;
+  if (batch_slab_[idx].ids.empty()) return;
+  // Stage the ids in the recycled scratch buffer so the slab slot (and its
+  // vector capacity) can be reused before the sends go out.
+  flush_scratch_.clear();
+  std::swap(flush_scratch_, batch_slab_[idx].ids);
+  batch_slab_[idx].timer = sim::EventHandle{};
+  batch_slab_.free(idx);
+  ihave_outbox_.erase(dst);
   // Split at the u16 wire cap; each chunk is billed as its own packet
   // (header + count + ids), keeping byte accounting consistent with what
   // the codec would actually put on the wire.
+  const std::vector<MsgKey>& ids = flush_scratch_;
   for (std::size_t off = 0; off < ids.size(); off += kMaxIHaveIds) {
     const std::size_t count = std::min(kMaxIHaveIds, ids.size() - off);
     auto ihave = std::make_shared<IHavePacket>();
-    ihave->ids.assign(ids.begin() + static_cast<std::ptrdiff_t>(off),
-                      ids.begin() + static_cast<std::ptrdiff_t>(off + count));
+    ihave->ids.reserve(count);
+    for (std::size_t i = off; i < off + count; ++i) {
+      ihave->ids.push_back(arena_->id(ids[i]));
+    }
     transport_.send(self_, dst, std::move(ihave), ihave_bytes(count),
                     /*is_payload=*/false);
     ++stats_.advertisements_sent;
   }
 }
 
-void PayloadScheduler::queue_source(const MsgId& id, NodeId src) {
-  const bool first_ihave = !pending_.contains(id);
-  Pending& p = pending_[id];
-  if (!p.seen.insert(src).second) return;  // duplicate advertisement
-  p.sources.push_back(src);
+void PayloadScheduler::queue_source(MsgKey key, NodeId src) {
+  const auto [slot, first_ihave] = pending_index_.try_emplace(key);
+  if (first_ihave) {
+    *slot = pending_slab_.alloc();
+    pending_slab_[*slot].reset();
+  }
+  Pending& p = pending_slab_[*slot];
+  if (std::find(p.peers.begin(), p.peers.end(), src) != p.peers.end()) {
+    return;  // duplicate advertisement
+  }
+  p.peers.push_back(src);
   if (first_ihave && lazy_listener_) {
-    lazy_listener_(id, LazyEvent::kFirstIHave, src);
+    lazy_listener_(arena_->id(key), LazyEvent::kFirstIHave, src);
   }
   if (!p.timer.valid() || !sim_.pending(p.timer)) {
     const RequestPolicy policy = strategy_.request_policy();
@@ -106,47 +152,57 @@ void PayloadScheduler::queue_source(const MsgId& id, NodeId src) {
     // full period: the outstanding request is likely to be answered.
     const SimTime delay = p.requested_before ? policy.retransmission_period
                                              : policy.first_request_delay;
-    p.timer = sim_.schedule_after(delay, [this, id] { request_timer_fired(id); });
+    p.timer =
+        sim_.schedule_after(delay, [this, key] { request_timer_fired(key); });
   }
 }
 
-void PayloadScheduler::request_timer_fired(const MsgId& id) {
-  const auto it = pending_.find(id);
-  if (it == pending_.end()) return;
-  Pending& p = it->second;
+void PayloadScheduler::request_timer_fired(MsgKey key) {
+  Pending* pending = find_pending(key);
+  if (pending == nullptr) return;
+  Pending& p = *pending;
   const RequestPolicy policy = strategy_.request_policy();
-  if (p.sources.empty()) {
+  if (p.head == p.peers.size()) {
     // Queue drained and still no payload: the last IWANT or its DATA
     // reply was lost. Cycle through the already-asked advertisers again
-    // (original arrival order) up to max_rounds full passes.
-    if (p.asked.empty() || p.round + 1 >= policy.max_rounds) {
+    // (in ask order) up to max_rounds full passes.
+    if (p.head == 0 || p.round + 1 >= policy.max_rounds) {
       ++stats_.recovery_gave_up;
-      if (lazy_listener_) lazy_listener_(id, LazyEvent::kGaveUp, kInvalidNode);
-      pending_.erase(it);
+      if (lazy_listener_) {
+        lazy_listener_(arena_->id(key), LazyEvent::kGaveUp, kInvalidNode);
+      }
+      clear(key);
       return;
     }
     ++p.round;
-    p.sources = std::move(p.asked);
-    p.asked.clear();
+    p.head = 0;
   }
 
-  const std::size_t pick = strategy_.pick_source(p.sources);
-  ESM_CHECK(pick < p.sources.size(), "strategy picked an invalid source");
-  const NodeId target = p.sources[pick];
-  p.sources.erase(p.sources.begin() + static_cast<std::ptrdiff_t>(pick));
-  p.asked.push_back(target);
+  const auto queued = std::span<const NodeId>(p.peers).subspan(p.head);
+  const std::size_t pick = strategy_.pick_source(queued);
+  ESM_CHECK(pick < queued.size(), "strategy picked an invalid source");
+  const NodeId target = queued[pick];
+  // Move the picked source to the end of the asked prefix, preserving the
+  // relative order of the sources it skipped over.
+  const auto at = [&](std::uint32_t i) {
+    return p.peers.begin() + static_cast<std::ptrdiff_t>(i);
+  };
+  std::rotate(at(p.head), at(p.head + static_cast<std::uint32_t>(pick)),
+              at(p.head + static_cast<std::uint32_t>(pick) + 1));
+  ++p.head;
   p.requested_before = true;
   p.last_request_target = target;
   p.last_request_time = sim_.now();
 
   auto iwant = std::make_shared<IWantPacket>();
-  iwant->id = id;
+  iwant->id = arena_->id(key);
   transport_.send(self_, target, std::move(iwant), kControlBytes,
                   /*is_payload=*/false);
   ++stats_.requests_sent;
   if (p.round > 0) ++stats_.iwant_retries;
   if (lazy_listener_) {
-    lazy_listener_(id, p.round > 0 ? LazyEvent::kIWantRetry : LazyEvent::kIWant,
+    lazy_listener_(arena_->id(key),
+                   p.round > 0 ? LazyEvent::kIWantRetry : LazyEvent::kIWant,
                    target);
   }
   // Plumtree GRAFT promotes the recovering edge at both ends: the serving
@@ -157,19 +213,24 @@ void PayloadScheduler::request_timer_fired(const MsgId& id) {
   // already-asked source (or gives up), so a lost reply cannot stall the
   // recovery. Payload arrival cancels the timer via clear().
   p.timer = sim_.schedule_after(policy.retransmission_period,
-                                [this, id] { request_timer_fired(id); });
+                                [this, key] { request_timer_fired(key); });
 }
 
-void PayloadScheduler::clear(const MsgId& id) {
-  const auto it = pending_.find(id);
-  if (it == pending_.end()) return;
-  if (it->second.timer.valid()) sim_.cancel(it->second.timer);
-  pending_.erase(it);
+void PayloadScheduler::clear(MsgKey key) {
+  const auto* slot = pending_index_.find(key);
+  if (slot == nullptr) return;
+  const auto idx = *slot;
+  Pending& p = pending_slab_[idx];
+  if (p.timer.valid()) sim_.cancel(p.timer);
+  p.reset();
+  pending_slab_.free(idx);
+  pending_index_.erase(key);
 }
 
 bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
   if (const auto* data = dynamic_cast<const DataPacket*>(packet.get())) {
-    const bool fresh = received_.insert(data->msg.id).second;
+    const MsgKey key = arena_->store(data->msg);
+    const bool fresh = received_.set(key);
     if (accept_listener_) accept_listener_(src, data->msg, !fresh);
     if (!fresh) {
       ++stats_.duplicate_payloads;
@@ -186,18 +247,16 @@ bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
       }
       return true;
     }
-    // Free RTT sample: the payload answered our latest request to `src`.
-    if (rtt_observer_) {
-      const auto pending = pending_.find(data->msg.id);
-      if (pending != pending_.end() &&
-          pending->second.last_request_target == src) {
-        rtt_observer_(src, sim_.now() - pending->second.last_request_time);
+    if (const Pending* p = find_pending(key)) {
+      // Free RTT sample: the payload answered our latest request to `src`.
+      if (rtt_observer_ && p->last_request_target == src) {
+        rtt_observer_(src, sim_.now() - p->last_request_time);
+      }
+      if (lazy_listener_) {
+        lazy_listener_(data->msg.id, LazyEvent::kRecovered, src);
       }
     }
-    if (lazy_listener_ && pending_.contains(data->msg.id)) {
-      lazy_listener_(data->msg.id, LazyEvent::kRecovered, src);
-    }
-    clear(data->msg.id);
+    clear(key);
     receive_(data->msg, data->round, src);
     return true;
   }
@@ -207,21 +266,23 @@ bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
   }
   if (const auto* ihave = dynamic_cast<const IHavePacket*>(packet.get())) {
     for (const MsgId& id : ihave->ids) {
-      if (!received_.contains(id)) queue_source(id, src);
+      const MsgKey key = arena_->intern(id);
+      if (!received_.test(key)) queue_source(key, src);
     }
     return true;
   }
   if (const auto* iwant = dynamic_cast<const IWantPacket*>(packet.get())) {
     // The pull itself is the graft signal: this peer lacked data we hold.
     strategy_.on_graft(src);
-    const auto it = cache_.find(iwant->id);
-    if (it == cache_.end()) {
+    const MsgKey key = arena_->find(iwant->id);
+    const Round* round = key != kInvalidMsgKey ? cache_.find(key) : nullptr;
+    if (round == nullptr) {
       // Only possible after garbage collection: a request can only follow
       // our own advertisement, so the payload was cached at some point.
       ++stats_.requests_unserved;
       return true;
     }
-    send_data(it->second.first, it->second.second, src, /*eager=*/false);
+    send_data(arena_->message(key), *round, src, /*eager=*/false);
     return true;
   }
   return false;
@@ -229,8 +290,10 @@ bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
 
 void PayloadScheduler::garbage_collect(const std::vector<MsgId>& ids) {
   for (const MsgId& id : ids) {
-    cache_.erase(id);
-    clear(id);
+    const MsgKey key = arena_->find(id);
+    if (key == kInvalidMsgKey) continue;
+    cache_.erase(key);
+    clear(key);
   }
 }
 

@@ -23,16 +23,24 @@
 // queued source is eventually asked unless the payload arrives first —
 // which this implementation guarantees (each timer fire consumes one
 // source; the timer keeps running while sources or retry rounds remain).
+//
+// Storage (the compact node core): all per-message state is keyed by the
+// dense MsgKey of a MessageArena — shared across the nodes of a run by the
+// harness, or privately owned when constructed standalone — so the R set
+// is a bitset, the C cache is {MsgKey -> Round} (payload bytes live once
+// in the arena), and pending requests / IHAVE batches are slab slots whose
+// vectors are recycled on reuse. Steady-state message churn allocates
+// nothing; see DESIGN.md "Memory layout".
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/compact.hpp"
 #include "common/types.hpp"
 #include "core/message.hpp"
+#include "core/msg_arena.hpp"
 #include "core/strategy.hpp"
 #include "net/transport.hpp"
 #include "sim/simulator.hpp"
@@ -69,8 +77,22 @@ class PayloadScheduler {
   using ReceiveFn =
       std::function<void(const AppMessage&, Round, NodeId source)>;
 
+  /// `arena` is the run-wide message intern table and canonical payload
+  /// store. Pass the shared arena when many nodes live in one simulation
+  /// (the harness does); nullptr makes the scheduler own a private one,
+  /// preserving the standalone construction the unit tests use.
   PayloadScheduler(sim::Simulator& sim, net::Transport& transport, NodeId self,
-                   TransmissionStrategy& strategy, ReceiveFn receive);
+                   TransmissionStrategy& strategy, ReceiveFn receive,
+                   MessageArena* arena = nullptr);
+
+  /// The arena this scheduler interns through (shared or private). The
+  /// gossip layer keys its K set off the same table.
+  MessageArena& arena() { return *arena_; }
+  const MessageArena& arena() const { return *arena_; }
+
+  /// Pre-sizes the per-node tables for `expected_messages` concurrently
+  /// tracked messages, so steady-state runs never rehash mid-measurement.
+  void reserve(std::size_t expected_messages);
 
   /// L-Send(i, d, r, p): transmit `msg` at round `round` to `dst`, eagerly
   /// or lazily per the strategy.
@@ -81,10 +103,13 @@ class PayloadScheduler {
   bool handle_packet(NodeId src, const net::PacketPtr& packet);
 
   /// True if payload for `id` has been received (or originated) here.
-  bool has_payload(const MsgId& id) const { return received_.contains(id); }
+  bool has_payload(const MsgId& id) const {
+    const MsgKey key = arena_->find(id);
+    return key != kInvalidMsgKey && received_.test(key);
+  }
 
   /// Number of messages with outstanding lazy requests (test helper).
-  std::size_t pending_requests() const { return pending_.size(); }
+  std::size_t pending_requests() const { return pending_index_.size(); }
 
   const SchedulerStats& stats() const { return stats_; }
 
@@ -151,22 +176,48 @@ class PayloadScheduler {
   }
 
  private:
+  /// Slab-resident recovery state for one advertised-but-missing message.
+  /// reset() clears logical state but keeps the vectors' capacity, so a
+  /// recycled slot re-runs a recovery without allocating.
   struct Pending {
-    std::vector<NodeId> sources;          // advertisers, in arrival order
-    std::unordered_set<NodeId> seen;      // advertisers ever queued
-    std::vector<NodeId> asked;            // sources consumed this pass
+    /// Advertisers, one heap block instead of three: peers[0..head) are
+    /// the sources already asked this pass (in ask order), peers[head..)
+    /// the ones still queued. Asking rotates the picked source to index
+    /// head and advances head; a drained pass cycles by resetting head
+    /// to 0 (the ask order becomes the next pass's queue order, exactly
+    /// as the old swap(sources, asked) did). Dedupe scans the whole
+    /// vector (small: <= the node's in-degree).
+    std::vector<NodeId> peers;
+    std::uint32_t head = 0;
     sim::EventHandle timer{};
-    std::uint32_t round = 0;              // completed passes over sources
-    bool requested_before = false;        // at least one IWANT sent
+    std::uint32_t round = 0;      // completed passes over sources
+    bool requested_before = false;  // at least one IWANT sent
     NodeId last_request_target = kInvalidNode;
     SimTime last_request_time = 0;
+
+    void reset() {
+      peers.clear();
+      head = 0;
+      timer = sim::EventHandle{};
+      round = 0;
+      requested_before = false;
+      last_request_target = kInvalidNode;
+      last_request_time = 0;
+    }
   };
 
-  void queue_source(const MsgId& id, NodeId src);
-  void request_timer_fired(const MsgId& id);
-  void clear(const MsgId& id);
+  /// Slab-resident advertisement batch for one destination.
+  struct IHaveBatch {
+    std::vector<MsgKey> ids;
+    sim::EventHandle timer{};
+  };
+
+  Pending* find_pending(MsgKey key);
+  void queue_source(MsgKey key, NodeId src);
+  void request_timer_fired(MsgKey key);
+  void clear(MsgKey key);
   void send_data(const AppMessage& msg, Round round, NodeId dst, bool eager);
-  void enqueue_ihave(const MsgId& id, NodeId dst);
+  void enqueue_ihave(MsgKey key, NodeId dst);
   void flush_ihaves(NodeId dst);
 
   sim::Simulator& sim_;
@@ -175,20 +226,23 @@ class PayloadScheduler {
   TransmissionStrategy& strategy_;
   ReceiveFn receive_;
 
-  /// R: ids whose payload was received here (or originated here).
-  std::unordered_set<MsgId, MsgIdHash> received_;
-  /// C: cached payload + round, for answering IWANTs.
-  std::unordered_map<MsgId, std::pair<AppMessage, Round>, MsgIdHash> cache_;
-  /// Outstanding lazy requests.
-  std::unordered_map<MsgId, Pending, MsgIdHash> pending_;
+  std::unique_ptr<MessageArena> owned_arena_;  // standalone construction
+  MessageArena* arena_;
 
-  /// Per-destination advertisement batches awaiting flush.
-  struct IHaveBatch {
-    std::vector<MsgId> ids;
-    sim::EventHandle timer{};
-  };
+  /// R: keys whose payload was received here (or originated here).
+  compact::DynamicBitset received_;
+  /// C: relay round per cached key; the payload itself is the arena's
+  /// canonical copy. An IWANT is servable iff the key is present here.
+  compact::FlatMap<MsgKey, Round> cache_;
+  /// Outstanding lazy requests: key -> slab slot.
+  compact::FlatMap<MsgKey, compact::Slab<Pending>::Index> pending_index_;
+  compact::Slab<Pending> pending_slab_;
+
+  /// Per-destination advertisement batches awaiting flush: dst -> slot.
   SimTime ihave_batch_window_ = 0;
-  std::unordered_map<NodeId, IHaveBatch> ihave_outbox_;
+  compact::FlatMap<NodeId, compact::Slab<IHaveBatch>::Index> ihave_outbox_;
+  compact::Slab<IHaveBatch> batch_slab_;
+  std::vector<MsgKey> flush_scratch_;  // recycled flush staging buffer
 
   SchedulerStats stats_;
   SendListener send_listener_;

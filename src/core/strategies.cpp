@@ -23,7 +23,7 @@ bool RadiusStrategy::eager(const MsgId&, Round, NodeId peer) {
   return monitor_.metric(self_, peer) < rho_;
 }
 
-std::size_t RadiusStrategy::pick_source(const std::vector<NodeId>& sources) {
+std::size_t RadiusStrategy::pick_source(std::span<const NodeId> sources) {
   return nearest_source(self_, monitor_, sources);
 }
 
@@ -38,7 +38,7 @@ bool HybridStrategy::eager(const MsgId&, Round round, NodeId peer) {
   return m < rho_;
 }
 
-std::size_t HybridStrategy::pick_source(const std::vector<NodeId>& sources) {
+std::size_t HybridStrategy::pick_source(std::span<const NodeId> sources) {
   return nearest_source(self_, monitor_, sources);
 }
 
@@ -47,7 +47,7 @@ bool AdaptiveLinkStrategy::eager(const MsgId&, Round, NodeId peer) {
 }
 
 std::size_t nearest_source(NodeId self, const PerformanceMonitor& monitor,
-                           const std::vector<NodeId>& sources) {
+                           std::span<const NodeId> sources) {
   ESM_CHECK(!sources.empty(), "pick_source requires at least one source");
   std::size_t best = 0;
   double best_metric = std::numeric_limits<double>::infinity();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -61,7 +62,7 @@ class RadiusStrategy final : public TransmissionStrategy {
 
   bool eager(const MsgId& id, Round round, NodeId peer) override;
   RequestPolicy request_policy() const override { return policy_; }
-  std::size_t pick_source(const std::vector<NodeId>& sources) override;
+  std::size_t pick_source(std::span<const NodeId> sources) override;
 
  private:
   NodeId self_;
@@ -124,7 +125,7 @@ class HybridStrategy final : public TransmissionStrategy {
 
   bool eager(const MsgId& id, Round round, NodeId peer) override;
   RequestPolicy request_policy() const override { return policy_; }
-  std::size_t pick_source(const std::vector<NodeId>& sources) override;
+  std::size_t pick_source(std::span<const NodeId> sources) override;
 
  private:
   NodeId self_;
@@ -164,6 +165,6 @@ class AdaptiveLinkStrategy final : public TransmissionStrategy {
 /// Picks the source with the lowest monitor metric (shared by Radius and
 /// Hybrid).
 std::size_t nearest_source(NodeId self, const PerformanceMonitor& monitor,
-                           const std::vector<NodeId>& sources);
+                           std::span<const NodeId> sources);
 
 }  // namespace esm::core

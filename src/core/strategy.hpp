@@ -18,7 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "common/types.hpp"
 
@@ -57,7 +57,7 @@ class TransmissionStrategy {
 
   /// Chooses which known source to request from; `sources` is non-empty,
   /// ordered by IHAVE arrival. Default: first advertiser (FIFO).
-  virtual std::size_t pick_source(const std::vector<NodeId>& sources) {
+  virtual std::size_t pick_source(std::span<const NodeId> sources) {
     (void)sources;
     return 0;
   }

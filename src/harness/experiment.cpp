@@ -8,9 +8,9 @@
 #include <memory>
 #include <numeric>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 
+#include "common/compact.hpp"
 #include "core/gossip.hpp"
 #include "core/monitor.hpp"
 #include "core/noise.hpp"
@@ -378,7 +378,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     trace::TraceLog::PayloadHandle handle = trace::TraceLog::kNoHandle;
     bool eager = false;
   };
-  std::unordered_map<std::uint64_t, std::deque<InFlightPayload>> in_flight;
+  compact::FlatMap<std::uint64_t, std::deque<InFlightPayload>> in_flight;
   struct LastAccept {
     MsgId id{};
     NodeId from = kInvalidNode;
@@ -389,12 +389,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   stats::PhaseWindows phase_windows(config.warmup);
   stats::PhaseWindows* const pw =
       config.scenario.empty() ? nullptr : &phase_windows;
+  // Run-wide message intern table + canonical payload store, shared by
+  // every node's scheduler and gossip layer (see core/msg_arena.hpp).
+  // Declared before the tracker so the tracker can key episodes by the
+  // same interned message keys.
+  core::MessageArena msg_arena;
+  msg_arena.reserve(config.num_messages);
   // Observability: metrics registries + message-lifecycle tracker, wired
   // into the protocol layers' observation hooks. Only metrics runs pay.
   std::shared_ptr<obs::RunMetrics> run_metrics =
       config.collect_metrics ? std::make_shared<obs::RunMetrics>() : nullptr;
   std::optional<obs::LifecycleTracker> tracker;
-  if (run_metrics) tracker.emplace(sim, config.num_nodes, *run_metrics);
+  if (run_metrics) {
+    tracker.emplace(sim, config.num_nodes, *run_metrics, &msg_arena);
+  }
   obs::LifecycleTracker* const trk = tracker ? &*tracker : nullptr;
   if (trk) {
     transport.set_drop_listener(
@@ -417,13 +425,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
-  // Fixed symmetric neighbor sets, when requested.
-  std::vector<std::vector<NodeId>> static_adj;
+  // Fixed symmetric neighbor sets, when requested — compressed to one
+  // shared CSR structure; samplers borrow their row instead of copying it.
+  overlay::CsrAdjacency static_adj;
   if (config.overlay_kind == OverlayKind::static_random) {
-    static_adj = overlay::build_symmetric_overlay(
-        config.num_nodes, config.overlay.view_size,
-        root.split(0x73746174ULL));
+    static_adj = overlay::CsrAdjacency::from_lists(
+        overlay::build_symmetric_overlay(config.num_nodes,
+                                         config.overlay.view_size,
+                                         root.split(0x73746174ULL)));
   }
+
+  // Pre-size per-node tables for the concurrently-tracked message window:
+  // with GC, roughly lifetime / mean-interval messages are live at once;
+  // without GC every message stays tracked. Pre-reserving keeps steady-
+  // state runs from rehashing mid-measurement.
+  const std::size_t expected_window =
+      config.message_lifetime > 0 && config.mean_interval > 0
+          ? std::min<std::size_t>(
+                config.num_messages,
+                static_cast<std::size_t>(config.message_lifetime /
+                                         config.mean_interval) +
+                    16)
+          : config.num_messages;
 
   for (NodeId id = 0; id < config.num_nodes; ++id) {
     auto stack = std::make_unique<NodeStack>();
@@ -433,7 +456,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       case OverlayKind::static_random:
         stack->static_sampler =
             std::make_unique<overlay::StaticNeighborSampler>(
-                static_adj[id], node_rng.split(1));
+                static_adj, id, node_rng.split(1));
         stack->sampler = stack->static_sampler.get();
         break;
       case OverlayKind::oracle:
@@ -516,7 +539,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         sim, transport, id, *stack->strategy,
         [raw](const core::AppMessage& msg, Round round, NodeId src) {
           raw->gossip->l_receive(msg, round, src);
-        });
+        },
+        &msg_arena);
+    stack->scheduler->reserve(expected_window);
     stack->scheduler->set_ihave_batch_window(config.ihave_batch_window);
     if (stack->piggyback) {
       core::PiggybackMonitor* piggyback = stack->piggyback.get();
@@ -552,25 +577,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
             const std::uint64_t link =
                 (static_cast<std::uint64_t>(src) << 32) | id;
             bool eager = true;
-            const auto it = in_flight.find(link);
-            if (it != in_flight.end()) {
-              auto& queue = it->second;
+            if (auto* queue = in_flight.find(link)) {
               // Entries older than any plausible one-way delay belong to
               // lost packets; drop them so the scan stays bounded.
               constexpr SimTime kLostAfter = 30 * kSecond;
-              while (!queue.empty() &&
-                     queue.front().sent + kLostAfter < sim.now()) {
-                queue.pop_front();
+              while (!queue->empty() &&
+                     queue->front().sent + kLostAfter < sim.now()) {
+                queue->pop_front();
               }
-              for (auto q = queue.begin(); q != queue.end(); ++q) {
+              for (auto q = queue->begin(); q != queue->end(); ++q) {
                 if (q->seq == msg.seq) {
                   trace_log->set_payload_recv(q->handle, sim.now());
                   eager = q->eager;
-                  queue.erase(q);
+                  queue->erase(q);
                   break;
                 }
               }
-              if (queue.empty()) in_flight.erase(it);
+              if (queue->empty()) in_flight.erase(link);
             }
             if (!duplicate) last_accept[id] = {msg.id, src, eager};
           });

@@ -21,8 +21,12 @@ const char* drop_counter_name(net::Transport::DropReason reason) {
 
 LifecycleTracker::LifecycleTracker(sim::Simulator& sim,
                                    std::uint32_t num_nodes,
-                                   RunMetrics& metrics)
-    : sim_(sim), metrics_(metrics) {
+                                   RunMetrics& metrics,
+                                   core::MessageArena* arena)
+    : sim_(sim),
+      metrics_(metrics),
+      owned_arena_(arena ? nullptr : std::make_unique<core::MessageArena>()),
+      arena_(arena ? arena : owned_arena_.get()) {
   metrics_.per_node.resize(num_nodes);
 }
 
@@ -31,18 +35,18 @@ void LifecycleTracker::on_lazy_event(NodeId node, const MsgId& id,
                                      NodeId peer) {
   (void)peer;
   using LazyEvent = core::PayloadScheduler::LazyEvent;
-  const Key key{node, id};
+  const std::uint64_t key = episode_key(node, id);
   switch (event) {
     case LazyEvent::kFirstIHave: {
-      const auto [it, inserted] = episodes_.try_emplace(key);
+      const auto [ep, inserted] = episodes_.try_emplace(key);
       if (inserted) {
-        it->second.first_ihave = sim_.now();
+        ep->first_ihave = sim_.now();
         node_reg(node).add_counter("recovery_episodes");
         metrics_.aggregate.add_counter("recovery_episodes");
-      } else if (it->second.state == EpisodeState::kGaveUp) {
+      } else if (ep->state == EpisodeState::kGaveUp) {
         // A fresh advertisement restarted an abandoned recovery; it is
         // the same episode (same missing payload), re-opened.
-        it->second.state = EpisodeState::kOpen;
+        ep->state = EpisodeState::kOpen;
       }
       break;
     }
@@ -60,15 +64,14 @@ void LifecycleTracker::on_lazy_event(NodeId node, const MsgId& id,
       break;
     }
     case LazyEvent::kRecovered: {
-      const auto it = episodes_.find(key);
-      if (it == episodes_.end() ||
-          it->second.state == EpisodeState::kRecovered) {
+      Episode* ep = episodes_.find(key);
+      if (ep == nullptr || ep->state == EpisodeState::kRecovered) {
         break;
       }
-      it->second.state = EpisodeState::kRecovered;
-      it->second.closed_at = sim_.now();
+      ep->state = EpisodeState::kRecovered;
+      ep->closed_at = sim_.now();
       const auto ms = static_cast<std::uint64_t>(
-          (sim_.now() - it->second.first_ihave) / kMillisecond);
+          (sim_.now() - ep->first_ihave) / kMillisecond);
       node_reg(node).add_counter("recovery_recovered");
       node_reg(node).histogram("recovery_ms").add(ms);
       metrics_.aggregate.add_counter("recovery_recovered");
@@ -76,10 +79,10 @@ void LifecycleTracker::on_lazy_event(NodeId node, const MsgId& id,
       break;
     }
     case LazyEvent::kGaveUp: {
-      const auto it = episodes_.find(key);
-      if (it != episodes_.end() && it->second.state == EpisodeState::kOpen) {
-        it->second.state = EpisodeState::kGaveUp;
-        it->second.closed_at = sim_.now();
+      Episode* ep = episodes_.find(key);
+      if (ep != nullptr && ep->state == EpisodeState::kOpen) {
+        ep->state = EpisodeState::kGaveUp;
+        ep->closed_at = sim_.now();
       }
       node_reg(node).add_counter("recovery_gave_up");
       metrics_.aggregate.add_counter("recovery_gave_up");
@@ -99,12 +102,12 @@ void LifecycleTracker::on_delivery(NodeId node, const MsgId& id,
 
   // A payload can also arrive eagerly after the lazy path gave up; either
   // way, delivery closes the episode as recovered.
-  const auto it = episodes_.find(Key{node, id});
-  if (it != episodes_.end() && it->second.state != EpisodeState::kRecovered) {
-    it->second.state = EpisodeState::kRecovered;
-    it->second.closed_at = sim_.now();
+  Episode* ep = episodes_.find(episode_key(node, id));
+  if (ep != nullptr && ep->state != EpisodeState::kRecovered) {
+    ep->state = EpisodeState::kRecovered;
+    ep->closed_at = sim_.now();
     const auto rec_ms = static_cast<std::uint64_t>(
-        (sim_.now() - it->second.first_ihave) / kMillisecond);
+        (sim_.now() - ep->first_ihave) / kMillisecond);
     node_reg(node).add_counter("recovery_recovered");
     node_reg(node).histogram("recovery_ms").add(rec_ms);
     metrics_.aggregate.add_counter("recovery_recovered");
@@ -145,14 +148,14 @@ void LifecycleTracker::finalize() {
   finalized_ = true;
   // Stalled = the payload never arrived: episodes still open at the end
   // of the run plus abandoned ones never closed by a later delivery.
-  // (Histogram adds commute, so unordered iteration stays deterministic.)
-  for (const auto& [key, ep] : episodes_) {
+  // (Histogram adds commute, so slot-order iteration stays deterministic.)
+  episodes_.for_each([&](std::uint64_t key, const Episode& ep) {
     metrics_.aggregate.histogram("recovery_iwants").add(ep.iwants);
     if (ep.state != EpisodeState::kRecovered) {
-      node_reg(key.node).add_counter("recovery_stalled");
+      node_reg(static_cast<NodeId>(key >> 32)).add_counter("recovery_stalled");
       metrics_.aggregate.add_counter("recovery_stalled");
     }
-  }
+  });
   // Pin the headline keys into the aggregate even at zero, so the JSON
   // schema is stable and "recovery_stalled":0 is visible proof rather
   // than an absent key.

@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 
+#include "common/compact.hpp"
 #include "common/types.hpp"
 #include "core/gossip.hpp"
+#include "core/msg_arena.hpp"
 #include "core/scheduler.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
@@ -37,9 +39,12 @@ class LifecycleTracker {
  public:
   /// `metrics.per_node` is sized to `num_nodes`; the tracker writes into
   /// both the per-node registries and the aggregate. `metrics` must
-  /// outlive the tracker.
+  /// outlive the tracker. When `arena` is given, episode keys reuse its
+  /// interned message keys (the harness passes the run-shared arena, so
+  /// tracking adds no id storage); otherwise the tracker interns into a
+  /// private arena.
   LifecycleTracker(sim::Simulator& sim, std::uint32_t num_nodes,
-                   RunMetrics& metrics);
+                   RunMetrics& metrics, core::MessageArena* arena = nullptr);
 
   // --- hooks (forwarded by the harness from the protocol layers) ----------
 
@@ -79,25 +84,18 @@ class LifecycleTracker {
     EpisodeState state = EpisodeState::kOpen;
   };
 
-  struct Key {
-    NodeId node;
-    MsgId id;
-    bool operator==(const Key& other) const {
-      return node == other.node && id == other.id;
-    }
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return MsgIdHash{}(k.id) ^
-             (static_cast<std::size_t>(k.node) * 0x9e3779b97f4a7c15ULL);
-    }
-  };
+  /// Packed (node, interned message key) episode key.
+  std::uint64_t episode_key(NodeId node, const MsgId& id) {
+    return (static_cast<std::uint64_t>(node) << 32) | arena_->intern(id);
+  }
 
   MetricsRegistry& node_reg(NodeId node) { return metrics_.per_node.at(node); }
 
   sim::Simulator& sim_;
   RunMetrics& metrics_;
-  std::unordered_map<Key, Episode, KeyHash> episodes_;
+  std::unique_ptr<core::MessageArena> owned_arena_;
+  core::MessageArena* arena_;
+  compact::FlatMap<std::uint64_t, Episode> episodes_;
   bool finalized_ = false;
 };
 

@@ -7,6 +7,23 @@
 
 namespace esm::overlay {
 
+CsrAdjacency CsrAdjacency::from_lists(
+    const std::vector<std::vector<NodeId>>& lists) {
+  CsrAdjacency csr;
+  csr.offsets_.reserve(lists.size() + 1);
+  csr.offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& row : lists) {
+    total += row.size();
+    csr.offsets_.push_back(total);
+  }
+  csr.neighbors_.reserve(total);
+  for (const auto& row : lists) {
+    csr.neighbors_.insert(csr.neighbors_.end(), row.begin(), row.end());
+  }
+  return csr;
+}
+
 std::vector<std::vector<NodeId>> build_symmetric_overlay(std::uint32_t n,
                                                          std::uint32_t degree,
                                                          Rng rng) {

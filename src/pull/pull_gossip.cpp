@@ -8,7 +8,7 @@ namespace esm::pull {
 
 PullNode::PullNode(sim::Simulator& sim, net::Transport& transport, NodeId self,
                    PullParams params, overlay::PeerSampler& sampler,
-                   DeliverFn deliver, Rng rng)
+                   DeliverFn deliver, Rng rng, core::MessageArena* arena)
     : sim_(sim),
       transport_(transport),
       self_(self),
@@ -16,6 +16,8 @@ PullNode::PullNode(sim::Simulator& sim, net::Transport& transport, NodeId self,
       sampler_(sampler),
       deliver_(std::move(deliver)),
       rng_(rng),
+      owned_arena_(arena ? nullptr : std::make_unique<core::MessageArena>()),
+      arena_(arena ? arena : owned_arena_.get()),
       timer_(sim, [this] { poll_tick(); }) {
   ESM_CHECK(params.period > 0, "poll period must be positive");
   ESM_CHECK(params.fanout >= 1, "poll fanout must be positive");
@@ -41,8 +43,9 @@ core::AppMessage PullNode::multicast(std::uint32_t payload_bytes,
 }
 
 void PullNode::accept(const core::AppMessage& msg) {
-  fetching_.erase(msg.id);
-  if (!known_.try_emplace(msg.id, msg).second) {
+  const MsgKey key = arena_->store(msg);
+  fetching_.erase(key);
+  if (!known_.set(key)) {
     ++duplicate_payloads_;
     return;
   }
@@ -50,11 +53,13 @@ void PullNode::accept(const core::AppMessage& msg) {
 }
 
 void PullNode::poll_tick() {
-  // Digest of everything currently known (bounded; random subset when the
-  // store exceeds the cap so no id is systematically never advertised).
+  // Digest of everything currently known, in ascending intern-key order
+  // (bounded; random subset when the store exceeds the cap so no id is
+  // systematically never advertised).
   std::vector<MsgId> digest;
-  digest.reserve(known_.size());
-  for (const auto& [id, msg] : known_) digest.push_back(id);
+  digest.reserve(known_.count());
+  known_.for_each_set(
+      [&](std::size_t key) { digest.push_back(arena_->id(MsgKey(key))); });
   if (digest.size() > params_.max_digest) {
     digest = rng_.sample(digest, params_.max_digest);
   }
@@ -70,26 +75,32 @@ void PullNode::poll_tick() {
 bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
   if (const auto* request =
           dynamic_cast<const PullRequestPacket*>(packet.get())) {
-    // What is the poller missing?
-    std::unordered_set<MsgId, MsgIdHash> theirs(request->known.begin(),
-                                                request->known.end());
-    std::vector<const core::AppMessage*> missing;
-    for (const auto& [id, msg] : known_) {
-      if (!theirs.contains(id)) missing.push_back(&msg);
+    // What is the poller missing? Mark its digest in the scratch bitset,
+    // then enumerate our store minus it (ascending key order).
+    theirs_scratch_.clear();
+    for (const MsgId& id : request->known) {
+      theirs_scratch_.set(arena_->intern(id));
     }
+    std::vector<MsgKey> missing;
+    known_.for_each_set([&](std::size_t key) {
+      if (!theirs_scratch_.test(key)) missing.push_back(MsgKey(key));
+    });
     if (missing.empty()) return true;
     if (params_.lazy_reply) {
       auto advertise = std::make_shared<PullAdvertisePacket>();
-      for (const auto* m : missing) advertise->ids.push_back(m->id);
+      advertise->ids.reserve(missing.size());
+      for (const MsgKey key : missing) {
+        advertise->ids.push_back(arena_->id(key));
+      }
       const std::size_t bytes = advertise->wire_bytes();
       transport_.send(self_, src, std::move(advertise), bytes,
                       /*is_payload=*/false);
     } else {
       // Eager pull reply: one payload packet per message, so the payload
       // accounting matches the push protocols'.
-      for (const auto* m : missing) {
+      for (const MsgKey key : missing) {
         auto reply = std::make_shared<PullReplyPacket>();
-        reply->messages.push_back(*m);
+        reply->messages.push_back(arena_->message(key));
         const std::size_t bytes = reply->wire_bytes();
         transport_.send(self_, src, std::move(reply), bytes,
                         /*is_payload=*/true);
@@ -103,13 +114,16 @@ bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
         params_.refetch_timeout > 0 ? params_.refetch_timeout : params_.period;
     auto fetch = std::make_shared<PullFetchPacket>();
     for (const MsgId& id : advertise->ids) {
-      if (known_.contains(id)) continue;
-      const auto [it, inserted] = fetching_.try_emplace(id, sim_.now());
-      if (!inserted) {
+      const MsgKey key = arena_->intern(id);
+      if (known_.test(key)) continue;
+      const auto [stamp, inserted] = fetching_.try_emplace(key);
+      if (inserted) {
+        *stamp = sim_.now();
+      } else {
         // A fetch is already in flight; re-fetch only once it has had a
         // full timeout to be answered (it or its reply may be lost).
-        if (sim_.now() - it->second < timeout) continue;
-        it->second = sim_.now();
+        if (sim_.now() - *stamp < timeout) continue;
+        *stamp = sim_.now();
         ++refetches_;
       }
       if (fetch_listener_) fetch_listener_(id, /*refetch=*/!inserted);
@@ -124,10 +138,10 @@ bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
   }
   if (const auto* fetch = dynamic_cast<const PullFetchPacket*>(packet.get())) {
     for (const MsgId& id : fetch->ids) {
-      const auto it = known_.find(id);
-      if (it == known_.end()) continue;
+      const MsgKey key = arena_->find(id);
+      if (key == kInvalidMsgKey || !known_.test(key)) continue;
       auto reply = std::make_shared<PullReplyPacket>();
-      reply->messages.push_back(it->second);
+      reply->messages.push_back(arena_->message(key));
       const std::size_t bytes = reply->wire_bytes();
       transport_.send(self_, src, std::move(reply), bytes,
                       /*is_payload=*/true);
@@ -143,8 +157,10 @@ bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
 
 void PullNode::garbage_collect(const std::vector<MsgId>& ids) {
   for (const MsgId& id : ids) {
-    known_.erase(id);
-    fetching_.erase(id);
+    const MsgKey key = arena_->find(id);
+    if (key == kInvalidMsgKey) continue;
+    known_.reset(key);
+    fetching_.erase(key);
   }
 }
 

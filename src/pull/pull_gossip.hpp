@@ -19,13 +19,14 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "common/compact.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/message.hpp"
+#include "core/msg_arena.hpp"
 #include "net/transport.hpp"
 #include "overlay/peer_sampler.hpp"
 #include "sim/simulator.hpp"
@@ -86,9 +87,12 @@ class PullNode {
  public:
   using DeliverFn = std::function<void(const core::AppMessage&)>;
 
+  /// `arena` is the run-wide intern table + canonical payload store; pass
+  /// the shared one when many nodes live in one simulation, nullptr for a
+  /// private arena (standalone construction).
   PullNode(sim::Simulator& sim, net::Transport& transport, NodeId self,
            PullParams params, overlay::PeerSampler& sampler, DeliverFn deliver,
-           Rng rng);
+           Rng rng, core::MessageArena* arena = nullptr);
 
   /// Starts periodic polling (random initial phase).
   void start();
@@ -103,14 +107,18 @@ class PullNode {
   /// anti-entropy *repair* layer. No delivery up-call and no duplicate
   /// accounting: the payload is already in the application's hands.
   void insert(const core::AppMessage& msg) {
-    fetching_.erase(msg.id);
-    known_.try_emplace(msg.id, msg);
+    const MsgKey key = arena_->store(msg);
+    fetching_.erase(key);
+    known_.set(key);
   }
 
   bool handle_packet(NodeId src, const net::PacketPtr& packet);
 
-  std::size_t known_count() const { return known_.size(); }
-  bool knows(const MsgId& id) const { return known_.contains(id); }
+  std::size_t known_count() const { return known_.count(); }
+  bool knows(const MsgId& id) const {
+    const MsgKey key = arena_->find(id);
+    return key != kInvalidMsgKey && known_.test(key);
+  }
 
   /// Payload copies received for already-known messages (the §7 waste of
   /// non-lazy pull).
@@ -141,12 +149,20 @@ class PullNode {
   overlay::PeerSampler& sampler_;
   DeliverFn deliver_;
   Rng rng_;
-  std::unordered_map<MsgId, core::AppMessage, MsgIdHash> known_;
-  /// Ids requested via PullFetch and not yet received, with the send time
+  std::unique_ptr<core::MessageArena> owned_arena_;
+  core::MessageArena* arena_;
+  /// Local store, as a bitset over arena keys: this node serves a payload
+  /// iff its bit is set (the bytes live once in the arena's canonical
+  /// copy). Digests and missing-lists enumerate in ascending key order —
+  /// first-sight order of the run, deterministic at any --jobs.
+  compact::DynamicBitset known_;
+  /// Scratch for the poller's digest during request handling (reused).
+  compact::DynamicBitset theirs_scratch_;
+  /// Keys requested via PullFetch and not yet received, with the send time
   /// of the latest fetch. Suppresses duplicate fetches from concurrent
   /// advertisers, but only for `refetch_timeout`: a dropped fetch or
   /// reply must not suppress recovery forever.
-  std::unordered_map<MsgId, SimTime, MsgIdHash> fetching_;
+  compact::FlatMap<MsgKey, SimTime> fetching_;
   sim::PeriodicTimer timer_;
   std::uint64_t duplicate_payloads_ = 0;
   std::uint64_t refetches_ = 0;

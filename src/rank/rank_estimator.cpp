@@ -26,7 +26,10 @@ GossipRankEstimator::GossipRankEstimator(sim::Simulator& sim,
   ESM_CHECK(params.sample_capacity >= params.samples_per_gossip,
             "sample capacity must cover a gossip batch");
   ESM_CHECK(params.max_sample_age >= 0, "max sample age must be >= 0");
-  scores_.emplace(self_, Entry{own_score, sim.now()});
+  entries_.reserve(params.sample_capacity + 2);
+  index_.reserve(params.sample_capacity + 2);
+  entries_.push_back(Entry{self_, own_score, sim.now()});
+  index_[self_] = 0;
 }
 
 void GossipRankEstimator::start() {
@@ -35,34 +38,51 @@ void GossipRankEstimator::start() {
 
 void GossipRankEstimator::stop() { timer_.stop(); }
 
+const GossipRankEstimator::Entry* GossipRankEstimator::find_entry(
+    NodeId node) const {
+  const auto* pos = index_.find(node);
+  return pos ? &entries_[*pos] : nullptr;
+}
+
+/// Swap-remove: the back entry fills the hole and its index is patched.
+void GossipRankEstimator::erase_at(std::uint32_t pos) {
+  index_.erase(entries_[pos].id);
+  if (pos + 1 != entries_.size()) {
+    entries_[pos] = entries_.back();
+    index_[entries_[pos].id] = pos;
+  }
+  entries_.pop_back();
+}
+
 void GossipRankEstimator::tick() {
   const SimTime now = sim_.now();
   // Our own score is fresh by definition at every emission.
-  scores_[self_].stamp = now;
+  entries_[*index_.find(self_)].stamp = now;
   // Expire observations whose origin emission is too old: the one signal
   // that a node crashed is that it stopped re-emitting (§6.3).
   if (params_.max_sample_age > 0) {
-    for (auto it = scores_.begin(); it != scores_.end();) {
-      if (it->first != self_ && now - it->second.stamp >
-                                    params_.max_sample_age) {
-        it = scores_.erase(it);
+    for (std::uint32_t i = 0; i < entries_.size();) {
+      if (entries_[i].id != self_ &&
+          now - entries_[i].stamp > params_.max_sample_age) {
+        erase_at(i);
       } else {
-        ++it;
+        ++i;
       }
     }
   }
   // Flatten once; reuse for each target this round. Relayed samples carry
   // their accumulated origin age.
   std::vector<ScoreSample> all;
-  all.reserve(scores_.size());
-  for (const auto& [id, entry] : scores_) {
-    if (id != self_) {
-      all.push_back(ScoreSample{id, entry.score, now - entry.stamp});
+  all.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.id != self_) {
+      all.push_back(ScoreSample{e.id, e.score, now - e.stamp});
     }
   }
+  const double own_score = entries_[*index_.find(self_)].score;
   for (const NodeId peer : sampler_.sample(params_.gossip_fanout)) {
     auto packet = std::make_shared<RankGossipPacket>();
-    packet->samples.push_back(ScoreSample{self_, scores_.at(self_).score, 0});
+    packet->samples.push_back(ScoreSample{self_, own_score, 0});
     for (const ScoreSample& s :
          rng_.sample(all, params_.samples_per_gossip - 1)) {
       packet->samples.push_back(s);
@@ -86,30 +106,33 @@ bool GossipRankEstimator::handle_packet(NodeId, const net::PacketPtr& packet) {
     // Anchor the sample's origin age to the local clock; keep the freshest
     // observation per node.
     const SimTime stamp = now - s.age;
-    auto [it, inserted] = scores_.try_emplace(s.id, Entry{s.score, stamp});
-    if (!inserted && stamp >= it->second.stamp) {
-      it->second = Entry{s.score, stamp};
+    const auto [pos, inserted] = index_.try_emplace(s.id);
+    if (inserted) {
+      *pos = static_cast<std::uint32_t>(entries_.size());
+      entries_.push_back(Entry{s.id, s.score, stamp});
+    } else if (stamp >= entries_[*pos].stamp) {
+      entries_[*pos] = Entry{s.id, s.score, stamp};
     }
   }
   // Bound memory: evict random non-self entries beyond capacity.
-  while (scores_.size() > params_.sample_capacity + 1) {
-    auto it = scores_.begin();
-    std::advance(it, static_cast<std::ptrdiff_t>(rng_.below(scores_.size())));
-    if (it->first != self_) scores_.erase(it);
+  while (entries_.size() > params_.sample_capacity + 1) {
+    const auto pick =
+        static_cast<std::uint32_t>(rng_.below(entries_.size()));
+    if (entries_[pick].id != self_) erase_at(pick);
   }
   return true;
 }
 
 double GossipRankEstimator::estimated_quantile(NodeId node) const {
-  const auto it = scores_.find(node);
-  if (it == scores_.end()) return -1.0;
-  if (scores_.size() == 1) return 1.0;
+  const Entry* entry = find_entry(node);
+  if (entry == nullptr) return -1.0;
+  if (entries_.size() == 1) return 1.0;
   std::size_t below = 0;
-  for (const auto& [id, entry] : scores_) {
-    if (id != node && entry.score < it->second.score) ++below;
+  for (const Entry& e : entries_) {
+    if (e.id != node && e.score < entry->score) ++below;
   }
   return static_cast<double>(below) /
-         static_cast<double>(scores_.size() - 1);
+         static_cast<double>(entries_.size() - 1);
 }
 
 bool GossipRankEstimator::is_best(NodeId node) const {

@@ -13,9 +13,9 @@
 // Ranked strategy tolerates.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/compact.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/strategies.hpp"
@@ -83,10 +83,19 @@ class GossipRankEstimator final : public core::BestSet {
   /// -1 if the node is unknown locally.
   double estimated_quantile(NodeId node) const;
 
-  std::size_t samples_known() const { return scores_.size(); }
+  std::size_t samples_known() const { return entries_.size(); }
 
  private:
+  /// A known score plus the (local-clock) time its origin emitted it.
+  struct Entry {
+    NodeId id = kInvalidNode;
+    double score = 0.0;
+    SimTime stamp = 0;
+  };
+
   void tick();
+  const Entry* find_entry(NodeId node) const;
+  void erase_at(std::uint32_t pos);
 
   sim::Simulator& sim_;
   net::Transport& transport_;
@@ -95,13 +104,15 @@ class GossipRankEstimator final : public core::BestSet {
   double best_fraction_;
   RankParams params_;
   Rng rng_;
-  /// A known score plus the (local-clock) time its origin emitted it.
-  struct Entry {
-    double score = 0.0;
-    SimTime stamp = 0;
-  };
-  /// Known scores, own entry always present.
-  std::unordered_map<NodeId, Entry> scores_;
+  /// Known scores in a dense array (own entry always present), plus an
+  /// id -> position index. Iteration order is the insertion/swap-remove
+  /// history — a pure function of the event sequence, so expiry sweeps,
+  /// the gossip flatten, and random eviction are deterministic at any
+  /// --jobs (the old unordered_map walked bucket order instead, which was
+  /// equally deterministic but layout-dependent; the compact goldens
+  /// re-pin gossip-rank runs, see tests/test_equivalence.cpp).
+  std::vector<Entry> entries_;
+  compact::FlatMap<NodeId, std::uint32_t> index_;
   sim::PeriodicTimer timer_;
 };
 

@@ -1,0 +1,212 @@
+// Unit tests for the compact containers (common/compact.hpp) and the
+// message intern table (core/msg_arena.hpp): FlatMap probe/erase
+// correctness against a reference map, bitset grow/count semantics, slab
+// reuse discipline, and — the property the whole compact node core rests
+// on — deterministic intern-key assignment in first-sight order.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/compact.hpp"
+#include "common/rng.hpp"
+#include "core/msg_arena.hpp"
+
+namespace {
+
+using esm::MsgId;
+using esm::MsgKey;
+using esm::compact::DynamicBitset;
+using esm::compact::FlatMap;
+using esm::compact::Slab;
+using esm::core::MessageArena;
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint32_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7u), nullptr);
+
+  auto [v, inserted] = map.try_emplace(7u);
+  EXPECT_TRUE(inserted);
+  *v = 42;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(7u), nullptr);
+  EXPECT_EQ(*map.find(7u), 42);
+
+  auto [again, fresh] = map.try_emplace(7u);
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(*again, 42);
+  EXPECT_EQ(map.size(), 1u);
+
+  EXPECT_TRUE(map.erase(7u));
+  EXPECT_FALSE(map.erase(7u));
+  EXPECT_EQ(map.find(7u), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<std::uint64_t, std::uint32_t> map;
+  EXPECT_EQ(map[5u], 0u);
+  map[5u] = 9u;
+  EXPECT_EQ(map[5u], 9u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+// Heavy random insert/erase churn against std::map: probe chains must
+// survive backward-shift deletion with no lost or phantom entries.
+TEST(FlatMap, MatchesReferenceUnderChurn) {
+  FlatMap<std::uint32_t, std::uint32_t> map;
+  std::map<std::uint32_t, std::uint32_t> ref;
+  esm::Rng rng(99);
+  for (int iter = 0; iter < 20000; ++iter) {
+    // Small key range forces collisions and long probe chains.
+    const auto key = static_cast<std::uint32_t>(rng.below(512));
+    if (rng.chance(0.4)) {
+      EXPECT_EQ(map.erase(key), ref.erase(key) == 1u);
+    } else {
+      const auto val = static_cast<std::uint32_t>(rng.below(1u << 30));
+      map[key] = val;
+      ref[key] = val;
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(map.find(k), nullptr) << "missing key " << k;
+    EXPECT_EQ(*map.find(k), v);
+  }
+  std::size_t visited = 0;
+  map.for_each([&](std::uint32_t k, std::uint32_t v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, v);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap, ReservePreventsRehash) {
+  FlatMap<std::uint32_t, std::uint32_t> map;
+  map.reserve(1000);
+  const std::size_t bytes = map.table_bytes();
+  for (std::uint32_t i = 0; i < 1000; ++i) map[i] = i;
+  EXPECT_EQ(map.table_bytes(), bytes) << "rehashed despite reserve";
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(map.find(i), nullptr);
+    EXPECT_EQ(*map.find(i), i);
+  }
+}
+
+TEST(DynamicBitset, SetTestResetCount) {
+  DynamicBitset bits;
+  EXPECT_FALSE(bits.test(1000));  // beyond capacity reads false
+  EXPECT_TRUE(bits.set(3));
+  EXPECT_FALSE(bits.set(3));  // already set
+  EXPECT_TRUE(bits.set(200));
+  EXPECT_EQ(bits.count(), 2u);
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_TRUE(bits.reset(3));
+  EXPECT_FALSE(bits.reset(3));
+  EXPECT_FALSE(bits.reset(9999));  // beyond capacity: no-op
+  EXPECT_EQ(bits.count(), 1u);
+}
+
+TEST(DynamicBitset, ForEachSetAscending) {
+  DynamicBitset bits;
+  const std::vector<std::size_t> keys = {0, 63, 64, 100, 1023, 1024};
+  for (auto k : keys) bits.set(k);
+  std::vector<std::size_t> seen;
+  bits.for_each_set([&](std::size_t k) { seen.push_back(k); });
+  EXPECT_EQ(seen, keys);  // already sorted ascending
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(Slab, LifoReuseKeepsCapacity) {
+  Slab<std::vector<int>> slab;
+  const auto a = slab.alloc();
+  slab[a].assign(100, 7);
+  const std::size_t cap = slab[a].capacity();
+  slab[a].clear();  // caller resets logical state...
+  slab.free(a);     // ...free keeps the object's heap
+
+  const auto b = slab.alloc();
+  EXPECT_EQ(b, a) << "free list must be LIFO";
+  EXPECT_TRUE(slab[b].empty());
+  EXPECT_GE(slab[b].capacity(), cap) << "capacity lost across reuse";
+  EXPECT_EQ(slab.slots(), 1u);
+
+  const auto c = slab.alloc();
+  EXPECT_NE(c, b);
+  EXPECT_EQ(slab.slots(), 2u);
+  slab.free(c);
+  slab.free(b);
+  EXPECT_EQ(slab.alloc(), b) << "LIFO: last freed is first reused";
+  EXPECT_EQ(slab.alloc(), c);
+}
+
+TEST(MessageArena, InternIsIdempotentAndDense) {
+  MessageArena arena;
+  esm::Rng rng(7);
+  std::vector<MsgId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(rng.next_msg_id());
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(arena.intern(ids[i]), static_cast<MsgKey>(i))
+        << "keys must be assigned densely in first-sight order";
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(arena.intern(ids[i]), static_cast<MsgKey>(i));
+    EXPECT_EQ(arena.find(ids[i]), static_cast<MsgKey>(i));
+    EXPECT_EQ(arena.id(static_cast<MsgKey>(i)), ids[i]);
+  }
+  EXPECT_EQ(arena.size(), ids.size());
+  EXPECT_EQ(arena.find(rng.next_msg_id()), esm::kInvalidMsgKey);
+}
+
+// The determinism invariant: two arenas fed the same id sequence assign
+// identical keys — key assignment is a pure function of first-sight
+// order, independent of table capacity history.
+TEST(MessageArena, InternDeterministicAcrossInstances) {
+  esm::Rng rng(2007);
+  std::vector<MsgId> ids;
+  for (int i = 0; i < 5000; ++i) ids.push_back(rng.next_msg_id());
+
+  MessageArena cold;            // grows through every rehash
+  MessageArena warm;            // pre-sized, never rehashes
+  warm.reserve(ids.size());
+  for (const MsgId& id : ids) {
+    ASSERT_EQ(cold.intern(id), warm.intern(id));
+  }
+  // Interleaved re-interning must not mint new keys.
+  for (std::size_t i = 0; i < ids.size(); i += 7) {
+    ASSERT_EQ(cold.intern(ids[i]), warm.intern(ids[i]));
+  }
+  ASSERT_EQ(cold.size(), warm.size());
+}
+
+TEST(MessageArena, StoreKeepsCanonicalMessage) {
+  MessageArena arena;
+  esm::Rng rng(11);
+  esm::core::AppMessage msg;
+  msg.id = rng.next_msg_id();
+  msg.origin = 4;
+  msg.seq = 9;
+  msg.payload_bytes = 1234;
+  msg.multicast_time = 5 * esm::kSecond;
+
+  const MsgKey key = arena.store(msg);
+  EXPECT_TRUE(arena.has_message(key));
+  EXPECT_EQ(arena.message(key).seq, 9u);
+  EXPECT_EQ(arena.message(key).payload_bytes, 1234u);
+  // Storing again is a no-op returning the same key.
+  EXPECT_EQ(arena.store(msg), key);
+  EXPECT_EQ(arena.size(), 1u);
+
+  // Interned-but-never-stored ids have a key but no payload.
+  const MsgKey bare = arena.intern(rng.next_msg_id());
+  EXPECT_FALSE(arena.has_message(bare));
+}
+
+}  // namespace

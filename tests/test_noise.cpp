@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/strategies.hpp"
 
@@ -23,7 +25,7 @@ class EvenPeerStrategy final : public TransmissionStrategy {
     p.retransmission_period = 22;
     return p;
   }
-  std::size_t pick_source(const std::vector<NodeId>& sources) override {
+  std::size_t pick_source(std::span<const NodeId> sources) override {
     return sources.size() - 1;  // last, to make passthrough observable
   }
 };
@@ -89,7 +91,8 @@ TEST(NoisyStrategy, PassesThroughPolicyAndSourceSelection) {
   NoisyStrategy s(std::make_unique<EvenPeerStrategy>(), 0.3, Rng(5));
   EXPECT_EQ(s.request_policy().first_request_delay, 11);
   EXPECT_EQ(s.request_policy().retransmission_period, 22);
-  EXPECT_EQ(s.pick_source({1, 2, 3}), 2u);
+  const std::vector<NodeId> sources{1, 2, 3};
+  EXPECT_EQ(s.pick_source(sources), 2u);
 }
 
 TEST(NoisyStrategy, RejectsBadArguments) {

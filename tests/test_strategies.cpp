@@ -155,7 +155,8 @@ TEST(NearestSource, EmptySourcesThrow) {
 
 TEST(DefaultPickSource, ReturnsFirst) {
   TtlStrategy s(1, {});
-  EXPECT_EQ(s.pick_source({7, 8, 9}), 0u);
+  const std::vector<NodeId> sources{7, 8, 9};
+  EXPECT_EQ(s.pick_source(sources), 0u);
 }
 
 }  // namespace

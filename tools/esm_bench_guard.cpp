@@ -1,0 +1,121 @@
+// esm_bench_guard: cross-commit perf-regression gate for BENCH_sweep.json.
+//
+// Compares the 50k-node scale point of a freshly generated report against
+// the baseline committed in the repository and fails (exit 1) when
+// events/s dropped more than the allowed fraction. CI runs:
+//
+//   esm_bench_report --scale --out bench-fresh.json
+//   esm_bench_guard bench-fresh.json BENCH_sweep.json          # 15% gate
+//   esm_bench_guard fresh.json base.json --max-drop 0.25       # custom
+//
+// Both files are esm_bench_report output, so a purpose-built field
+// extractor is enough — no JSON library needed. A baseline without a
+// scale_50k section passes with a note (bootstrap case: the gate arms
+// itself once a scale-point baseline is committed). RSS is reported for
+// context but not gated: CI machines vary more in memory layout than in
+// relative throughput.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Extracts `"field": <number>` from the object that follows
+/// `"section": {`. Returns false when the section or field is absent.
+bool extract(const std::string& json, const std::string& section,
+             const std::string& field, double& value) {
+  const auto sec = json.find("\"" + section + "\"");
+  if (sec == std::string::npos) return false;
+  const auto open = json.find('{', sec);
+  const auto close = json.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return false;
+  const std::string body = json.substr(open, close - open);
+  const auto key = body.find("\"" + field + "\"");
+  if (key == std::string::npos) return false;
+  const auto colon = body.find(':', key);
+  if (colon == std::string::npos) return false;
+  value = std::strtod(body.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  double max_drop = 0.15;
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == "--max-drop" && i + 1 < args.size()) {
+      max_drop = std::strtod(args[i + 1].c_str(), nullptr);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  if (args.size() != 2 || max_drop <= 0.0 || max_drop >= 1.0) {
+    std::fprintf(stderr,
+                 "usage: esm_bench_guard FRESH.json BASELINE.json "
+                 "[--max-drop 0.15]\n");
+    return 2;
+  }
+
+  std::string fresh_json, base_json;
+  if (!read_file(args[0], fresh_json)) {
+    std::fprintf(stderr, "esm_bench_guard: cannot read %s\n",
+                 args[0].c_str());
+    return 2;
+  }
+  if (!read_file(args[1], base_json)) {
+    std::fprintf(stderr, "esm_bench_guard: cannot read %s\n",
+                 args[1].c_str());
+    return 2;
+  }
+
+  double base_eps = 0.0;
+  if (!extract(base_json, "scale_50k", "events_per_second", base_eps)) {
+    std::printf(
+        "esm_bench_guard: baseline %s has no scale_50k section — gate "
+        "not armed yet, passing\n",
+        args[1].c_str());
+    return 0;
+  }
+  double fresh_eps = 0.0;
+  if (!extract(fresh_json, "scale_50k", "events_per_second", fresh_eps)) {
+    std::fprintf(stderr,
+                 "esm_bench_guard: %s has no scale_50k section — run "
+                 "esm_bench_report with --scale\n",
+                 args[0].c_str());
+    return 2;
+  }
+
+  double base_rss = 0.0, fresh_rss = 0.0;
+  extract(base_json, "scale_50k", "peak_rss_mb", base_rss);
+  extract(fresh_json, "scale_50k", "peak_rss_mb", fresh_rss);
+
+  const double floor = base_eps * (1.0 - max_drop);
+  std::printf(
+      "50k point: fresh %.0f ev/s vs baseline %.0f ev/s (floor %.0f, "
+      "max drop %.0f%%) | RSS %.0f MB vs %.0f MB\n",
+      fresh_eps, base_eps, floor, 100.0 * max_drop, fresh_rss, base_rss);
+  if (fresh_eps < floor) {
+    std::fprintf(stderr,
+                 "esm_bench_guard: REGRESSION — 50k events/s dropped "
+                 "%.1f%% (allowed %.0f%%)\n",
+                 100.0 * (1.0 - fresh_eps / base_eps), 100.0 * max_drop);
+    return 1;
+  }
+  std::printf("esm_bench_guard: OK\n");
+  return 0;
+}

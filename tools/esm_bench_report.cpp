@@ -2,13 +2,25 @@
 //
 // Runs the same 8-point pi sweep every time (flat strategy, 100 nodes,
 // 200 messages, seed 2007) and writes BENCH_sweep.json with wall-clock,
-// aggregate events/sec and the per-point metric fingerprint. The workload
-// is pinned so numbers are comparable across commits: re-run on the same
-// machine before and after a change and diff the JSON.
+// aggregate events/sec, peak RSS, allocation counters and the per-point
+// metric fingerprint. The workload is pinned so numbers are comparable
+// across commits: re-run on the same machine before and after a change
+// and diff the JSON.
+//
+// Memory columns: `peak_rss_mb` is ru_maxrss (process-lifetime
+// high-water, so per-point values are running maxima); `alloc_count` /
+// `alloc_mb` come from the counting allocator (common/alloc_counter.hpp).
+// Per-point attribution needs the points to run one at a time, so it is
+// recorded at --jobs 1 only; parallel runs report process totals and
+// zero per-point memory fields.
 //
 //   esm_bench_report                  # all cores, writes BENCH_sweep.json
-//   esm_bench_report --jobs 1         # serial baseline
+//   esm_bench_report --jobs 1         # serial baseline, per-point memory
+//   esm_bench_report --scale          # adds the 50k-node scale point
+//   esm_bench_report --scale --huge   # adds 200k and 1M points (slow)
 //   esm_bench_report --out perf.json
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -16,21 +28,114 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_counter.hpp"
 #include "harness/config.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario_text.hpp"
+
+namespace {
+
+double peak_rss_mb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KB
+}
+
+struct PointCost {
+  double wall_s = 0.0;
+  double peak_rss_mb = 0.0;  // running high-water after the point
+  std::uint64_t alloc_count = 0;
+  double alloc_mb = 0.0;
+};
+
+struct ScalePoint {
+  std::uint32_t nodes = 0;
+  double wall_s = 0.0;
+  double peak_rss_mb = 0.0;
+  double alloc_mb = 0.0;
+  double deliveries = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t alloc_count = 0;
+};
+
+/// The fixed large-N workload (mirrors bench_scale_large): lazy push on a
+/// static random overlay, 20 messages. Serial by design; these are the
+/// numbers the CI perf guard and the README scale table track.
+bool run_scale_point(std::uint32_t nodes, ScalePoint& out) {
+  using namespace esm;
+  harness::ExperimentConfig c;
+  c.seed = 2007;
+  c.num_nodes = nodes;
+  c.overlay_kind = harness::OverlayKind::static_random;
+  c.strategy = harness::StrategySpec::make_flat(0.0);
+  c.num_messages = 20;
+  c.mean_interval = 100 * kMillisecond;
+  // Epidemic reach needs ~log_f(n) + c relay rounds; the paper-default
+  // t = 8 saturates 50k nodes but truncates the tail above that, so the
+  // huge scales raise it to 10 (mirrors bench_scale_large --huge). The
+  // 50k point keeps the default for baseline comparability.
+  if (nodes > 50'000u) c.gossip.max_rounds = 10;
+
+  const alloc::Snapshot before = alloc::snapshot();
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const harness::ExperimentResult r = harness::run_experiment(c);
+    out.events = r.events_executed;
+    out.deliveries = r.mean_delivery_fraction;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esm_bench_report: %u-node scale point: %s\n",
+                 nodes, e.what());
+    return false;
+  }
+  const alloc::Snapshot after = alloc::snapshot();
+  out.nodes = nodes;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+  out.peak_rss_mb = peak_rss_mb();
+  out.alloc_count = after.count - before.count;
+  out.alloc_mb = static_cast<double>(after.bytes - before.bytes) / 1048576.0;
+  return true;
+}
+
+void write_scale_point(std::ofstream& out, const char* name,
+                       const ScalePoint& p) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\"nodes\": %u, \"wall_clock_seconds\": %.3f, "
+      "\"events\": %llu, \"events_per_second\": %.0f, "
+      "\"peak_rss_mb\": %.1f, \"alloc_count\": %llu, \"alloc_mb\": %.1f, "
+      "\"deliveries\": %.5f},\n",
+      name, p.nodes, p.wall_s, static_cast<unsigned long long>(p.events),
+      p.wall_s > 0.0 ? static_cast<double>(p.events) / p.wall_s : 0.0,
+      p.peak_rss_mb, static_cast<unsigned long long>(p.alloc_count),
+      p.alloc_mb, p.deliveries);
+  out << buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace esm;
   std::vector<std::string> args(argv + 1, argv + argc);
 
   std::string out_path = "BENCH_sweep.json";
+  bool with_scale = false;
+  bool with_huge = false;
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--out" && i + 1 < args.size()) {
       out_path = args[i + 1];
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--scale") {
+      with_scale = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--huge") {
+      with_scale = true;
+      with_huge = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
     }
@@ -43,8 +148,9 @@ int main(int argc, char** argv) {
   }
   if (!args.empty()) {
     std::fprintf(stderr,
-                 "esm_bench_report: unknown flag %s (takes --jobs N and "
-                 "--out FILE only; the workload is fixed by design)\n",
+                 "esm_bench_report: unknown flag %s (takes --jobs N, "
+                 "--scale and --out FILE only; the workload is fixed by "
+                 "design)\n",
                  args[0].c_str());
     return 2;
   }
@@ -87,22 +193,55 @@ int main(int argc, char** argv) {
     configs.push_back(config);
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  // Serial runs execute the points one at a time so the allocation deltas
+  // and RSS high-water marks are attributable per point; parallel runs
+  // keep the batched scheduler (that is what --jobs measures).
+  const bool per_point = jobs == 1;
   std::vector<harness::ExperimentResult> results;
+  std::vector<PointCost> costs(configs.size());
+  const auto start = std::chrono::steady_clock::now();
   try {
-    results = harness::run_experiments(configs, jobs);
+    if (per_point) {
+      results.reserve(configs.size());
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        const alloc::Snapshot before = alloc::snapshot();
+        const auto point_start = std::chrono::steady_clock::now();
+        results.push_back(harness::run_experiment(configs[i]));
+        const alloc::Snapshot after = alloc::snapshot();
+        costs[i].wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - point_start)
+                              .count();
+        costs[i].peak_rss_mb = peak_rss_mb();
+        costs[i].alloc_count = after.count - before.count;
+        costs[i].alloc_mb =
+            static_cast<double>(after.bytes - before.bytes) / 1048576.0;
+      }
+    } else {
+      results = harness::run_experiments(configs, jobs);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esm_bench_report: %s\n", e.what());
     return 1;
   }
   const auto stop = std::chrono::steady_clock::now();
-  const double wall_s =
-      std::chrono::duration<double>(stop - start).count();
+  const double wall_s = std::chrono::duration<double>(stop - start).count();
 
   std::uint64_t total_events = 0;
   for (const auto& r : results) total_events += r.events_executed;
   const double events_per_sec =
       wall_s > 0.0 ? static_cast<double>(total_events) / wall_s : 0.0;
+
+  // Optional scale points — the workloads the large-N roadmap item
+  // optimizes for (matching bench_scale_large). Always serial; the 50k
+  // point is the number the CI perf guard compares across commits, and
+  // the --huge points back the README scale table. Ascending order keeps
+  // each ru_maxrss reading attributable to its own run.
+  ScalePoint scale_50k, scale_200k, scale_1m;
+  if (with_scale && !run_scale_point(50'000u, scale_50k)) return 1;
+  if (with_huge) {
+    if (!run_scale_point(200'000u, scale_200k)) return 1;
+    if (!run_scale_point(1'000'000u, scale_1m)) return 1;
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -110,7 +249,8 @@ int main(int argc, char** argv) {
                  out_path.c_str());
     return 1;
   }
-  char buf[384];
+  const alloc::Snapshot total_alloc = alloc::snapshot();
+  char buf[512];
   out << "{\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"workload\": \"flat pi sweep, 8 points + 1 fault "
@@ -133,6 +273,21 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf), "  \"events_per_second\": %.0f,\n",
                 events_per_sec);
   out << buf;
+  std::snprintf(buf, sizeof(buf), "  \"peak_rss_mb\": %.1f,\n",
+                peak_rss_mb());
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"alloc_count\": %llu,\n  \"alloc_mb\": %.1f,\n"
+                "  \"per_point_attribution\": %s,\n",
+                static_cast<unsigned long long>(total_alloc.count),
+                static_cast<double>(total_alloc.bytes) / 1048576.0,
+                per_point ? "true" : "false");
+  out << buf;
+  if (with_scale) write_scale_point(out, "scale_50k", scale_50k);
+  if (with_huge) {
+    write_scale_point(out, "scale_200k", scale_200k);
+    write_scale_point(out, "scale_1m", scale_1m);
+  }
   out << "  \"results\": [\n";
   constexpr std::size_t kNumPis = sizeof(kPis) / sizeof(kPis[0]);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -142,7 +297,9 @@ int main(int argc, char** argv) {
                   "    {\"label\": \"%s\", \"pi\": %g, \"latency_ms\": %.3f, "
                   "\"payload_per_msg\": %.3f, \"deliveries\": %.5f, "
                   "\"iwant_retries\": %llu, \"recovery_stalled\": %llu, "
-                  "\"faults_injected\": %llu, \"events\": %llu}%s\n",
+                  "\"faults_injected\": %llu, \"events\": %llu, "
+                  "\"wall_s\": %.3f, \"peak_rss_mb\": %.1f, "
+                  "\"alloc_count\": %llu, \"alloc_mb\": %.1f}%s\n",
                   fault_point ? "fault_scenario" : "flat",
                   fault_point ? 1.0 : kPis[i], r.mean_latency_ms,
                   r.load_all.payload_per_msg, r.mean_delivery_fraction,
@@ -150,16 +307,29 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.recovery_stalled),
                   static_cast<unsigned long long>(r.faults_injected),
                   static_cast<unsigned long long>(r.events_executed),
-                  i + 1 < results.size() ? "," : "");
+                  costs[i].wall_s, costs[i].peak_rss_mb,
+                  static_cast<unsigned long long>(costs[i].alloc_count),
+                  costs[i].alloc_mb, i + 1 < results.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
   out.close();
 
   std::printf(
-      "wall-clock %.3f s | %llu events | %.0f events/s | jobs %u\n"
-      "report written to %s\n",
+      "wall-clock %.3f s | %llu events | %.0f events/s | jobs %u | "
+      "peak RSS %.0f MB\n",
       wall_s, static_cast<unsigned long long>(total_events), events_per_sec,
-      jobs, out_path.c_str());
+      jobs, peak_rss_mb());
+  for (const ScalePoint* p : {&scale_50k, &scale_200k, &scale_1m}) {
+    if (p->nodes == 0) continue;
+    std::printf(
+        "scale %uk: %.3f s | %llu events | %.0f events/s | "
+        "peak RSS %.0f MB | deliveries %.3f%%\n",
+        p->nodes / 1000, p->wall_s,
+        static_cast<unsigned long long>(p->events),
+        p->wall_s > 0.0 ? static_cast<double>(p->events) / p->wall_s : 0.0,
+        p->peak_rss_mb, 100.0 * p->deliveries);
+  }
+  std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }
