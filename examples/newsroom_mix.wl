@@ -1,0 +1,21 @@
+# Mixed newsroom traffic: a steady wire feed, a bursty breaking-news
+# desk confined to a hot topic, and a fixed-rate heartbeat pinned to one
+# node. Exercises every arrival process, topic fan-out and per-publisher
+# start/stop windows in one run.
+#
+#   esm_run --nodes 100 --workload examples/newsroom_mix.wl --kv
+
+duration 30s
+
+# 30% of the membership subscribes to the breaking-news topic; the
+# subset is seed-deterministic (sorted sample of the node pool).
+topic breaking fraction=0.3
+
+# Steady background wire feed from rotating origins.
+publisher poisson rate=20 payload=512
+
+# Breaking-news desk: 400ms bursts every 2s, only topic members accept.
+publisher burst rate=60 on=400ms off=1600ms topic=breaking
+
+# Heartbeat pinned to node 0, running only in the middle of the run.
+publisher fixed rate=2 node=0 start=5s stop=25s payload=64

@@ -1,0 +1,24 @@
+# Saturation probe: eight Poisson publishers push the system toward its
+# serialization knee. Pair with a tight egress (--bandwidth) and a bounded
+# drop-oldest buffer so queueing delay — not loss — is the first symptom,
+# as in the paper's low-bandwidth runs (§5, 64 kbit/s configs).
+#
+#   esm_run --nodes 100 --workload examples/saturation.wl \
+#           --bandwidth 4000000 --buffer 49152 --purge oldest --kv
+#
+# Sweep the offered load to locate the knee:
+#
+#   esm_sweep --nodes 100 --workload examples/saturation.wl \
+#             --bandwidth 4000000 --buffer 49152 --purge oldest \
+#             --param rate --values 5,10,20,40,80 --seeds 5
+
+duration 20s
+
+publisher poisson rate=10
+publisher poisson rate=10
+publisher poisson rate=10
+publisher poisson rate=10
+publisher poisson rate=10
+publisher poisson rate=10
+publisher poisson rate=10
+publisher poisson rate=10

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <exception>
 #include <sstream>
 
 namespace esm::harness {
@@ -44,6 +46,18 @@ Workload and network:
   --slow F            fraction of nodes provisioned slow       (default 0)
   --slow-bandwidth B  bandwidth of slow nodes
   --adaptive-fanout   scale fanout by node bandwidth
+
+Heavy-traffic workload (replaces --messages/--interval-ms when present):
+  --workload FILE     workload spec file: topics + publishers with their own
+                      arrival processes (grammar in src/load/workload_text.hpp)
+  --senders K         K concurrent publishers, round-robin origins
+  --arrival KIND      poisson | fixed | burst arrival process (default poisson)
+  --rate R            per-publisher rate, messages/s           (default 10)
+  --duration-ms MS    workload length after warm-up            (default 20000)
+  --burst-on-ms MS    burst arrivals: on-window length         (default 500)
+  --burst-off-ms MS   burst arrivals: off-window length        (default 1500)
+  --topics N          N topics; publisher p publishes to topic p mod N
+  --topic-fraction F  fraction of nodes subscribed per topic   (default 0.25)
 
 Protocol parameters:
   --fanout F          gossip fanout                            (default 11)
@@ -123,6 +137,18 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
   CliOptions options;
   ExperimentConfig& c = options.config;
   StrategySpec& s = c.strategy;
+
+  // Inline heavy-traffic workload flags, assembled into config.workload
+  // after the loop (only when --senders was given).
+  std::uint64_t wl_senders = 0;
+  double wl_rate = 10.0;
+  load::ArrivalKind wl_arrival = load::ArrivalKind::poisson;
+  SimTime wl_duration = 20 * kSecond;
+  SimTime wl_burst_on = 500 * kMillisecond;
+  SimTime wl_burst_off = 1500 * kMillisecond;
+  std::uint64_t wl_topics = 0;
+  double wl_topic_fraction = 0.25;
+  bool wl_aux_seen = false;  // any workload flag other than --senders
 
   std::size_t i = 0;
   auto next_value = [&](const std::string& flag, std::string& out) {
@@ -325,8 +351,108 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
     } else if (flag == "--kill") {
       if (!next_double(flag, c.kill_fraction)) return std::nullopt;
       if (c.kill_mode == KillMode::none) c.kill_mode = KillMode::random;
+    } else if (flag == "--workload") {
+      if (!next_value(flag, options.workload_path)) return std::nullopt;
+    } else if (flag == "--senders") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      if (u64 == 0) {
+        error = "--senders: must be >= 1";
+        return std::nullopt;
+      }
+      wl_senders = u64;
+    } else if (flag == "--rate") {
+      if (!next_double(flag, d)) return std::nullopt;
+      if (!std::isfinite(d) || d <= 0.0) {
+        error = "--rate: must be > 0";
+        return std::nullopt;
+      }
+      wl_rate = d;
+      wl_aux_seen = true;
+    } else if (flag == "--arrival") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "poisson") {
+        wl_arrival = load::ArrivalKind::poisson;
+      } else if (v == "fixed") {
+        wl_arrival = load::ArrivalKind::fixed_rate;
+      } else if (v == "burst") {
+        wl_arrival = load::ArrivalKind::burst;
+      } else {
+        error = "--arrival: unknown kind: " + v;
+        return std::nullopt;
+      }
+      wl_aux_seen = true;
+    } else if (flag == "--duration-ms") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      if (u64 == 0) {
+        error = "--duration-ms: must be > 0";
+        return std::nullopt;
+      }
+      wl_duration = static_cast<SimTime>(u64) * kMillisecond;
+      wl_aux_seen = true;
+    } else if (flag == "--burst-on-ms") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      if (u64 == 0) {
+        error = "--burst-on-ms: must be > 0";
+        return std::nullopt;
+      }
+      wl_burst_on = static_cast<SimTime>(u64) * kMillisecond;
+      wl_aux_seen = true;
+    } else if (flag == "--burst-off-ms") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      wl_burst_off = static_cast<SimTime>(u64) * kMillisecond;
+      wl_aux_seen = true;
+    } else if (flag == "--topics") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      if (u64 == 0) {
+        error = "--topics: must be >= 1";
+        return std::nullopt;
+      }
+      wl_topics = u64;
+      wl_aux_seen = true;
+    } else if (flag == "--topic-fraction") {
+      if (!next_double(flag, d)) return std::nullopt;
+      if (!std::isfinite(d) || d <= 0.0 || d > 1.0) {
+        error = "--topic-fraction: must be in (0, 1]";
+        return std::nullopt;
+      }
+      wl_topic_fraction = d;
+      wl_aux_seen = true;
     } else {
       error = "unknown flag: " + flag;
+      return std::nullopt;
+    }
+  }
+
+  if (wl_aux_seen && wl_senders == 0 && options.workload_path.empty()) {
+    error = "--senders: required when other workload flags are given";
+    return std::nullopt;
+  }
+  if ((wl_senders > 0 || wl_aux_seen) && !options.workload_path.empty()) {
+    error = "--workload: cannot be combined with inline workload flags";
+    return std::nullopt;
+  }
+  if (wl_senders > 0) {
+    load::WorkloadSpec& wl = c.workload;
+    wl.duration = wl_duration;
+    for (std::uint64_t t = 0; t < wl_topics; ++t) {
+      load::TopicSpec topic;
+      topic.name = "t" + std::to_string(t);
+      topic.fraction = wl_topic_fraction;
+      wl.topics.push_back(topic);
+    }
+    for (std::uint64_t p = 0; p < wl_senders; ++p) {
+      load::PublisherSpec pub;
+      pub.arrival = wl_arrival;
+      pub.rate = wl_rate;
+      pub.burst_on = wl_burst_on;
+      pub.burst_off = wl_burst_off;
+      if (wl_topics > 0) pub.topic = static_cast<std::uint32_t>(p % wl_topics);
+      wl.publishers.push_back(pub);
+    }
+    try {
+      wl.validate(c.num_nodes);
+    } catch (const std::exception& ex) {
+      error = ex.what();
       return std::nullopt;
     }
   }
@@ -372,6 +498,64 @@ bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
     config.num_messages = static_cast<std::uint32_t>(value);
   } else if (name == "seed") {
     config.seed = static_cast<std::uint64_t>(value);
+  } else if (name == "senders") {
+    if (value < 1.0) {
+      error = "senders: must be >= 1";
+      return false;
+    }
+    const auto k = static_cast<std::size_t>(value);
+    // Grow/shrink the publisher pool, cloning the first spec so a sweep
+    // over k keeps whatever arrival process the base config set up.
+    const load::PublisherSpec proto = config.workload.publishers.empty()
+                                          ? load::PublisherSpec{}
+                                          : config.workload.publishers.front();
+    config.workload.publishers.assign(k, proto);
+    if (!config.workload.topics.empty()) {
+      for (std::size_t p = 0; p < k; ++p) {
+        config.workload.publishers[p].topic =
+            static_cast<std::uint32_t>(p % config.workload.topics.size());
+      }
+    }
+  } else if (name == "rate") {
+    if (!(value > 0.0)) {
+      error = "rate: must be > 0";
+      return false;
+    }
+    if (config.workload.empty()) {
+      error = "rate: requires a workload (--senders or --workload)";
+      return false;
+    }
+    for (auto& pub : config.workload.publishers) pub.rate = value;
+  } else if (name == "duration-ms") {
+    if (!(value > 0.0)) {
+      error = "duration-ms: must be > 0";
+      return false;
+    }
+    config.workload.duration = static_cast<SimTime>(value * kMillisecond);
+  } else if (name == "burst-on-ms") {
+    if (!(value > 0.0)) {
+      error = "burst-on-ms: must be > 0";
+      return false;
+    }
+    if (config.workload.empty()) {
+      error = "burst-on-ms: requires a workload (--senders or --workload)";
+      return false;
+    }
+    for (auto& pub : config.workload.publishers) {
+      pub.burst_on = static_cast<SimTime>(value * kMillisecond);
+    }
+  } else if (name == "burst-off-ms") {
+    if (value < 0.0) {
+      error = "burst-off-ms: must be >= 0";
+      return false;
+    }
+    if (config.workload.empty()) {
+      error = "burst-off-ms: requires a workload (--senders or --workload)";
+      return false;
+    }
+    for (auto& pub : config.workload.publishers) {
+      pub.burst_off = static_cast<SimTime>(value * kMillisecond);
+    }
   } else {
     error = "unknown sweep parameter: " + name;
     return false;
@@ -426,7 +610,22 @@ std::string format_result_kv(const ExperimentResult& result) {
      << "events_executed=" << result.events_executed << "\n"
      << "path_model_bytes=" << result.path_model_bytes << "\n"
      << "path_rows_computed=" << result.path_rows_computed << "\n"
-     << "path_row_evictions=" << result.path_row_evictions << "\n";
+     << "path_row_evictions=" << result.path_row_evictions << "\n"
+     << "offered_msgs=" << result.offered_msgs << "\n"
+     << "offered_msgs_per_s=" << result.offered_msgs_per_s << "\n"
+     << "goodput_msgs_per_s=" << result.goodput_msgs_per_s << "\n"
+     << "redundancy_ratio=" << result.redundancy_ratio << "\n"
+     << "knee_time_ms=" << result.knee_time_ms << "\n"
+     << "offtopic_deliveries=" << result.offtopic_deliveries << "\n"
+     << "egress_serialized_packets=" << result.egress_serialized_packets
+     << "\n"
+     << "egress_queue_delay_mean_ms=" << result.egress_queue_delay_mean_ms
+     << "\n"
+     << "egress_queue_delay_max_ms=" << result.egress_queue_delay_max_ms
+     << "\n"
+     << "egress_peak_depth=" << result.egress_peak_depth << "\n"
+     << "egress_peak_queued_bytes=" << result.egress_peak_queued_bytes
+     << "\n";
   if (result.tree_stats) os << format_tree_kv(*result.tree_stats);
   if (!result.phase_reports.empty()) {
     os << "faults_injected=" << result.faults_injected << "\n"
@@ -444,7 +643,9 @@ std::string format_result_kv(const ExperimentResult& result) {
          << prefix << "p95_latency_ms=" << p.p95_latency_ms << "\n"
          << prefix << "payload_per_msg=" << p.payload_per_msg << "\n"
          << prefix << "top5_connection_share=" << p.top5_connection_share
-         << "\n";
+         << "\n"
+         << prefix << "offered_per_s=" << p.offered_per_s << "\n"
+         << prefix << "goodput_per_s=" << p.goodput_per_s << "\n";
       if (result.tree_stats) {
         os << prefix << "tree_edges=" << p.tree_edges << "\n"
            << prefix << "tree_eager_hop_share=" << p.tree_eager_hop_share

@@ -24,6 +24,11 @@ struct CliOptions {
   /// The parser stays pure (no file IO); tools load the file themselves
   /// via load_scenario_file().
   std::string scenario_path;
+  /// --workload FILE: heavy-traffic workload spec (src/load) to load into
+  /// config.workload via load_workload_file(). Mutually exclusive with the
+  /// inline --senders/--rate/... flags, which build config.workload
+  /// directly in the parser.
+  std::string workload_path;
 };
 
 /// Usage text for `esm_run --help`.
@@ -60,7 +65,8 @@ std::string format_metrics_json(
 /// Applies one named sweep parameter to a config (used by `esm_sweep`).
 /// Supported names: pi, u, rho, best, noise, t0-ms, loss, kill, churn,
 /// batch-ms, interval-ms, period-ms, retry-rounds, fanout, nodes,
-/// messages, seed. Returns false and sets `error` for unknown names.
+/// messages, seed, senders, rate, duration-ms, burst-on-ms, burst-off-ms.
+/// Returns false and sets `error` for unknown names.
 bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
                        double value, std::string& error);
 

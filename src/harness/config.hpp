@@ -8,6 +8,7 @@
 #include "common/types.hpp"
 #include "core/gossip.hpp"
 #include "fault/scenario.hpp"
+#include "load/workload.hpp"
 #include "net/path_model.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
@@ -139,6 +140,14 @@ struct ExperimentConfig {
   SimTime ihave_batch_window = 0;
 
   // Traffic (§5.3).
+  /// Heavy-traffic workload (src/load): k publishers with their own
+  /// arrival processes and optional topic fan-out. When non-empty it
+  /// REPLACES the single light-traffic source loop below — num_messages /
+  /// mean_interval / single_sender are ignored and the message count is
+  /// the generated plan's size. Loaded from --workload files or built
+  /// from --senders/--rate/... flags by the CLI; empty by default, so
+  /// legacy configs are bit-for-bit unchanged.
+  load::WorkloadSpec workload{};
   std::uint32_t num_messages = 400;
   std::uint32_t payload_bytes = 256;
   /// Mean of the uniform inter-multicast interval (500 ms).

@@ -17,9 +17,11 @@
 #include "core/scheduler.hpp"
 #include "core/strategies.hpp"
 #include "fault/injector.hpp"
+#include "load/workload.hpp"
 #include "net/latency_model.hpp"
 #include "net/path_model.hpp"
 #include "net/transport.hpp"
+#include "obs/goodput.hpp"
 #include "obs/lifecycle.hpp"
 #include "overlay/cyclon.hpp"
 #include "overlay/hyparview.hpp"
@@ -261,6 +263,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   config.scenario.validate(config.num_nodes);
   Rng root(config.seed);
 
+  // Heavy-traffic workload: resolve the whole arrival plan up front from
+  // a dedicated RNG split. split() is const, so legacy runs (empty
+  // workload) draw exactly the same sequences as before this subsystem
+  // existed — the golden fingerprints pin that.
+  const bool use_workload = !config.workload.empty();
+  load::WorkloadPlan plan;
+  if (use_workload) {
+    plan = load::build_plan(config.workload, config.num_nodes,
+                            root.split(0x776b6c64ULL));  // "wkld"
+    ESM_CHECK(!plan.arrivals.empty(),
+              "workload generated no arrivals (rate * duration too small)");
+  }
+  const std::uint32_t num_messages =
+      use_workload ? static_cast<std::uint32_t>(plan.size())
+                   : config.num_messages;
+  // Mean spacing between multicasts, for sizing the GC message window.
+  const SimTime effective_interval =
+      use_workload
+          ? config.workload.duration / static_cast<SimTime>(plan.size())
+          : config.mean_interval;
+
   // --- 1. Underlay, routing, ranking --------------------------------------
   net::TopologyParams topo_params = config.topology;
   topo_params.num_clients = config.num_nodes;
@@ -351,9 +374,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     std::uint32_t live_at_send = 0;
     stats::RunningStat latency_ms;  // non-origin deliveries
   };
-  std::vector<MsgRecord> messages(config.num_messages);
+  std::vector<MsgRecord> messages(num_messages);
   stats::Samples all_latency_ms;
-  std::vector<std::uint32_t> payload_tx_per_message(config.num_messages, 0);
+  std::vector<std::uint32_t> payload_tx_per_message(num_messages, 0);
+  // Topic scoping: per-message topic tag and per-topic membership bitsets.
+  // A delivery at a non-member node is a protocol-level relay, not a
+  // useful delivery — it stays out of reliability/latency/goodput.
+  std::vector<std::uint32_t> msg_topic(
+      use_workload ? num_messages : 0, load::kNoTopic);
+  std::vector<compact::DynamicBitset> topic_member(plan.topic_members.size());
+  for (std::size_t t = 0; t < plan.topic_members.size(); ++t) {
+    for (const NodeId m : plan.topic_members[t]) topic_member[t].set(m);
+  }
+  if (use_workload) {
+    for (std::uint32_t i = 0; i < num_messages; ++i) {
+      msg_topic[i] = plan.arrivals[i].topic;
+    }
+  }
+  // Goodput/saturation accounting (always on: plain counters, no RNG
+  // draws, no events — legacy runs get the metrics for free).
+  obs::GoodputTracker goodput(config.warmup);
+  std::uint64_t offtopic_deliveries = 0;
   ESM_CHECK(!(config.collect_tree_stats && config.trace_sink != nullptr),
             "tree stats need the buffered trace; incompatible with a stream "
             "sink");
@@ -394,7 +435,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Declared before the tracker so the tracker can key episodes by the
   // same interned message keys.
   core::MessageArena msg_arena;
-  msg_arena.reserve(config.num_messages);
+  msg_arena.reserve(num_messages);
   // Observability: metrics registries + message-lifecycle tracker, wired
   // into the protocol layers' observation hooks. Only metrics runs pay.
   std::shared_ptr<obs::RunMetrics> run_metrics =
@@ -440,13 +481,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // without GC every message stays tracked. Pre-reserving keeps steady-
   // state runs from rehashing mid-measurement.
   const std::size_t expected_window =
-      config.message_lifetime > 0 && config.mean_interval > 0
+      config.message_lifetime > 0 && effective_interval > 0
           ? std::min<std::size_t>(
-                config.num_messages,
+                num_messages,
                 static_cast<std::size_t>(config.message_lifetime /
-                                         config.mean_interval) +
+                                         effective_interval) +
                     16)
-          : config.num_messages;
+          : num_messages;
 
   for (NodeId id = 0; id < config.num_nodes; ++id) {
     auto stack = std::make_unique<NodeStack>();
@@ -556,11 +597,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                     NodeId peer) { trk->on_lazy_event(id, mid, event, peer); });
     }
     stack->scheduler->set_send_listener(
-        [&payload_tx_per_message, trace_log, pw, id, &sim, &in_flight](
-            const core::AppMessage& msg, NodeId dst, bool eager) {
+        [&payload_tx_per_message, trace_log, pw, id, &sim, &in_flight,
+         &goodput](const core::AppMessage& msg, NodeId dst, bool eager) {
           if (msg.seq < payload_tx_per_message.size()) {
             ++payload_tx_per_message[msg.seq];
           }
+          goodput.on_payload();
           if (pw) pw->on_payload(id, dst);
           if (trace_log) {
             const auto handle = trace_log->record_payload(
@@ -619,15 +661,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     stack->gossip = std::make_unique<core::GossipNode>(
         id, gossip_params, *stack->sampler, *stack->scheduler,
         [&messages, &all_latency_ms, &sim, id, trace_log, pw, trk,
-         &last_accept](const core::AppMessage& msg) {
-          MsgRecord& rec = messages.at(msg.seq);
-          ++rec.deliveries;
+         &last_accept, &msg_topic, &topic_member, &goodput,
+         &offtopic_deliveries](const core::AppMessage& msg) {
+          // Topic gate: a delivery at a node outside the message's topic
+          // is protocol relay traffic. It still feeds the lifecycle
+          // tracker and the trace (the packet really arrived), but stays
+          // out of reliability, latency, phase windows and goodput.
+          const std::uint32_t topic =
+              msg.seq < msg_topic.size() ? msg_topic[msg.seq]
+                                         : load::kNoTopic;
+          const bool on_topic =
+              topic == load::kNoTopic || topic_member[topic].test(id);
           const double ms = to_ms(sim.now() - msg.multicast_time);
-          if (msg.origin != id) {
-            rec.latency_ms.add(ms);
-            all_latency_ms.add(ms);
+          if (on_topic) {
+            MsgRecord& rec = messages.at(msg.seq);
+            ++rec.deliveries;
+            if (msg.origin != id) {
+              rec.latency_ms.add(ms);
+              all_latency_ms.add(ms);
+            }
+            if (pw) pw->on_delivery(msg.seq, ms, msg.origin == id);
+            goodput.on_delivery(sim.now());
+          } else {
+            ++offtopic_deliveries;
           }
-          if (pw) pw->on_delivery(msg.seq, ms, msg.origin == id);
           if (trk) {
             trk->on_delivery(id, msg.id, sim.now() - msg.multicast_time);
           }
@@ -762,6 +819,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // --- 5. Traffic --------------------------------------------------------------
   transport.stats().reset();  // measure only the logged phase
+  transport.reset_egress_stats();
+  if (run_metrics) {
+    // Per-node queue-delay/depth histograms over the measurement phase.
+    // Observation only: the listener fires on drain pops that happen
+    // anyway, no RNG draws, no extra events.
+    obs::RunMetrics* rm = run_metrics.get();
+    transport.set_egress_listener(
+        [rm](NodeId src, std::uint64_t sojourn_us, std::size_t depth) {
+          rm->per_node[src].histogram("egress_sojourn_us").add(sojourn_us);
+          rm->aggregate.histogram("transport.queue_delay_us").add(sojourn_us);
+          rm->aggregate.histogram("transport.queue_depth").add(depth);
+        });
+  }
 
   // Overlay re-integration of a revived node: NeEM re-bootstraps and
   // HyParView re-joins through a random live contact; Cyclon and the
@@ -858,42 +928,99 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     injector->arm(config.warmup);
   }
 
-  Rng traffic = root.split(0x74726166ULL);
   std::deque<std::pair<SimTime, MsgId>> active_messages;
-  SimTime t = config.warmup;
-  SimTime last_send = t;
-  if (config.single_sender != kInvalidNode) {
-    ESM_CHECK(config.single_sender < config.num_nodes &&
-                  !dead[config.single_sender],
-              "single sender must be a live node");
-  }
-  for (std::uint32_t i = 0; i < config.num_messages; ++i) {
-    t += traffic.range(0, 2 * config.mean_interval);
-    last_send = t;
-    const NodeId planned = config.single_sender != kInvalidNode
-                               ? config.single_sender
-                               : live[i % live.size()];
-    const std::uint32_t bytes = config.payload_bytes;
-    sim.schedule_at(t, [planned, bytes, i, &sim, &active_messages, &nodes,
-                        &transport, &messages, &config, pw] {
-      // Under churn the planned sender may be down at fire time: fall
-      // forward to the next live node.
-      NodeId sender = planned;
-      for (std::uint32_t step = 0;
-           transport.is_silenced(sender) && step < config.num_nodes; ++step) {
-        sender = (sender + 1) % config.num_nodes;
-      }
-      if (transport.is_silenced(sender)) return;  // everyone down
-      std::uint32_t live_now = 0;
-      for (NodeId n = 0; n < config.num_nodes; ++n) {
-        if (!transport.is_silenced(n)) ++live_now;
-      }
-      messages[i].live_at_send = live_now;
-      if (pw) pw->on_multicast(i, live_now);
-      const core::AppMessage msg =
-          nodes[sender]->gossip->multicast(bytes, i, sim.now());
-      active_messages.emplace_back(sim.now(), msg.id);
-    });
+  SimTime last_send = config.warmup;
+  if (use_workload) {
+    // Workload plan: every arrival is pre-resolved; scheduling consumes
+    // no RNG draws, so the transport/overlay streams are untouched by
+    // how the plan was generated.
+    for (std::uint32_t i = 0; i < num_messages; ++i) {
+      const load::Arrival& arr = plan.arrivals[i];
+      const SimTime when = config.warmup + arr.at;
+      last_send = std::max(last_send, when);
+      sim.schedule_at(when, [arr, i, &sim, &active_messages, &nodes,
+                             &transport, &messages, &config, &plan, &goodput,
+                             pw] {
+        // Under churn the planned origin may be down at fire time: fall
+        // forward through the origin pool (topic members, or all nodes),
+        // mirroring the legacy loop's fall-forward.
+        NodeId sender = arr.origin;
+        if (arr.topic != load::kNoTopic) {
+          const std::vector<NodeId>& pool = plan.topic_members[arr.topic];
+          std::size_t idx = arr.origin_index % pool.size();
+          for (std::size_t step = 0;
+               transport.is_silenced(pool[idx]) && step < pool.size();
+               ++step) {
+            idx = (idx + 1) % pool.size();
+          }
+          sender = pool[idx];
+        } else {
+          for (std::uint32_t step = 0;
+               transport.is_silenced(sender) && step < config.num_nodes;
+               ++step) {
+            sender = (sender + 1) % config.num_nodes;
+          }
+        }
+        if (transport.is_silenced(sender)) return;  // whole pool down
+        // The reliability denominator is the message's live audience.
+        std::uint32_t audience = 0;
+        if (arr.topic != load::kNoTopic) {
+          for (const NodeId m : plan.topic_members[arr.topic]) {
+            if (!transport.is_silenced(m)) ++audience;
+          }
+        } else {
+          for (NodeId n = 0; n < config.num_nodes; ++n) {
+            if (!transport.is_silenced(n)) ++audience;
+          }
+        }
+        messages[i].live_at_send = audience;
+        if (pw) pw->on_multicast(i, audience);
+        goodput.on_offered(sim.now(), audience);
+        const std::uint32_t bytes =
+            arr.payload_bytes != 0 ? arr.payload_bytes : config.payload_bytes;
+        const core::AppMessage msg =
+            nodes[sender]->gossip->multicast(bytes, i, sim.now());
+        active_messages.emplace_back(sim.now(), msg.id);
+      });
+    }
+  } else {
+    Rng traffic = root.split(0x74726166ULL);
+    SimTime t = config.warmup;
+    if (config.single_sender != kInvalidNode) {
+      ESM_CHECK(config.single_sender < config.num_nodes &&
+                    !dead[config.single_sender],
+                "single sender must be a live node");
+    }
+    for (std::uint32_t i = 0; i < num_messages; ++i) {
+      t += traffic.range(0, 2 * config.mean_interval);
+      last_send = t;
+      const NodeId planned = config.single_sender != kInvalidNode
+                                 ? config.single_sender
+                                 : live[i % live.size()];
+      const std::uint32_t bytes = config.payload_bytes;
+      sim.schedule_at(t, [planned, bytes, i, &sim, &active_messages, &nodes,
+                          &transport, &messages, &config, &goodput, pw] {
+        // Under churn the planned sender may be down at fire time: fall
+        // forward to the next live node.
+        NodeId sender = planned;
+        for (std::uint32_t step = 0;
+             transport.is_silenced(sender) && step < config.num_nodes;
+             ++step) {
+          sender = (sender + 1) % config.num_nodes;
+        }
+        if (transport.is_silenced(sender)) return;  // everyone down
+        std::uint32_t live_now = 0;
+        for (NodeId n = 0; n < config.num_nodes; ++n) {
+          if (!transport.is_silenced(n)) ++live_now;
+        }
+        messages[i].live_at_send = live_now;
+        if (pw) pw->on_multicast(i, live_now);
+        goodput.on_offered(sim.now(), live_now);
+        const core::AppMessage msg =
+            nodes[sender]->gossip->multicast(bytes, i, sim.now());
+        active_messages.emplace_back(sim.now(), msg.id);
+      });
+    }
   }
 
   // Optional garbage collection: periodically drop protocol state for
@@ -970,7 +1097,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.mean_delivery_fraction = delivery_fraction.mean();
   result.delivery_ci95 = delivery_fraction.ci95_half_width();
   result.atomic_delivery_fraction =
-      static_cast<double>(atomic) / static_cast<double>(config.num_messages);
+      static_cast<double>(atomic) / static_cast<double>(num_messages);
 
   const net::TrafficStats& tstats = transport.stats();
   result.payload_packets = tstats.total_payload_packets();
@@ -978,6 +1105,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.total_bytes = tstats.total_bytes();
   result.packets_lost = transport.packets_lost();
   result.buffer_drops = transport.buffer_drops();
+
+  // Goodput / saturation view of the same run.
+  const obs::GoodputReport gp = goodput.finalize(sim.now());
+  result.offered_msgs = gp.offered_msgs;
+  result.offered_msgs_per_s = gp.offered_msgs_per_s;
+  result.goodput_msgs_per_s = gp.goodput_msgs_per_s;
+  result.redundancy_ratio = gp.redundancy_ratio;
+  result.knee_time_ms = gp.knee_time_ms;
+  result.offtopic_deliveries = offtopic_deliveries;
+  const net::Transport::EgressStats egress_totals = transport.egress_totals();
+  result.egress_serialized_packets = egress_totals.serialized_packets;
+  if (egress_totals.serialized_packets > 0) {
+    result.egress_queue_delay_mean_ms =
+        static_cast<double>(egress_totals.total_sojourn_us) /
+        static_cast<double>(egress_totals.serialized_packets) / 1000.0;
+  }
+  result.egress_queue_delay_max_ms =
+      static_cast<double>(egress_totals.max_sojourn_us) / 1000.0;
+  result.egress_peak_depth = egress_totals.peak_depth;
+  result.egress_peak_queued_bytes = egress_totals.peak_queued_bytes;
+
   result.payload_per_delivery =
       total_deliveries == 0
           ? 0.0
@@ -1002,7 +1150,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const NodeId id : live) {
     const double per_msg =
         static_cast<double>(tstats.node_sent_payload(id)) /
-        static_cast<double>(config.num_messages);
+        static_cast<double>(num_messages);
     all_load.add(per_msg);
     if (needs_best && is_best[id]) {
       best_load.add(per_msg);
@@ -1124,6 +1272,34 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     run_metrics->aggregate.gauge_max(
         "path_model.row_evictions",
         static_cast<double>(result.path_row_evictions));
+    // Arena high-water marks: the intern table never shrinks, so the
+    // final size IS the run's peak — exactly what matters under many
+    // concurrent messages.
+    run_metrics->aggregate.gauge_max(
+        "arena.messages", static_cast<double>(msg_arena.size()));
+    run_metrics->aggregate.gauge_max(
+        "arena.bytes", static_cast<double>(msg_arena.bytes()));
+    // Goodput/saturation and egress serialization, for --metrics-out
+    // consumers (counters sum, gauges max across --reps merges).
+    obs::MetricsRegistry& gagg = run_metrics->aggregate;
+    gagg.add_counter("goodput.offered_msgs", gp.offered_msgs);
+    gagg.add_counter("goodput.expected_deliveries", gp.expected_deliveries);
+    gagg.add_counter("goodput.deliveries", gp.deliveries);
+    gagg.add_counter("goodput.payload_sends", gp.payload_sends);
+    gagg.add_counter("goodput.offtopic_deliveries", offtopic_deliveries);
+    gagg.gauge_max("goodput.offered_msgs_per_s", gp.offered_msgs_per_s);
+    gagg.gauge_max("goodput.goodput_msgs_per_s", gp.goodput_msgs_per_s);
+    gagg.gauge_max("goodput.redundancy_ratio", gp.redundancy_ratio);
+    gagg.gauge_max("goodput.knee_time_ms", gp.knee_time_ms);
+    gagg.add_counter("transport.egress_serialized_packets",
+                     egress_totals.serialized_packets);
+    gagg.add_counter("transport.buffer_drops", result.buffer_drops);
+    gagg.gauge_max("transport.egress_peak_depth",
+                   static_cast<double>(egress_totals.peak_depth));
+    gagg.gauge_max("transport.egress_peak_queued_bytes",
+                   static_cast<double>(egress_totals.peak_queued_bytes));
+    gagg.gauge_max("transport.egress_max_sojourn_us",
+                   static_cast<double>(egress_totals.max_sojourn_us));
     if (result.tree_stats) {
       // Only merge-exact quantities go into the metrics document: counters
       // (sum), histograms (bucket-add) and one max-semantics gauge, so the

@@ -80,6 +80,28 @@ struct ExperimentResult {
   std::uint64_t packets_lost = 0;
   /// Packets purged at senders because the bounded egress buffer was full.
   std::uint64_t buffer_drops = 0;
+
+  // --- goodput / saturation (src/load + src/obs goodput) ---
+  /// Multicasts injected during the measurement window (plan size for
+  /// workload runs, num_messages for the legacy loop).
+  std::uint64_t offered_msgs = 0;
+  double offered_msgs_per_s = 0.0;
+  /// Useful throughput: first deliveries per second over the window.
+  double goodput_msgs_per_s = 0.0;
+  /// Payload transmissions per first delivery (>= 1; 1.0 = perfect tree).
+  double redundancy_ratio = 0.0;
+  /// Saturation-knee onset relative to measurement start; < 0 = no knee.
+  double knee_time_ms = -1.0;
+  /// Deliveries at nodes outside the message's topic (protocol-level
+  /// relays that do not count toward reliability; 0 without topics).
+  std::uint64_t offtopic_deliveries = 0;
+  /// Egress serialization accounting (bandwidth model; all zero when
+  /// bandwidth is uncapped).
+  std::uint64_t egress_serialized_packets = 0;
+  double egress_queue_delay_mean_ms = 0.0;  // enqueue -> wire, incl. tx time
+  double egress_queue_delay_max_ms = 0.0;
+  std::uint64_t egress_peak_depth = 0;
+  std::uint64_t egress_peak_queued_bytes = 0;
   /// Messages garbage-collected during the run (0 when GC is disabled).
   std::uint64_t messages_garbage_collected = 0;
   /// Largest per-node known-set size at the end of the run — bounded when

@@ -1,0 +1,218 @@
+#include "load/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esm::load {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("workload: " + what);
+}
+
+std::string publisher_label(std::size_t index) {
+  return "publisher " + std::to_string(index);
+}
+
+}  // namespace
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::poisson: return "poisson";
+    case ArrivalKind::fixed_rate: return "fixed";
+    case ArrivalKind::burst: return "burst";
+  }
+  return "?";
+}
+
+void WorkloadSpec::validate(std::uint32_t num_nodes) const {
+  if (duration <= 0) fail("duration must be > 0");
+  for (std::size_t t = 0; t < topics.size(); ++t) {
+    const TopicSpec& topic = topics[t];
+    const std::string label =
+        "topic '" + (topic.name.empty() ? std::to_string(t) : topic.name) +
+        "'";
+    if (topic.members.empty()) {
+      if (!(topic.fraction > 0.0 && topic.fraction <= 1.0)) {
+        fail(label + ": empty member set (need nodes=... or a fraction in "
+                     "(0, 1])");
+      }
+    } else {
+      for (const NodeId id : topic.members) {
+        if (id >= num_nodes) {
+          fail(label + ": member " + std::to_string(id) + " >= num_nodes (" +
+               std::to_string(num_nodes) + ")");
+        }
+      }
+    }
+  }
+  for (std::size_t p = 0; p < publishers.size(); ++p) {
+    const PublisherSpec& pub = publishers[p];
+    const std::string label = publisher_label(p);
+    if (!(pub.rate > 0.0) || !std::isfinite(pub.rate)) {
+      fail(label + ": rate must be a finite number > 0");
+    }
+    if (pub.arrival == ArrivalKind::burst) {
+      if (pub.burst_on <= 0) fail(label + ": burst on-window must be > 0");
+      if (pub.burst_off < 0) fail(label + ": burst off-gap must be >= 0");
+    }
+    if (pub.node != kInvalidNode && pub.node >= num_nodes) {
+      fail(label + ": node " + std::to_string(pub.node) + " >= num_nodes (" +
+           std::to_string(num_nodes) + ")");
+    }
+    if (pub.topic != kNoTopic && pub.topic >= topics.size()) {
+      fail(label + ": topic index " + std::to_string(pub.topic) +
+           " out of range (" + std::to_string(topics.size()) + " topics)");
+    }
+    if (pub.start < 0 || pub.start >= duration) {
+      fail(label + ": start must be in [0, duration)");
+    }
+    if (pub.stop != 0 && pub.stop <= pub.start) {
+      fail(label + ": stop must be > start");
+    }
+  }
+}
+
+std::string WorkloadSpec::describe() const {
+  std::string out = std::to_string(publishers.size()) + " publisher" +
+                    (publishers.size() == 1 ? "" : "s");
+  if (!topics.empty()) {
+    out += ", " + std::to_string(topics.size()) + " topic" +
+           (topics.size() == 1 ? "" : "s");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ", %gs", to_ms(duration) / 1000.0);
+  out += buf;
+  return out;
+}
+
+WorkloadPlan build_plan(const WorkloadSpec& spec, std::uint32_t num_nodes,
+                        Rng rng) {
+  spec.validate(num_nodes);
+  WorkloadPlan plan;
+
+  // Resolve topic membership first: explicit lists are deduped and
+  // sorted; fraction topics sample from their own child stream, so the
+  // member draw of topic i never depends on how topic j was specified.
+  plan.topic_members.resize(spec.topics.size());
+  std::vector<NodeId> everyone(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) everyone[n] = n;
+  for (std::size_t t = 0; t < spec.topics.size(); ++t) {
+    const TopicSpec& topic = spec.topics[t];
+    std::vector<NodeId>& members = plan.topic_members[t];
+    if (!topic.members.empty()) {
+      members = topic.members;
+    } else {
+      const auto want = std::min<std::size_t>(
+          num_nodes,
+          std::max<std::size_t>(
+              1, static_cast<std::size_t>(std::ceil(
+                     topic.fraction * static_cast<double>(num_nodes)))));
+      Rng topic_rng = rng.split(0x746f7069633030ULL + t);
+      members = topic_rng.sample(everyone, want);
+    }
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+  }
+  // A publisher pinned to a node outside its topic would originate
+  // traffic its own reliability denominator excludes; the origin is a
+  // member by construction.
+  for (const PublisherSpec& pub : spec.publishers) {
+    if (pub.node == kInvalidNode || pub.topic == kNoTopic) continue;
+    std::vector<NodeId>& members = plan.topic_members[pub.topic];
+    const auto it = std::lower_bound(members.begin(), members.end(), pub.node);
+    if (it == members.end() || *it != pub.node) members.insert(it, pub.node);
+  }
+
+  // Generate each publisher's arrivals from its own child stream.
+  for (std::size_t p = 0; p < spec.publishers.size(); ++p) {
+    const PublisherSpec& pub = spec.publishers[p];
+    Rng pub_rng = rng.split(0x7075623030303030ULL + p);
+    const SimTime stop =
+        std::min(spec.duration, pub.stop != 0 ? pub.stop : spec.duration);
+    const std::vector<NodeId>& pool = pub.topic != kNoTopic
+                                          ? plan.topic_members[pub.topic]
+                                          : everyone;
+    // Round-robin origins start at a publisher-dependent offset so k
+    // publishers do not all hammer node 0.
+    std::size_t rr = pool.empty() ? 0 : p % pool.size();
+    const double mean_gap_us =
+        static_cast<double>(kSecond) / pub.rate;  // 1/rate, in microseconds
+
+    auto emit = [&](SimTime at) {
+      Arrival a;
+      a.at = at;
+      a.publisher = static_cast<std::uint32_t>(p);
+      if (pub.node != kInvalidNode) {
+        a.origin = pub.node;
+        const auto it = std::lower_bound(pool.begin(), pool.end(), pub.node);
+        a.origin_index =
+            static_cast<std::uint32_t>(it - pool.begin());  // member by above
+      } else {
+        a.origin = pool[rr];
+        a.origin_index = static_cast<std::uint32_t>(rr);
+        rr = (rr + 1) % pool.size();
+      }
+      a.topic = pub.topic;
+      a.payload_bytes = pub.payload_bytes;
+      plan.arrivals.push_back(a);
+      if (plan.arrivals.size() > kMaxArrivals) {
+        fail("plan exceeds " + std::to_string(kMaxArrivals) +
+             " arrivals; lower rates or duration");
+      }
+    };
+
+    switch (pub.arrival) {
+      case ArrivalKind::poisson: {
+        SimTime t = pub.start;
+        for (;;) {
+          t += std::max<SimTime>(
+              1, static_cast<SimTime>(
+                     std::llround(pub_rng.exponential(mean_gap_us))));
+          if (t >= stop) break;
+          emit(t);
+        }
+        break;
+      }
+      case ArrivalKind::fixed_rate: {
+        const SimTime gap = std::max<SimTime>(
+            1, static_cast<SimTime>(std::llround(mean_gap_us)));
+        for (SimTime t = pub.start + gap; t < stop; t += gap) emit(t);
+        break;
+      }
+      case ArrivalKind::burst: {
+        const SimTime cycle = pub.burst_on + pub.burst_off;
+        SimTime window_start = pub.start;
+        while (window_start < stop) {
+          const SimTime window_end = std::min(stop, window_start + pub.burst_on);
+          SimTime t = window_start;
+          for (;;) {
+            t += std::max<SimTime>(
+                1, static_cast<SimTime>(
+                       std::llround(pub_rng.exponential(mean_gap_us))));
+            if (t >= window_end) break;
+            emit(t);
+          }
+          if (pub.burst_off == 0) break;  // continuous: one window covers all
+          window_start += cycle;
+        }
+        break;
+      }
+    }
+  }
+
+  // Global order: by time, ties broken by publisher index then emission
+  // order (stable sort preserves each publisher's own sequence).
+  std::stable_sort(plan.arrivals.begin(), plan.arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.publisher < b.publisher;
+                   });
+  if (spec.max_messages > 0 && plan.arrivals.size() > spec.max_messages) {
+    plan.arrivals.resize(spec.max_messages);
+  }
+  return plan;
+}
+
+}  // namespace esm::load

@@ -1,0 +1,123 @@
+// Heavy-traffic workload generation: k concurrent publishers with
+// configurable arrival processes, optional topic fan-out, and a
+// deterministic up-front arrival plan.
+//
+// The paper's §5.3 workload is a single light source loop: one multicast
+// every ~500 ms round-robin over live nodes — links are never the
+// contended resource. This subsystem generates the heavy regime instead:
+// k publishers, each driving a Poisson, fixed-rate or on/off burst
+// arrival process, optionally scoped to a topic (a subset of nodes that
+// counts toward the message's reliability denominator). Everything is
+// resolved into a WorkloadPlan *before* the simulation starts, from a
+// dedicated split of the experiment root RNG, so runs stay bit-for-bit
+// deterministic at any --jobs and the legacy traffic loop's random
+// sequence is untouched when no workload is configured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace esm::load {
+
+/// Sentinel topic index: the message addresses every node.
+inline constexpr std::uint32_t kNoTopic = 0xffffffffu;
+
+/// Inter-arrival process of one publisher.
+enum class ArrivalKind : std::uint8_t {
+  poisson,     // exponential inter-arrival times at `rate` msgs/s
+  fixed_rate,  // exact 1/rate spacing (consumes no RNG draws)
+  burst,       // on/off: Poisson at `rate` during ON windows, silent OFF
+};
+
+const char* to_string(ArrivalKind kind);
+
+/// One publisher: an arrival process plus origin/topic/payload scoping.
+struct PublisherSpec {
+  ArrivalKind arrival = ArrivalKind::poisson;
+  /// Messages per second (burst: while the ON window is open). Must be
+  /// finite and > 0.
+  double rate = 10.0;
+  /// Burst process only: ON window length (> 0) and OFF gap (>= 0).
+  SimTime burst_on = 500 * kMillisecond;
+  SimTime burst_off = 1500 * kMillisecond;
+  /// Fixed origin node; kInvalidNode = round-robin over the topic's
+  /// members (or all nodes when no topic is set).
+  NodeId node = kInvalidNode;
+  /// Index into WorkloadSpec::topics; kNoTopic = address everyone.
+  std::uint32_t topic = kNoTopic;
+  /// Per-publisher payload override; 0 = the experiment's payload_bytes.
+  std::uint32_t payload_bytes = 0;
+  /// Active window, relative to measurement start. stop == 0 means "the
+  /// spec's duration".
+  SimTime start = 0;
+  SimTime stop = 0;
+};
+
+/// A topic: either an explicit member list or a random fraction of all
+/// nodes (resolved once per run from the workload RNG split).
+struct TopicSpec {
+  std::string name;
+  std::vector<NodeId> members;  // explicit; empty = use `fraction`
+  double fraction = 0.0;        // in (0, 1] when members is empty
+};
+
+/// The full workload description — plain data, no side effects.
+struct WorkloadSpec {
+  std::vector<PublisherSpec> publishers;
+  std::vector<TopicSpec> topics;
+  /// Length of the arrival window after measurement start.
+  SimTime duration = 20 * kSecond;
+  /// Cap on generated arrivals (0 = uncapped; a hard safety cap of
+  /// kMaxArrivals applies either way).
+  std::uint32_t max_messages = 0;
+
+  bool empty() const { return publishers.empty(); }
+
+  /// Checks internal consistency and node-id bounds. Throws
+  /// std::runtime_error with a one-line diagnostic on the first problem.
+  void validate(std::uint32_t num_nodes) const;
+
+  /// One-line human-readable summary ("3 publishers, 2 topics, 20s").
+  std::string describe() const;
+};
+
+/// One planned multicast.
+struct Arrival {
+  SimTime at = 0;  // relative to measurement start
+  std::uint32_t publisher = 0;
+  /// Planned origin. Under churn the harness falls forward through the
+  /// origin pool starting at `origin_index` if this node is down at fire
+  /// time.
+  NodeId origin = kInvalidNode;
+  std::uint32_t origin_index = 0;  // index of `origin` in its origin pool
+  std::uint32_t topic = kNoTopic;
+  std::uint32_t payload_bytes = 0;  // 0 = experiment default
+};
+
+/// The resolved plan: every arrival, globally ordered, plus the resolved
+/// topic member lists (sorted node ids).
+struct WorkloadPlan {
+  std::vector<Arrival> arrivals;
+  std::vector<std::vector<NodeId>> topic_members;
+  std::size_t size() const { return arrivals.size(); }
+};
+
+/// Hard cap on the number of generated arrivals — a mis-typed rate should
+/// fail fast instead of scheduling tens of millions of events.
+inline constexpr std::size_t kMaxArrivals = 2'000'000;
+
+/// Expands a spec into a plan. `rng` must be a dedicated split of the
+/// experiment root (the harness uses root.split("wkld")); each publisher
+/// and each fraction-based topic draws from its own child stream, so
+/// adding a publisher never shifts another publisher's arrivals.
+/// Deterministic: same (spec, num_nodes, rng) => same plan. Throws
+/// std::runtime_error if the spec is invalid or the plan exceeds
+/// kMaxArrivals.
+WorkloadPlan build_plan(const WorkloadSpec& spec, std::uint32_t num_nodes,
+                        Rng rng);
+
+}  // namespace esm::load

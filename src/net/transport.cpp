@@ -106,6 +106,7 @@ Transport::Transport(sim::Simulator& sim, const LatencyModel& latency,
       handlers_(num_nodes),
       silenced_(num_nodes, false),
       egress_(num_nodes),
+      egress_stats_(num_nodes),
       stats_(num_nodes) {
   ESM_CHECK(options.loss_rate >= 0.0 && options.loss_rate < 1.0,
             "loss rate must be in [0, 1)");
@@ -202,8 +203,12 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
       }
     }
   }
+  item.enqueued_at = sim_.now();
   egress.queued_bytes += item.bytes;
   egress.queue.push_back(std::move(item));
+  EgressStats& es = egress_stats_[src];
+  es.peak_depth = std::max<std::uint64_t>(es.peak_depth, egress.queue.size());
+  es.peak_queued_bytes = std::max(es.peak_queued_bytes, egress.queued_bytes);
   if (!egress.draining) drain(src);
 }
 
@@ -227,6 +232,13 @@ void Transport::drain(NodeId src) {
     e.queue.pop_front();
     e.queued_bytes -= item.bytes;
     if (!silenced_[src]) {
+      const std::uint64_t sojourn =
+          static_cast<std::uint64_t>(sim_.now() - item.enqueued_at);
+      EgressStats& es = egress_stats_[src];
+      ++es.serialized_packets;
+      es.total_sojourn_us += sojourn;
+      es.max_sojourn_us = std::max(es.max_sojourn_us, sojourn);
+      if (egress_listener_) egress_listener_(src, sojourn, e.queue.size());
       transmit(src, std::move(item));
     } else if (drop_listener_) {
       drop_listener_(src, item.dst, item.is_payload, DropReason::kSilenced);
@@ -293,6 +305,23 @@ void Transport::transmit(NodeId src, Queued item) {
       handlers_[dst](src, item.packet);
     }
   });
+}
+
+Transport::EgressStats Transport::egress_totals() const {
+  EgressStats total;
+  for (const EgressStats& es : egress_stats_) {
+    total.serialized_packets += es.serialized_packets;
+    total.total_sojourn_us += es.total_sojourn_us;
+    total.max_sojourn_us = std::max(total.max_sojourn_us, es.max_sojourn_us);
+    total.peak_depth = std::max(total.peak_depth, es.peak_depth);
+    total.peak_queued_bytes =
+        std::max(total.peak_queued_bytes, es.peak_queued_bytes);
+  }
+  return total;
+}
+
+void Transport::reset_egress_stats() {
+  std::fill(egress_stats_.begin(), egress_stats_.end(), EgressStats{});
 }
 
 std::uint64_t Transport::node_bandwidth(NodeId node) const {

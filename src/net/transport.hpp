@@ -210,6 +210,36 @@ class Transport {
   /// Effective egress bandwidth of a node (override or default).
   std::uint64_t node_bandwidth(NodeId node) const;
 
+  /// Egress serialization accounting for one node. A packet's *sojourn*
+  /// is the time from enqueue to wire (queueing delay plus its own
+  /// transmission time), measured when the drain loop pops it. Pure
+  /// observation: no RNG draws, no scheduled events.
+  struct EgressStats {
+    std::uint64_t serialized_packets = 0;  // packets that left via the queue
+    std::uint64_t total_sojourn_us = 0;
+    std::uint64_t max_sojourn_us = 0;
+    std::uint64_t peak_depth = 0;        // max packets ever queued
+    std::uint64_t peak_queued_bytes = 0;
+  };
+  const EgressStats& egress_stats(NodeId node) const {
+    return egress_stats_.at(node);
+  }
+  /// Sum/max-merge over all nodes.
+  EgressStats egress_totals() const;
+  /// Clears per-node egress stats (used to exclude warm-up traffic,
+  /// mirroring stats().reset()). Packets already queued keep their
+  /// enqueue timestamps; their sojourn lands in the post-reset window.
+  void reset_egress_stats();
+
+  /// Observation hook: invoked when a packet finishes serialization, with
+  /// its sojourn and the queue depth left behind. Feeds per-node
+  /// queue-delay histograms; not part of the network model.
+  using EgressListener = std::function<void(
+      NodeId src, std::uint64_t sojourn_us, std::size_t depth_after)>;
+  void set_egress_listener(EgressListener listener) {
+    egress_listener_ = std::move(listener);
+  }
+
   /// Why a packet never reached its destination handler.
   enum class DropReason {
     kLoss,       // base loss process
@@ -236,6 +266,7 @@ class Transport {
     std::vector<std::uint8_t> encoded;   // codec mode
     std::size_t bytes = 0;
     bool is_payload = false;
+    SimTime enqueued_at = 0;             // for egress sojourn accounting
   };
 
   /// Per-directed-link fault modifiers (loss_burst / latency_spike).
@@ -272,6 +303,8 @@ class Transport {
     bool draining = false;
   };
   std::vector<Egress> egress_;
+  std::vector<EgressStats> egress_stats_;
+  EgressListener egress_listener_;
   TrafficStats stats_;
   std::uint64_t packets_lost_ = 0;
   std::uint64_t buffer_drops_ = 0;

@@ -1,0 +1,80 @@
+#include "obs/goodput.hpp"
+
+#include <algorithm>
+
+namespace esm::obs {
+
+std::size_t GoodputTracker::bucket_of(SimTime now) {
+  const SimTime rel = now - start_;
+  const std::size_t b =
+      rel <= 0 ? 0 : static_cast<std::size_t>(rel / kSecond);
+  const std::size_t need = b + 1;
+  if (expected_by_bucket_.size() < need) {
+    expected_by_bucket_.resize(need, 0);
+    delivered_by_bucket_.resize(need, 0);
+  }
+  return b;
+}
+
+void GoodputTracker::on_offered(SimTime now, std::uint64_t audience) {
+  if (now < start_) return;
+  ++offered_msgs_;
+  expected_deliveries_ += audience;
+  expected_by_bucket_[bucket_of(now)] += audience;
+}
+
+void GoodputTracker::on_delivery(SimTime now) {
+  if (now < start_) return;
+  ++deliveries_;
+  ++delivered_by_bucket_[bucket_of(now)];
+}
+
+GoodputReport GoodputTracker::finalize(SimTime end) const {
+  GoodputReport report;
+  report.offered_msgs = offered_msgs_;
+  report.expected_deliveries = expected_deliveries_;
+  report.deliveries = deliveries_;
+  report.payload_sends = payload_sends_;
+  const double window_s =
+      end > start_ ? static_cast<double>(end - start_) /
+                         static_cast<double>(kSecond)
+                   : 0.0;
+  if (window_s > 0.0) {
+    report.offered_msgs_per_s =
+        static_cast<double>(offered_msgs_) / window_s;
+    report.goodput_msgs_per_s =
+        static_cast<double>(deliveries_) / window_s;
+  }
+  if (deliveries_ > 0) {
+    report.redundancy_ratio = static_cast<double>(payload_sends_) /
+                              static_cast<double>(deliveries_);
+  }
+
+  // Knee: earliest run of kKneeRun consecutive buckets whose cumulative
+  // backlog exceeds max(bucket's expected volume, kKneeFloor).
+  std::uint64_t cum_expected = 0, cum_delivered = 0;
+  std::uint32_t behind_run = 0;
+  const std::size_t buckets =
+      std::min(expected_by_bucket_.size(), delivered_by_bucket_.size());
+  for (std::size_t b = 0; b < buckets; ++b) {
+    cum_expected += expected_by_bucket_[b];
+    cum_delivered += delivered_by_bucket_[b];
+    const std::uint64_t backlog =
+        cum_expected > cum_delivered ? cum_expected - cum_delivered : 0;
+    const std::uint64_t threshold =
+        std::max(expected_by_bucket_[b], kKneeFloor);
+    if (backlog > threshold) {
+      ++behind_run;
+      if (behind_run >= kKneeRun) {
+        report.knee_time_ms =
+            static_cast<double>((b + 1 - kKneeRun) * 1000);
+        break;
+      }
+    } else {
+      behind_run = 0;
+    }
+  }
+  return report;
+}
+
+}  // namespace esm::obs

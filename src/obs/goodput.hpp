@@ -1,0 +1,85 @@
+// Goodput and saturation accounting for heavy-traffic runs.
+//
+// Under the paper's light workload, offered load and goodput coincide:
+// every multicast reaches everyone long before the next one starts. The
+// interesting questions only appear when k publishers push the system
+// toward its serialization limits — does useful throughput (first
+// deliveries per second) track offered load, where does it stop doing so
+// (the saturation knee), and how much of the transmitted volume is
+// redundant?
+//
+// The tracker buckets time into one-second windows. Each arrival reports
+// the number of deliveries it *expects* (its topic size, or num_nodes);
+// each first delivery reports one unit of goodput; each payload
+// transmission feeds the redundancy ratio. The knee is the start of the
+// earliest run of `kKneeRun` consecutive buckets whose delivery backlog
+// (cumulative expected minus cumulative delivered) exceeds both the
+// bucket's own expected volume and a small absolute floor — i.e. the
+// system has fallen a full bucket behind and stays behind.
+//
+// Everything here is plain arithmetic on values the simulation already
+// produces: no RNG draws, no scheduled events, fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esm::obs {
+
+/// Aggregated result of one run's goodput accounting.
+struct GoodputReport {
+  std::uint64_t offered_msgs = 0;        // multicasts injected
+  std::uint64_t expected_deliveries = 0; // sum of per-message audiences
+  std::uint64_t deliveries = 0;          // first deliveries observed
+  std::uint64_t payload_sends = 0;       // payload transmissions
+  double offered_msgs_per_s = 0.0;
+  double goodput_msgs_per_s = 0.0;  // deliveries/s over the active window
+  /// payload_sends / deliveries; 1.0 would be a perfect tree, the gossip
+  /// baseline without emergent structure would be ~fanout.
+  double redundancy_ratio = 0.0;
+  /// Start of the saturation knee, relative to measurement start; < 0
+  /// when the run never saturates.
+  double knee_time_ms = -1.0;
+};
+
+class GoodputTracker {
+ public:
+  /// Consecutive behind-buckets needed to call the knee.
+  static constexpr std::uint32_t kKneeRun = 3;
+  /// Minimum absolute backlog (deliveries) to count a bucket as behind —
+  /// keeps single-digit stragglers in tiny runs from registering.
+  static constexpr std::uint64_t kKneeFloor = 8;
+
+  /// `start` is the measurement start (absolute sim time); deliveries and
+  /// offers before it are ignored.
+  explicit GoodputTracker(SimTime start) : start_(start) {}
+
+  /// A multicast was injected at `now` expecting `audience` deliveries.
+  void on_offered(SimTime now, std::uint64_t audience);
+
+  /// A first delivery happened at `now`.
+  void on_delivery(SimTime now);
+
+  /// A payload packet hit the wire (eager push or pull reply).
+  void on_payload() { ++payload_sends_; }
+
+  /// Computes rates over [start, end) and runs knee detection. `end` is
+  /// the absolute sim time the measurement window closed.
+  GoodputReport finalize(SimTime end) const;
+
+ private:
+  std::size_t bucket_of(SimTime now);
+
+  SimTime start_ = 0;
+  std::uint64_t offered_msgs_ = 0;
+  std::uint64_t expected_deliveries_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t payload_sends_ = 0;
+  /// Per-second buckets of expected-delivery and delivery volume.
+  std::vector<std::uint64_t> expected_by_bucket_;
+  std::vector<std::uint64_t> delivered_by_bucket_;
+};
+
+}  // namespace esm::obs

@@ -117,6 +117,14 @@ std::vector<PhaseReport> PhaseWindows::finalize(SimTime end) const {
     r.mean_latency_ms = w.latency_ms.mean();
     r.p95_latency_ms = w.latency_ms.quantile(0.95);
     r.payload_packets = w.payload_packets;
+    const double window_s =
+        r.end > r.start
+            ? static_cast<double>(r.end - r.start) / static_cast<double>(kSecond)
+            : 0.0;
+    if (window_s > 0.0) {
+      r.offered_per_s = static_cast<double>(w.messages) / window_s;
+      r.goodput_per_s = static_cast<double>(w.deliveries) / window_s;
+    }
     r.top5_connection_share = top_share(w.link_payload, w.payload_packets);
     reports.push_back(std::move(r));
   }

@@ -40,6 +40,10 @@ struct PhaseReport {
   std::uint64_t payload_packets = 0;  // payload sends while phase active
   double payload_per_msg = 0.0;       // payload_packets / messages
   double top5_connection_share = 0.0;
+  // Load view of the same window: multicasts offered and deliveries
+  // landed per second of window time (0 for zero-width windows).
+  double offered_per_s = 0.0;
+  double goodput_per_s = 0.0;
   // Dissemination-tree structure over the messages sent in this phase
   // (filled by the harness when config.collect_tree_stats; 0 otherwise).
   std::uint64_t tree_edges = 0;

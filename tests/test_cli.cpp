@@ -240,6 +240,149 @@ TEST(Cli, ApplySweepParamCoversAllNames) {
   EXPECT_NE(error.find("flux-capacitor"), std::string::npos);
 }
 
+TEST(Cli, WorkloadFlagsBuildSpec) {
+  const auto options = parse({"--senders", "4", "--arrival", "burst",
+                              "--rate", "20", "--duration-ms", "5000",
+                              "--burst-on-ms", "250", "--burst-off-ms", "750",
+                              "--topics", "2", "--topic-fraction", "0.5"});
+  ASSERT_TRUE(options);
+  const load::WorkloadSpec& wl = options->config.workload;
+  ASSERT_EQ(wl.publishers.size(), 4u);
+  EXPECT_EQ(wl.duration, 5 * kSecond);
+  ASSERT_EQ(wl.topics.size(), 2u);
+  EXPECT_DOUBLE_EQ(wl.topics[0].fraction, 0.5);
+  for (std::size_t p = 0; p < wl.publishers.size(); ++p) {
+    EXPECT_EQ(wl.publishers[p].arrival, load::ArrivalKind::burst);
+    EXPECT_DOUBLE_EQ(wl.publishers[p].rate, 20.0);
+    EXPECT_EQ(wl.publishers[p].burst_on, 250 * kMillisecond);
+    EXPECT_EQ(wl.publishers[p].burst_off, 750 * kMillisecond);
+    EXPECT_EQ(wl.publishers[p].topic, static_cast<std::uint32_t>(p % 2));
+  }
+}
+
+TEST(Cli, NoWorkloadFlagsLeaveSpecEmpty) {
+  // Legacy configurations must stay bit-for-bit unchanged: without any
+  // workload flag, config.workload is empty and the light loop runs.
+  EXPECT_TRUE(parse({})->config.workload.empty());
+  EXPECT_TRUE(parse({"--messages", "50"})->config.workload.empty());
+}
+
+TEST(Cli, RejectsZeroSenders) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--senders", "0"}, error));
+  EXPECT_EQ(error, "--senders: must be >= 1");
+}
+
+TEST(Cli, RejectsNonPositiveRate) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--senders", "2", "--rate", "0"}, error));
+  EXPECT_EQ(error, "--rate: must be > 0");
+  EXPECT_FALSE(parse_cli({"--senders", "2", "--rate", "-3.5"}, error));
+  EXPECT_EQ(error, "--rate: must be > 0");
+  EXPECT_FALSE(parse_cli({"--senders", "2", "--rate", "nan"}, error));
+}
+
+TEST(Cli, RejectsUnknownArrivalKind) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--senders", "2", "--arrival", "warp"}, error));
+  EXPECT_EQ(error, "--arrival: unknown kind: warp");
+}
+
+TEST(Cli, RejectsBadWorkloadWindows) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--senders", "1", "--duration-ms", "0"}, error));
+  EXPECT_EQ(error, "--duration-ms: must be > 0");
+  EXPECT_FALSE(parse_cli({"--senders", "1", "--burst-on-ms", "0"}, error));
+  EXPECT_EQ(error, "--burst-on-ms: must be > 0");
+}
+
+TEST(Cli, RejectsEmptyTopicConfiguration) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--senders", "1", "--topics", "0"}, error));
+  EXPECT_EQ(error, "--topics: must be >= 1");
+  EXPECT_FALSE(
+      parse_cli({"--senders", "1", "--topics", "2", "--topic-fraction", "0"},
+                error));
+  EXPECT_EQ(error, "--topic-fraction: must be in (0, 1]");
+  EXPECT_FALSE(
+      parse_cli({"--senders", "1", "--topics", "2", "--topic-fraction", "1.5"},
+                error));
+  EXPECT_EQ(error, "--topic-fraction: must be in (0, 1]");
+}
+
+TEST(Cli, WorkloadAuxFlagsRequireSenders) {
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--rate", "20"}, error));
+  EXPECT_NE(error.find("--senders"), std::string::npos);
+}
+
+TEST(Cli, WorkloadFileExcludesInlineFlags) {
+  const auto options = parse({"--workload", "examples/saturation.wl"});
+  ASSERT_TRUE(options);
+  EXPECT_EQ(options->workload_path, "examples/saturation.wl");
+  // The parser is pure: no file IO, the spec stays empty.
+  EXPECT_TRUE(options->config.workload.empty());
+  std::string error;
+  EXPECT_FALSE(
+      parse_cli({"--workload", "x.wl", "--senders", "2"}, error));
+  EXPECT_NE(error.find("--workload"), std::string::npos);
+}
+
+TEST(Cli, FormatResultKvIncludesGoodputLines) {
+  ExperimentResult r;
+  r.offered_msgs = 1234;
+  r.goodput_msgs_per_s = 87.5;
+  r.redundancy_ratio = 1.25;
+  r.knee_time_ms = 4000;
+  r.egress_peak_depth = 17;
+  const std::string kv = format_result_kv(r);
+  EXPECT_NE(kv.find("offered_msgs=1234"), std::string::npos);
+  EXPECT_NE(kv.find("goodput_msgs_per_s=87.5"), std::string::npos);
+  EXPECT_NE(kv.find("redundancy_ratio=1.25"), std::string::npos);
+  EXPECT_NE(kv.find("knee_time_ms=4000"), std::string::npos);
+  EXPECT_NE(kv.find("egress_peak_depth=17"), std::string::npos);
+  EXPECT_NE(kv.find("egress_queue_delay_mean_ms=0"), std::string::npos);
+}
+
+TEST(Cli, PhaseKvIncludesLoadRates) {
+  ExperimentResult r;
+  stats::PhaseReport p;
+  p.label = "burst";
+  p.offered_per_s = 42.5;
+  p.goodput_per_s = 40.0;
+  r.phase_reports.push_back(p);
+  const std::string kv = format_result_kv(r);
+  EXPECT_NE(kv.find("phase0_offered_per_s=42.5"), std::string::npos);
+  EXPECT_NE(kv.find("phase0_goodput_per_s=40"), std::string::npos);
+}
+
+TEST(Cli, ApplySweepParamWorkloadNames) {
+  ExperimentConfig c;
+  std::string error;
+  // rate/burst knobs need a workload to act on.
+  EXPECT_FALSE(apply_sweep_param(c, "rate", 20, error));
+  EXPECT_NE(error.find("rate"), std::string::npos);
+  EXPECT_TRUE(apply_sweep_param(c, "senders", 8, error));
+  ASSERT_EQ(c.workload.publishers.size(), 8u);
+  EXPECT_TRUE(apply_sweep_param(c, "rate", 20, error));
+  for (const auto& pub : c.workload.publishers) {
+    EXPECT_DOUBLE_EQ(pub.rate, 20.0);
+  }
+  EXPECT_TRUE(apply_sweep_param(c, "duration-ms", 4000, error));
+  EXPECT_EQ(c.workload.duration, 4 * kSecond);
+  EXPECT_TRUE(apply_sweep_param(c, "burst-on-ms", 250, error));
+  EXPECT_EQ(c.workload.publishers[0].burst_on, 250 * kMillisecond);
+  EXPECT_TRUE(apply_sweep_param(c, "burst-off-ms", 750, error));
+  EXPECT_EQ(c.workload.publishers[0].burst_off, 750 * kMillisecond);
+  // Shrinking keeps the (possibly customized) first spec as the template.
+  c.workload.publishers.front().rate = 99.0;
+  EXPECT_TRUE(apply_sweep_param(c, "senders", 2, error));
+  ASSERT_EQ(c.workload.publishers.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.workload.publishers[1].rate, 99.0);
+  EXPECT_FALSE(apply_sweep_param(c, "senders", 0, error));
+  EXPECT_FALSE(apply_sweep_param(c, "rate", -1, error));
+}
+
 TEST(Cli, ParseValueList) {
   std::string error;
   const auto ok = parse_value_list("0,0.5,1e2,-3", error);

@@ -134,6 +134,25 @@ std::uint64_t fingerprint(const ExperimentResult& r) {
   return fnv1a(render(r));
 }
 
+/// The goodput/egress block the heavy-workload golden appends to the base
+/// rendering. Kept out of render() so the pre-compaction legacy
+/// fingerprints above stay byte-identical to their original capture.
+std::string render_goodput(const ExperimentResult& r) {
+  std::string out;
+  add(out, "offered_msgs", r.offered_msgs);
+  add(out, "offered_msgs_per_s", r.offered_msgs_per_s);
+  add(out, "goodput_msgs_per_s", r.goodput_msgs_per_s);
+  add(out, "redundancy_ratio", r.redundancy_ratio);
+  add(out, "knee_time_ms", r.knee_time_ms);
+  add(out, "offtopic_deliveries", r.offtopic_deliveries);
+  add(out, "egress_serialized_packets", r.egress_serialized_packets);
+  add(out, "egress_queue_delay_mean_ms", r.egress_queue_delay_mean_ms);
+  add(out, "egress_queue_delay_max_ms", r.egress_queue_delay_max_ms);
+  add(out, "egress_peak_depth", r.egress_peak_depth);
+  add(out, "egress_peak_queued_bytes", r.egress_peak_queued_bytes);
+  return out;
+}
+
 ExperimentConfig base100() {
   ExperimentConfig c;
   c.seed = 4242;
@@ -250,6 +269,42 @@ TEST(Equivalence, N2048StaticLazy) {
   expect_fingerprint(c, 6413417638893343736ULL, "2048-node static lazy");
 }
 
+// --- heavy-traffic workload golden ---------------------------------------
+
+TEST(Equivalence, HeavyWorkloadSaturated) {
+  // Canned heavy-load run: four publishers (poisson/fixed/burst mix, one
+  // pinned into a fraction topic) pushing through a tight serialized
+  // egress with a drop-oldest buffer. Pins the full rendering including
+  // the goodput/egress block — covers the workload generator, bandwidth
+  // serialization and goodput tracker end to end.
+  ExperimentConfig c = base100();
+  c.num_messages = 0;  // workload replaces the legacy source loop
+  c.bandwidth_bps = 4'000'000;
+  c.egress_buffer_bytes = 48 * 1024;
+  c.purge_policy = net::TransportOptions::PurgePolicy::drop_oldest;
+  load::WorkloadSpec wl;
+  wl.duration = 6 * kSecond;
+  load::TopicSpec topic;
+  topic.name = "hot";
+  topic.fraction = 0.3;
+  wl.topics.push_back(topic);
+  for (int p = 0; p < 4; ++p) {
+    load::PublisherSpec pub;
+    pub.arrival = (p == 3)   ? load::ArrivalKind::burst
+                  : (p == 2) ? load::ArrivalKind::fixed_rate
+                             : load::ArrivalKind::poisson;
+    pub.rate = 25.0;
+    if (p == 0) pub.topic = 0;
+    wl.publishers.push_back(pub);
+  }
+  c.workload = wl;
+  const ExperimentResult r = run_experiment(c);
+  const std::string rendering = render(r) + render_goodput(r);
+  EXPECT_EQ(fnv1a(rendering), 10260051092629557157ULL)
+      << "heavy 4-publisher saturated workload drifted; new rendering:\n"
+      << rendering;
+}
+
 // --- metrics JSON byte-identity ------------------------------------------
 
 TEST(Equivalence, MetricsJsonScenario) {
@@ -263,7 +318,7 @@ TEST(Equivalence, MetricsJsonScenario) {
   ASSERT_NE(r.metrics, nullptr);
   const std::string json =
       format_metrics_json(*r.metrics, {r.phase_reports});
-  EXPECT_EQ(fnv1a(json), 5068294299628381055ULL)
+  EXPECT_EQ(fnv1a(json), 13068026143548039115ULL)
       << "metrics JSON drifted (" << json.size() << " bytes)";
 }
 

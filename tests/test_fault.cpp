@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "harness/cli.hpp"
 #include "harness/experiment.hpp"
 #include "harness/scenario_text.hpp"
+#include "load/workload.hpp"
 #include "net/transport.hpp"
 #include "sim/simulator.hpp"
 #include "stats/phase_windows.hpp"
@@ -687,6 +689,47 @@ TEST(FaultExperiment, ScenarioNoiseRampWrapsStrategy) {
   // Flat pi=1.0 with heavy Eager?-noise still delivers (pull recovery),
   // so this mainly asserts the ramp plumbing doesn't break the run.
   EXPECT_GT(r.mean_delivery_fraction, 0.95);
+}
+
+TEST(FaultExperiment, LossBurstDuringSaturationComposesDeterministically) {
+  // Satellite regression: the bandwidth queue and scenario fault
+  // modifiers compose. A k-publisher workload saturates the bounded
+  // egress while a scripted loss burst fires mid-run; the whole thing
+  // must replay bit-identically (kv text equality) and both fault paths
+  // must actually trigger.
+  harness::ExperimentConfig c = small_config(23);
+  c.strategy = harness::StrategySpec::make_ttl(2);
+  c.bandwidth_bps = 2'000'000;
+  c.egress_buffer_bytes = 32 * 1024;
+  c.purge_policy = net::TransportOptions::PurgePolicy::drop_oldest;
+  load::WorkloadSpec wl;
+  wl.duration = 8 * kSecond;
+  for (int p = 0; p < 4; ++p) {
+    load::PublisherSpec pub;
+    pub.rate = 20.0;
+    wl.publishers.push_back(pub);
+  }
+  c.workload = wl;
+  c.scenario = harness::parse_scenario(
+      "0s phase ramp\n"
+      "3s phase lossy\n"
+      "3s loss rate=0.3 for=2s\n"
+      "5s phase recovered\n");
+  const harness::ExperimentResult a = harness::run_experiment(c);
+  const harness::ExperimentResult b = harness::run_experiment(c);
+  EXPECT_EQ(harness::format_result_kv(a), harness::format_result_kv(b));
+  // The loss burst fired (apply + restore) alongside the phase markers.
+  EXPECT_GT(a.faults_injected, 3u);
+  EXPECT_GT(a.packets_lost, 0u);
+  // The workload really drove the run into serialization.
+  EXPECT_GT(a.offered_msgs, 200u);
+  EXPECT_GT(a.egress_serialized_packets, 0u);
+  EXPECT_GT(a.egress_queue_delay_mean_ms, 0.0);
+  ASSERT_EQ(a.phase_reports.size(), 3u);
+  for (const auto& p : a.phase_reports) {
+    EXPECT_GT(p.offered_per_s, 0.0) << p.label;
+    EXPECT_GT(p.goodput_per_s, 0.0) << p.label;
+  }
 }
 
 TEST(FaultExperiment, ScenarioValidatedAgainstNodeCount) {

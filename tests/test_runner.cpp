@@ -93,6 +93,37 @@ TEST(Runner, KvRenderingIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(Runner, WorkloadRunsAreDeterministicAtAnyJobCount) {
+  // k-publisher heavy-traffic runs schedule all arrivals up front from a
+  // dedicated RNG split; results (including the goodput/egress lines the
+  // kv renderer now emits) must be byte-identical at any --jobs.
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    ExperimentConfig c = tiny_config(seed);
+    load::WorkloadSpec wl;
+    wl.duration = 4 * kSecond;
+    for (int p = 0; p < 3; ++p) {
+      load::PublisherSpec pub;
+      pub.arrival = load::ArrivalKind::poisson;
+      pub.rate = 10.0;
+      wl.publishers.push_back(pub);
+    }
+    c.workload = wl;
+    configs.push_back(c);
+  }
+  const auto jobs1 = run_experiments(configs, 1);
+  const auto jobs4 = run_experiments(configs, 4);
+  ASSERT_EQ(jobs1.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_identical(jobs1[i], jobs4[i]);
+    EXPECT_EQ(jobs1[i].offered_msgs, jobs4[i].offered_msgs);
+    EXPECT_EQ(jobs1[i].goodput_msgs_per_s, jobs4[i].goodput_msgs_per_s);
+    EXPECT_EQ(jobs1[i].redundancy_ratio, jobs4[i].redundancy_ratio);
+    EXPECT_EQ(format_result_kv(jobs1[i]), format_result_kv(jobs4[i]));
+    EXPECT_GT(jobs1[i].offered_msgs, 0u);
+  }
+}
+
 TEST(Runner, ScenarioRunsAreDeterministicAtAnyJobCount) {
   // A scenario exercises every injector path (RNG-driven random crashes,
   // churn interval, bursts, phase windows); the rendered kv text — which

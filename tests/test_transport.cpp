@@ -371,6 +371,91 @@ TEST(Transport, BandwidthSerializesBackToBackSends) {
   EXPECT_EQ(arrivals[1] - arrivals[0], 1000);
 }
 
+TEST(Transport, EgressStatsAccountSojournAndPeaks) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000'000;  // 1 byte/us
+  Fixture f(3, opts);
+  // Two 1000-byte packets queued at t=0: the first spends its own 1000 us
+  // transmission time, the second that plus 1000 us of queueing delay.
+  f.transport.send(0, 1, make_packet(), 1000, true);
+  f.transport.send(0, 2, make_packet(), 1000, true);
+  f.sim.run();
+  const Transport::EgressStats& es = f.transport.egress_stats(0);
+  EXPECT_EQ(es.serialized_packets, 2u);
+  EXPECT_EQ(es.total_sojourn_us, 3000u);
+  EXPECT_EQ(es.max_sojourn_us, 2000u);
+  EXPECT_EQ(es.peak_depth, 2u);
+  EXPECT_EQ(es.peak_queued_bytes, 2000u);
+  // Idle nodes stay at zero; totals mirror the only active egress.
+  EXPECT_EQ(f.transport.egress_stats(1).serialized_packets, 0u);
+  const Transport::EgressStats totals = f.transport.egress_totals();
+  EXPECT_EQ(totals.serialized_packets, 2u);
+  EXPECT_EQ(totals.max_sojourn_us, 2000u);
+  f.transport.reset_egress_stats();
+  EXPECT_EQ(f.transport.egress_stats(0).serialized_packets, 0u);
+  EXPECT_EQ(f.transport.egress_totals().total_sojourn_us, 0u);
+}
+
+TEST(Transport, EgressListenerReportsEachSerializedPacket) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000'000;
+  Fixture f(2, opts);
+  std::vector<std::uint64_t> sojourns;
+  f.transport.set_egress_listener(
+      [&](NodeId src, std::uint64_t sojourn_us, std::size_t) {
+        EXPECT_EQ(src, 0u);
+        sojourns.push_back(sojourn_us);
+      });
+  f.transport.send(0, 1, make_packet(), 500, true);
+  f.transport.send(0, 1, make_packet(), 500, false);
+  f.sim.run();
+  ASSERT_EQ(sojourns.size(), 2u);
+  EXPECT_EQ(sojourns[0], 500u);
+  EXPECT_EQ(sojourns[1], 1000u);
+}
+
+TEST(Transport, LossBurstOnSaturatedLinkLeavesUnrelatedLinksUntouched) {
+  // Composition regression: a fault-injected loss burst on a saturated,
+  // bounded egress consumes RNG draws only for that link's packets, so an
+  // unrelated link's delivery times and contents are bit-identical with
+  // and without the fault.
+  struct Outcome {
+    std::vector<std::pair<SimTime, int>> unrelated;
+    std::uint64_t fault_drops = 0;
+    std::uint64_t buffer_drops = 0;
+  };
+  auto run = [](bool with_fault) {
+    TransportOptions opts;
+    opts.bandwidth_bps = 80'000;  // 10 bytes/ms: heavy queueing
+    opts.egress_buffer_bytes = 5000;
+    opts.purge_policy = TransportOptions::PurgePolicy::drop_oldest;
+    Fixture f(4, opts);
+    if (with_fault) f.transport.set_link_extra_loss(0, 1, 0.7);
+    Outcome out;
+    f.transport.register_handler(3, [&](NodeId, const PacketPtr& pkt) {
+      const auto* tp = dynamic_cast<const TestPacket*>(pkt.get());
+      out.unrelated.emplace_back(f.sim.now(), tp->tag);
+    });
+    for (int i = 0; i < 100; ++i) {
+      f.transport.send(0, 1, make_packet(i), 500, true);  // saturated + lossy
+      f.transport.send(2, 3, make_packet(i), 500, true);  // unrelated
+    }
+    f.sim.run();
+    out.fault_drops = f.transport.fault_drops();
+    out.buffer_drops = f.transport.buffer_drops();
+    return out;
+  };
+  const Outcome base = run(false);
+  const Outcome faulted = run(true);
+  // The fault really bit (drops on the saturated link), the bounded
+  // buffer really overflowed, and the unrelated link never noticed.
+  EXPECT_EQ(base.fault_drops, 0u);
+  EXPECT_GT(faulted.fault_drops, 0u);
+  EXPECT_GT(faulted.buffer_drops, 0u);
+  EXPECT_EQ(base.unrelated, faulted.unrelated);
+  ASSERT_FALSE(base.unrelated.empty());
+}
+
 TEST(Transport, DropNewestRefusesArrivals) {
   TransportOptions opts;
   opts.bandwidth_bps = 8'000;  // 1 byte/ms: very slow

@@ -1,19 +1,28 @@
-// esm_bench_guard: cross-commit perf-regression gate for BENCH_sweep.json.
+// esm_bench_guard: cross-commit regression gate for BENCH_sweep.json.
 //
-// Compares the 50k-node scale point of a freshly generated report against
-// the baseline committed in the repository and fails (exit 1) when
-// events/s dropped more than the allowed fraction. CI runs:
+// Compares a freshly generated report against the baseline committed in
+// the repository and fails (exit 1) on either gated regression:
 //
-//   esm_bench_report --scale --out bench-fresh.json
+//   * scale_50k.events_per_second dropped more than the allowed fraction
+//     (throughput gate — machine-relative, hence the generous margin);
+//   * load_sweep.goodput_msgs_per_s dropped more than the allowed
+//     fraction at the 50k-node / 32-publisher heavy-traffic point. This
+//     is a *deterministic simulation output*, so any drop at all is a
+//     behavioral change; the shared margin merely absorbs intentional
+//     protocol tuning between baseline refreshes.
+//
+// CI runs:
+//
+//   esm_bench_report --scale --load-sweep --out bench-fresh.json
 //   esm_bench_guard bench-fresh.json BENCH_sweep.json          # 15% gate
 //   esm_bench_guard fresh.json base.json --max-drop 0.25       # custom
 //
 // Both files are esm_bench_report output, so a purpose-built field
 // extractor is enough — no JSON library needed. A baseline without a
-// scale_50k section passes with a note (bootstrap case: the gate arms
-// itself once a scale-point baseline is committed). RSS is reported for
-// context but not gated: CI machines vary more in memory layout than in
-// relative throughput.
+// scale_50k (or load_sweep) section passes that gate with a note
+// (bootstrap case: each gate arms itself once its baseline section is
+// committed). RSS is reported for context but not gated: CI machines
+// vary more in memory layout than in relative throughput.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -83,39 +92,72 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  int failures = 0;
+
+  // Gate 1: 50k-node scale throughput.
   double base_eps = 0.0;
   if (!extract(base_json, "scale_50k", "events_per_second", base_eps)) {
     std::printf(
-        "esm_bench_guard: baseline %s has no scale_50k section — gate "
-        "not armed yet, passing\n",
+        "esm_bench_guard: baseline %s has no scale_50k section — "
+        "throughput gate not armed yet\n",
         args[1].c_str());
-    return 0;
-  }
-  double fresh_eps = 0.0;
-  if (!extract(fresh_json, "scale_50k", "events_per_second", fresh_eps)) {
-    std::fprintf(stderr,
-                 "esm_bench_guard: %s has no scale_50k section — run "
-                 "esm_bench_report with --scale\n",
-                 args[0].c_str());
-    return 2;
+  } else {
+    double fresh_eps = 0.0;
+    if (!extract(fresh_json, "scale_50k", "events_per_second", fresh_eps)) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: %s has no scale_50k section — run "
+                   "esm_bench_report with --scale\n",
+                   args[0].c_str());
+      return 2;
+    }
+    double base_rss = 0.0, fresh_rss = 0.0;
+    extract(base_json, "scale_50k", "peak_rss_mb", base_rss);
+    extract(fresh_json, "scale_50k", "peak_rss_mb", fresh_rss);
+    const double floor = base_eps * (1.0 - max_drop);
+    std::printf(
+        "50k point: fresh %.0f ev/s vs baseline %.0f ev/s (floor %.0f, "
+        "max drop %.0f%%) | RSS %.0f MB vs %.0f MB\n",
+        fresh_eps, base_eps, floor, 100.0 * max_drop, fresh_rss, base_rss);
+    if (fresh_eps < floor) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: REGRESSION — 50k events/s dropped "
+                   "%.1f%% (allowed %.0f%%)\n",
+                   100.0 * (1.0 - fresh_eps / base_eps), 100.0 * max_drop);
+      ++failures;
+    }
   }
 
-  double base_rss = 0.0, fresh_rss = 0.0;
-  extract(base_json, "scale_50k", "peak_rss_mb", base_rss);
-  extract(fresh_json, "scale_50k", "peak_rss_mb", fresh_rss);
-
-  const double floor = base_eps * (1.0 - max_drop);
-  std::printf(
-      "50k point: fresh %.0f ev/s vs baseline %.0f ev/s (floor %.0f, "
-      "max drop %.0f%%) | RSS %.0f MB vs %.0f MB\n",
-      fresh_eps, base_eps, floor, 100.0 * max_drop, fresh_rss, base_rss);
-  if (fresh_eps < floor) {
-    std::fprintf(stderr,
-                 "esm_bench_guard: REGRESSION — 50k events/s dropped "
-                 "%.1f%% (allowed %.0f%%)\n",
-                 100.0 * (1.0 - fresh_eps / base_eps), 100.0 * max_drop);
-    return 1;
+  // Gate 2: goodput at the 50k-node / 32-publisher heavy-traffic point.
+  double base_gp = 0.0;
+  if (!extract(base_json, "load_sweep", "goodput_msgs_per_s", base_gp)) {
+    std::printf(
+        "esm_bench_guard: baseline %s has no load_sweep section — "
+        "goodput gate not armed yet\n",
+        args[1].c_str());
+  } else {
+    double fresh_gp = 0.0;
+    if (!extract(fresh_json, "load_sweep", "goodput_msgs_per_s", fresh_gp)) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: %s has no load_sweep section — run "
+                   "esm_bench_report with --load-sweep\n",
+                   args[0].c_str());
+      return 2;
+    }
+    const double floor = base_gp * (1.0 - max_drop);
+    std::printf(
+        "load point: fresh %.1f goodput msgs/s vs baseline %.1f "
+        "(floor %.1f, max drop %.0f%%)\n",
+        fresh_gp, base_gp, floor, 100.0 * max_drop);
+    if (fresh_gp < floor) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: REGRESSION — heavy-traffic goodput "
+                   "dropped %.1f%% (allowed %.0f%%)\n",
+                   100.0 * (1.0 - fresh_gp / base_gp), 100.0 * max_drop);
+      ++failures;
+    }
   }
+
+  if (failures > 0) return 1;
   std::printf("esm_bench_guard: OK\n");
   return 0;
 }

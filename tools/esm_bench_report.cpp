@@ -18,6 +18,9 @@
 //   esm_bench_report --jobs 1         # serial baseline, per-point memory
 //   esm_bench_report --scale          # adds the 50k-node scale point
 //   esm_bench_report --scale --huge   # adds 200k and 1M points (slow)
+//   esm_bench_report --load-sweep     # adds the saturation-knee sweep and
+//                                     # the 50k-node / 32-publisher
+//                                     # heavy-traffic point (load_sweep)
 //   esm_bench_report --out perf.json
 #include <sys/resource.h>
 
@@ -115,6 +118,75 @@ void write_scale_point(std::ofstream& out, const char* name,
   out << buf;
 }
 
+struct LoadPoint {
+  double rate = 0.0;  // per-publisher msgs/s
+  double offered_per_s = 0.0;
+  double goodput_per_s = 0.0;
+  double redundancy = 0.0;
+  double knee_ms = -1.0;
+  double queue_delay_mean_ms = 0.0;
+  std::uint64_t buffer_drops = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double deliveries = 0.0;
+};
+
+/// A k-publisher Poisson workload over a serialized egress. The knee
+/// sweep uses a deliberately tight pipe (2 Mb/s, 32 KB drop-oldest
+/// buffer) so the saturation onset lands inside the swept rates; the 50k
+/// heavy-traffic point keeps the default 100 Mb/s egress and gates
+/// *goodput* (a deterministic simulation output), not wall clock.
+esm::harness::ExperimentConfig load_config(std::uint32_t nodes,
+                                           std::uint32_t publishers,
+                                           double rate, esm::SimTime duration,
+                                           std::uint64_t bandwidth_bps,
+                                           std::uint64_t buffer_bytes) {
+  using namespace esm;
+  harness::ExperimentConfig c;
+  c.seed = 2007;
+  c.num_nodes = nodes;
+  c.num_messages = 0;
+  c.overlay_kind = harness::OverlayKind::static_random;
+  c.strategy = harness::StrategySpec::make_flat(0.0);
+  c.bandwidth_bps = bandwidth_bps;
+  c.egress_buffer_bytes = buffer_bytes;
+  c.purge_policy = net::TransportOptions::PurgePolicy::drop_oldest;
+  c.workload.duration = duration;
+  for (std::uint32_t p = 0; p < publishers; ++p) {
+    load::PublisherSpec pub;
+    pub.arrival = load::ArrivalKind::poisson;
+    pub.rate = rate;
+    c.workload.publishers.push_back(pub);
+  }
+  return c;
+}
+
+bool run_load_point(const esm::harness::ExperimentConfig& c, double rate,
+                    LoadPoint& out) {
+  using namespace esm;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const harness::ExperimentResult r = harness::run_experiment(c);
+    out.offered_per_s = r.offered_msgs_per_s;
+    out.goodput_per_s = r.goodput_msgs_per_s;
+    out.redundancy = r.redundancy_ratio;
+    out.knee_ms = r.knee_time_ms;
+    out.queue_delay_mean_ms = r.egress_queue_delay_mean_ms;
+    out.buffer_drops = r.buffer_drops;
+    out.events = r.events_executed;
+    out.deliveries = r.mean_delivery_fraction;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esm_bench_report: load point rate=%g: %s\n", rate,
+                 e.what());
+    return false;
+  }
+  out.rate = rate;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +196,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_sweep.json";
   bool with_scale = false;
   bool with_huge = false;
+  bool with_load = false;
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--out" && i + 1 < args.size()) {
       out_path = args[i + 1];
@@ -135,6 +208,9 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--huge") {
       with_scale = true;
       with_huge = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--load-sweep") {
+      with_load = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
@@ -149,8 +225,8 @@ int main(int argc, char** argv) {
   if (!args.empty()) {
     std::fprintf(stderr,
                  "esm_bench_report: unknown flag %s (takes --jobs N, "
-                 "--scale and --out FILE only; the workload is fixed by "
-                 "design)\n",
+                 "--scale, --load-sweep and --out FILE only; the workload "
+                 "is fixed by design)\n",
                  args[0].c_str());
     return 2;
   }
@@ -243,6 +319,32 @@ int main(int argc, char** argv) {
     if (!run_scale_point(1'000'000u, scale_1m)) return 1;
   }
 
+  // Heavy-traffic points. load_knee sweeps per-publisher rate over a
+  // deliberately tight egress (300 nodes, 8 publishers, 2 Mb/s, 32 KB
+  // drop-oldest buffer, 10 s) so the saturation knee is crossed inside
+  // the swept range; load_sweep is the fixed 50k-node / 32-publisher
+  // point whose goodput the CI guard compares across commits. Constants
+  // pinned for cross-commit comparability — do not change them.
+  constexpr double kLoadRates[] = {5.0, 10.0, 20.0, 40.0, 80.0};
+  std::vector<LoadPoint> load_knee;
+  LoadPoint load_50k;
+  if (with_load) {
+    for (const double rate : kLoadRates) {
+      LoadPoint p;
+      if (!run_load_point(load_config(300, 8, rate, 10 * kSecond, 2'000'000,
+                                      32 * 1024),
+                          rate, p)) {
+        return 1;
+      }
+      load_knee.push_back(p);
+    }
+    if (!run_load_point(load_config(50'000u, 32, 0.125, 8 * kSecond,
+                                    100'000'000, 0),
+                        0.125, load_50k)) {
+      return 1;
+    }
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "esm_bench_report: cannot write %s\n",
@@ -288,6 +390,41 @@ int main(int argc, char** argv) {
     write_scale_point(out, "scale_200k", scale_200k);
     write_scale_point(out, "scale_1m", scale_1m);
   }
+  if (with_load) {
+    out << "  \"load_knee\": [\n";
+    for (std::size_t i = 0; i < load_knee.size(); ++i) {
+      const LoadPoint& p = load_knee[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"rate\": %g, \"offered_per_s\": %.3f, "
+                    "\"goodput_per_s\": %.3f, \"redundancy\": %.3f, "
+                    "\"knee_ms\": %.0f, \"queue_delay_mean_ms\": %.3f, "
+                    "\"buffer_drops\": %llu, \"events\": %llu, "
+                    "\"wall_s\": %.3f}%s\n",
+                    p.rate, p.offered_per_s, p.goodput_per_s, p.redundancy,
+                    p.knee_ms, p.queue_delay_mean_ms,
+                    static_cast<unsigned long long>(p.buffer_drops),
+                    static_cast<unsigned long long>(p.events), p.wall_s,
+                    i + 1 < load_knee.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ],\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"load_sweep\": {\"nodes\": 50000, \"publishers\": 32, "
+        "\"rate\": %g, \"offered_msgs_per_s\": %.3f, "
+        "\"goodput_msgs_per_s\": %.3f, \"redundancy_ratio\": %.3f, "
+        "\"knee_time_ms\": %.0f, \"deliveries\": %.5f, "
+        "\"events\": %llu, \"events_per_second\": %.0f, "
+        "\"wall_clock_seconds\": %.3f},\n",
+        load_50k.rate, load_50k.offered_per_s, load_50k.goodput_per_s,
+        load_50k.redundancy, load_50k.knee_ms, load_50k.deliveries,
+        static_cast<unsigned long long>(load_50k.events),
+        load_50k.wall_s > 0.0
+            ? static_cast<double>(load_50k.events) / load_50k.wall_s
+            : 0.0,
+        load_50k.wall_s);
+    out << buf;
+  }
   out << "  \"results\": [\n";
   constexpr std::size_t kNumPis = sizeof(kPis) / sizeof(kPis[0]);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -329,6 +466,26 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(p->events),
         p->wall_s > 0.0 ? static_cast<double>(p->events) / p->wall_s : 0.0,
         p->peak_rss_mb, 100.0 * p->deliveries);
+  }
+  for (const LoadPoint& p : load_knee) {
+    char knee[32];
+    if (p.knee_ms < 0) {
+      std::snprintf(knee, sizeof(knee), "none");
+    } else {
+      std::snprintf(knee, sizeof(knee), "%.0f ms", p.knee_ms);
+    }
+    std::printf(
+        "load rate %g: offered %.1f/s | goodput %.1f/s | redundancy %.2f | "
+        "knee %s | drops %llu\n",
+        p.rate, p.offered_per_s, p.goodput_per_s, p.redundancy, knee,
+        static_cast<unsigned long long>(p.buffer_drops));
+  }
+  if (load_50k.events > 0) {
+    std::printf(
+        "load 50k/32pub: %.3f s | offered %.1f/s | goodput %.1f/s | "
+        "redundancy %.2f | deliveries %.3f%%\n",
+        load_50k.wall_s, load_50k.offered_per_s, load_50k.goodput_per_s,
+        load_50k.redundancy, 100.0 * load_50k.deliveries);
   }
   std::printf("report written to %s\n", out_path.c_str());
   return 0;

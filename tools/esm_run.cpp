@@ -17,6 +17,7 @@
 #include "harness/runner.hpp"
 #include "harness/scenario_text.hpp"
 #include "harness/table.hpp"
+#include "load/workload_text.hpp"
 #include "stats/running.hpp"
 
 int main(int argc, char** argv) {
@@ -83,6 +84,16 @@ int main(int argc, char** argv) {
     try {
       options->config.scenario =
           harness::load_scenario_file(options->scenario_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esm_run: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!options->workload_path.empty()) {
+    try {
+      options->config.workload =
+          load::load_workload_file(options->workload_path);
+      options->config.workload.validate(options->config.num_nodes);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "esm_run: %s\n", e.what());
       return 2;
@@ -334,6 +345,36 @@ int main(int argc, char** argv) {
                  std::to_string(result.recovery_stalled)});
   table.row({"events executed", std::to_string(result.events_executed)});
   table.print();
+
+  if (result.offered_msgs > 0) {
+    harness::Table load("offered load and goodput");
+    load.header({"metric", "value"});
+    load.row({"offered msgs (rate /s)",
+              std::to_string(result.offered_msgs) + " (" +
+                  harness::Table::num(result.offered_msgs_per_s, 1) + ")"});
+    load.row({"goodput (first deliveries /s)",
+              harness::Table::num(result.goodput_msgs_per_s, 1)});
+    load.row({"redundancy (payload tx / delivery)",
+              harness::Table::num(result.redundancy_ratio, 2)});
+    load.row({"saturation knee (ms after start)",
+              result.knee_time_ms < 0.0
+                  ? std::string("none")
+                  : harness::Table::num(result.knee_time_ms, 0)});
+    if (result.offtopic_deliveries > 0) {
+      load.row({"off-topic deliveries",
+                std::to_string(result.offtopic_deliveries)});
+    }
+    if (result.egress_serialized_packets > 0) {
+      load.row({"egress queue delay mean / max (ms)",
+                harness::Table::num(result.egress_queue_delay_mean_ms, 2) +
+                    " / " +
+                    harness::Table::num(result.egress_queue_delay_max_ms, 2)});
+      load.row({"egress peak depth / queued bytes",
+                std::to_string(result.egress_peak_depth) + " / " +
+                    std::to_string(result.egress_peak_queued_bytes)});
+    }
+    load.print();
+  }
 
   if (result.tree_stats) print_tree_table(*result.tree_stats);
 

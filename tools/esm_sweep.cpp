@@ -18,6 +18,7 @@
 #include "harness/runner.hpp"
 #include "harness/scenario_text.hpp"
 #include "harness/table.hpp"
+#include "load/workload_text.hpp"
 
 int main(int argc, char** argv) {
   using namespace esm;
@@ -53,8 +54,9 @@ int main(int argc, char** argv) {
                  "esm_sweep: --param NAME and --values V1,V2,... are "
                  "required.\nSweepable: pi u rho best noise t0-ms loss kill "
                  "churn batch-ms interval-ms period-ms retry-rounds fanout "
-                 "nodes messages "
-                 "seed.\nAll esm_run flags form the base configuration;\n"
+                 "nodes messages seed senders rate duration-ms burst-on-ms "
+                 "burst-off-ms.\nAll esm_run flags form the base "
+                 "configuration;\n"
                  "--jobs N runs points concurrently (default: all cores).\n");
     return 2;
   }
@@ -68,6 +70,15 @@ int main(int argc, char** argv) {
     try {
       base->config.scenario =
           harness::load_scenario_file(base->scenario_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esm_sweep: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!base->workload_path.empty()) {
+    try {
+      base->config.workload = load::load_workload_file(base->workload_path);
+      base->config.workload.validate(base->config.num_nodes);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "esm_sweep: %s\n", e.what());
       return 2;
@@ -102,12 +113,22 @@ int main(int argc, char** argv) {
   // series: eager-hop share, tree-edge latency vs the all-pairs overlay
   // baseline, and consecutive-tree Jaccard overlap.
   const bool tree = base->config.collect_tree_stats;
+  // Workload sweeps (and sweeps over senders/rate starting from one) also
+  // report the offered-load/goodput series — the saturation-knee axes.
+  bool load_cols = !base->config.workload.empty();
+  for (const auto& config : configs) {
+    load_cols = load_cols || !config.workload.empty();
+  }
 
   harness::Table table("sweep of " + param + " (" +
                        base->config.strategy.describe() + ")");
   std::vector<std::string> header = {param, "latency ms", "p95 ms",
                                      "payload/msg", "deliveries %", "top5 %",
                                      "retries", "stalled"};
+  if (load_cols) {
+    header.insert(header.end(),
+                  {"offered/s", "goodput/s", "redund", "knee ms"});
+  }
   if (tree) {
     header.insert(header.end(),
                   {"eager %", "edge ms", "overlay ms", "jaccard"});
@@ -116,8 +137,11 @@ int main(int argc, char** argv) {
   if (csv) {
     std::printf(
         "%s,latency_ms,p95_ms,payload_per_msg,deliveries,top5_share,"
-        "iwant_retries,recovery_stalled%s\n",
+        "iwant_retries,recovery_stalled%s%s\n",
         param.c_str(),
+        load_cols ? ",offered_msgs_per_s,goodput_msgs_per_s,redundancy_ratio,"
+                    "knee_time_ms"
+                  : "",
         tree ? ",tree_eager_hop_share,tree_edge_latency_ms,"
                "tree_overlay_latency_ms,tree_mean_jaccard"
              : "");
@@ -132,6 +156,10 @@ int main(int argc, char** argv) {
                   r.top5_connection_share,
                   static_cast<unsigned long long>(r.iwant_retries),
                   static_cast<unsigned long long>(r.recovery_stalled));
+      if (load_cols) {
+        std::printf(",%.3f,%.3f,%.3f,%.0f", r.offered_msgs_per_s,
+                    r.goodput_msgs_per_s, r.redundancy_ratio, r.knee_time_ms);
+      }
       if (tree && r.tree_stats) {
         std::printf(",%.5f,%.3f,%.3f,%.5f", r.tree_stats->eager_hop_share(),
                     r.tree_stats->mean_edge_latency_ms(),
@@ -151,6 +179,14 @@ int main(int argc, char** argv) {
           harness::Table::num(100.0 * r.top5_connection_share, 1),
           std::to_string(r.iwant_retries),
           std::to_string(r.recovery_stalled)};
+      if (load_cols) {
+        row.push_back(harness::Table::num(r.offered_msgs_per_s, 1));
+        row.push_back(harness::Table::num(r.goodput_msgs_per_s, 1));
+        row.push_back(harness::Table::num(r.redundancy_ratio, 2));
+        row.push_back(r.knee_time_ms < 0.0
+                          ? std::string("none")
+                          : harness::Table::num(r.knee_time_ms, 0));
+      }
       if (tree) {
         if (r.tree_stats) {
           row.push_back(harness::Table::num(
