@@ -65,8 +65,19 @@ void PayloadScheduler::l_send(const AppMessage& msg, Round round, NodeId dst) {
   // the first insertion records the relay round.
   const auto [round_slot, inserted] = cache_.try_emplace(key);
   if (inserted) *round_slot = round;
+  // The strategy is always consulted (its RNG draws are part of the
+  // deterministic stream); backpressure only overrides an eager verdict.
   if (strategy_.eager(msg.id, round, dst)) {
-    send_data(msg, round, dst, /*eager=*/true);
+    if (bp_.enabled && congested_) {
+      // Above the high watermark an eager payload would likely be purged
+      // at our own egress; degrade to a lazy IHAVE (tiny, survives the
+      // queue) and let the receiver pull when we drain.
+      ++stats_.eager_deferred;
+      if (bp_listener_) bp_listener_(BpEvent::kEagerDeferred);
+      enqueue_ihave(key, dst);
+    } else {
+      send_data(msg, round, dst, /*eager=*/true);
+    }
   } else {
     enqueue_ihave(key, dst);
   }
@@ -282,10 +293,118 @@ bool PayloadScheduler::handle_packet(NodeId src, const net::PacketPtr& packet) {
       ++stats_.requests_unserved;
       return true;
     }
+    if (bp_.enabled && congested_) {
+      // Per-destination cap on payload replies while congested: the first
+      // few are worth racing into the queue, the rest are deferred until
+      // the low watermark (retransmission-triggered IWANT storms are the
+      // main amplifier past the knee).
+      std::uint32_t& in_flight = replies_in_flight_[src];
+      if (in_flight >= bp_.max_replies_per_dst) {
+        ++stats_.replies_deferred;
+        if (bp_listener_) bp_listener_(BpEvent::kReplyDeferred);
+        const auto [slot, fresh] =
+            deferred_replies_set_.try_emplace(deferred_id(key, src));
+        (void)slot;
+        if (fresh) deferred_replies_.push_back({key, src});
+        return true;
+      }
+      ++in_flight;
+    }
     send_data(arena_->message(key), *round, src, /*eager=*/false);
     return true;
   }
   return false;
+}
+
+void PayloadScheduler::set_congested(bool congested) {
+  if (!bp_.enabled || congested_ == congested) return;
+  congested_ = congested;
+  if (congested) return;
+  // Queue drained to the low watermark: the reply budget resets and the
+  // deferred work goes out while there is headroom for it.
+  replies_in_flight_.clear();
+  flush_deferred_replies();
+  flush_drop_backlog();
+}
+
+void PayloadScheduler::on_egress_purge(NodeId dst, const net::Packet& packet) {
+  if (!bp_.enabled) return;
+  if (const auto* data = dynamic_cast<const DataPacket*>(&packet)) {
+    const MsgKey key = arena_->find(data->msg.id);
+    if (key != kInvalidMsgKey && cache_.contains(key)) note_drop(key, dst);
+    return;
+  }
+  if (const auto* ihave = dynamic_cast<const IHavePacket*>(&packet)) {
+    for (const MsgId& id : ihave->ids) {
+      const MsgKey key = arena_->find(id);
+      if (key != kInvalidMsgKey && cache_.contains(key)) note_drop(key, dst);
+    }
+    return;
+  }
+  if (dynamic_cast<const IWantPacket*>(&packet) != nullptr) {
+    ++stats_.iwants_purged;
+    if (bp_listener_) bp_listener_(BpEvent::kIWantPurged);
+  }
+}
+
+void PayloadScheduler::note_drop(MsgKey key, NodeId dst) {
+  const auto [slot, fresh] = drop_backlog_set_.try_emplace(deferred_id(key, dst));
+  (void)slot;
+  if (!fresh) return;
+  drop_backlog_.push_back({key, dst});
+  // Fallback: if the low watermark never comes (persistent congestion with
+  // a slowly draining queue), re-advertise after a period anyway.
+  if (!readvertise_timer_.valid() || !sim_.pending(readvertise_timer_)) {
+    readvertise_timer_ = sim_.schedule_after(bp_.readvertise_delay,
+                                             [this] { flush_drop_backlog(); });
+  }
+}
+
+void PayloadScheduler::flush_drop_backlog() {
+  if (drop_backlog_.empty()) return;
+  drop_flush_scratch_.clear();
+  std::swap(drop_flush_scratch_, drop_backlog_);
+  drop_backlog_set_.clear();
+  order_deferred(drop_flush_scratch_);
+  for (const DeferredEntry& e : drop_flush_scratch_) {
+    if (!cache_.contains(e.key)) continue;  // GC'd since the purge
+    ++stats_.drops_readvertised;
+    if (bp_listener_) bp_listener_(BpEvent::kDropReadvertised);
+    // Re-advertise instead of re-pushing the payload: the IHAVE is tiny,
+    // and if the original DATA actually made it out the receiver simply
+    // ignores the duplicate advertisement.
+    enqueue_ihave(e.key, e.dst);
+  }
+}
+
+void PayloadScheduler::flush_deferred_replies() {
+  if (deferred_replies_.empty()) return;
+  reply_flush_scratch_.clear();
+  std::swap(reply_flush_scratch_, deferred_replies_);
+  deferred_replies_set_.clear();
+  order_deferred(reply_flush_scratch_);
+  for (const DeferredEntry& e : reply_flush_scratch_) {
+    const Round* round = cache_.find(e.key);
+    if (round == nullptr) {
+      ++stats_.requests_unserved;  // GC'd while deferred
+      continue;
+    }
+    send_data(arena_->message(e.key), *round, e.dst, /*eager=*/false);
+  }
+}
+
+void PayloadScheduler::order_deferred(std::vector<DeferredEntry>& entries) {
+  if (pull_order_ != PullOrder::rarest || entries.size() < 2) return;
+  demand_scratch_.clear();
+  for (const DeferredEntry& e : entries) ++demand_scratch_[e.key];
+  // Most-demanded keys first (see PullOrder: demand at the server mirrors
+  // rarity among its peers); stable, so ties keep insertion order and the
+  // result is independent of hash-table iteration order.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [this](const DeferredEntry& a, const DeferredEntry& b) {
+                     return *demand_scratch_.find(a.key) >
+                            *demand_scratch_.find(b.key);
+                   });
 }
 
 void PayloadScheduler::garbage_collect(const std::vector<MsgId>& ids) {

@@ -69,6 +69,17 @@ struct SchedulerStats {
   /// Lazy recoveries abandoned after RequestPolicy::max_rounds passes
   /// over the advertiser set without a payload arriving.
   std::uint64_t recovery_gave_up = 0;
+  /// Eager payload pushes degraded to IHAVE because the egress queue was
+  /// above the high watermark (backpressure enabled only).
+  std::uint64_t eager_deferred = 0;
+  /// IWANT replies deferred by the per-destination congestion cap.
+  std::uint64_t replies_deferred = 0;
+  /// Purged payload/IHAVE ids that re-entered the advertise path via the
+  /// transport's purge notification (drop-aware recovery).
+  std::uint64_t drops_readvertised = 0;
+  /// Own IWANT packets purged in the egress queue. Self-healing — the
+  /// pending request timer re-fires regardless — so only counted.
+  std::uint64_t iwants_purged = 0;
 };
 
 class PayloadScheduler {
@@ -175,6 +186,57 @@ class PayloadScheduler {
     lazy_listener_ = std::move(listener);
   }
 
+  // --- egress backpressure (tentpole of the flow-control PR) ---------------
+  // The transport's bounded egress queue reports watermark crossings and
+  // purged packets; the scheduler reacts instead of letting deliveries
+  // stall: eager pushes degrade to IHAVE while congested, IWANT replies
+  // are capped per destination, and purged payload/IHAVE keys re-enter
+  // the advertise path. Everything below is inert (and the protocol is
+  // bit-identical with older builds) until set_backpressure enables it.
+
+  struct BackpressureConfig {
+    bool enabled = false;
+    /// Payload replies allowed per destination while congested; further
+    /// IWANTs are deferred and served when the queue drains to the low
+    /// watermark. 0 defers every reply.
+    std::uint32_t max_replies_per_dst = 4;
+    /// Fallback flush period for deferred work while congestion persists
+    /// (re-advertising waits for the low watermark first; this bounds the
+    /// wait when the queue never drains). Typically the strategy's
+    /// retransmission period.
+    SimTime readvertise_delay = 400 * kMillisecond;
+  };
+  void set_backpressure(const BackpressureConfig& config) { bp_ = config; }
+
+  /// Pull-request scheduling policy for deferred/re-advertised work (see
+  /// PullOrder in strategy.hpp). `random` preserves arrival order exactly.
+  void set_pull_order(PullOrder order) { pull_order_ = order; }
+
+  /// Transport watermark callback: entering congestion only flips the
+  /// flag; leaving it flushes deferred replies and the drop backlog.
+  void set_congested(bool congested);
+  bool congested() const { return congested_; }
+
+  /// Transport purge callback: a packet this node had queued was purged by
+  /// the bounded egress buffer. Payload and IHAVE keys re-enter the
+  /// advertise path (flushed at the low watermark or after
+  /// readvertise_delay); a purged IWANT is only counted — its pending
+  /// timer re-fires regardless.
+  void on_egress_purge(NodeId dst, const net::Packet& packet);
+
+  /// Backpressure decision points, for the goodput tracker's defer/
+  /// drop-recovery accounting. Not part of the protocol.
+  enum class BpEvent {
+    kEagerDeferred,     // eager push degraded to IHAVE
+    kReplyDeferred,     // IWANT reply held back by the per-dst cap
+    kDropReadvertised,  // purged payload/IHAVE key re-advertised
+    kIWantPurged,       // own IWANT purged (self-healing)
+  };
+  using BackpressureListener = std::function<void(BpEvent)>;
+  void set_backpressure_listener(BackpressureListener listener) {
+    bp_listener_ = std::move(listener);
+  }
+
  private:
   /// Slab-resident recovery state for one advertised-but-missing message.
   /// reset() clears logical state but keeps the vectors' capacity, so a
@@ -212,6 +274,14 @@ class PayloadScheduler {
     sim::EventHandle timer{};
   };
 
+  /// One unit of deferred backpressure work: a (message, destination)
+  /// pair, either a purged packet's key to re-advertise or a capped IWANT
+  /// reply to serve later.
+  struct DeferredEntry {
+    MsgKey key = kInvalidMsgKey;
+    NodeId dst = kInvalidNode;
+  };
+
   Pending* find_pending(MsgKey key);
   void queue_source(MsgKey key, NodeId src);
   void request_timer_fired(MsgKey key);
@@ -219,6 +289,16 @@ class PayloadScheduler {
   void send_data(const AppMessage& msg, Round round, NodeId dst, bool eager);
   void enqueue_ihave(MsgKey key, NodeId dst);
   void flush_ihaves(NodeId dst);
+  void note_drop(MsgKey key, NodeId dst);
+  void flush_drop_backlog();
+  void flush_deferred_replies();
+  /// Applies the pull-order policy to a deferred batch: `random` keeps
+  /// insertion order; `rarest` stable-sorts most-demanded keys first
+  /// (demand = occurrences of the key within the batch).
+  void order_deferred(std::vector<DeferredEntry>& entries);
+  static std::uint64_t deferred_id(MsgKey key, NodeId dst) {
+    return (static_cast<std::uint64_t>(key) << 32) | dst;
+  }
 
   sim::Simulator& sim_;
   net::Transport& transport_;
@@ -244,11 +324,33 @@ class PayloadScheduler {
   compact::Slab<IHaveBatch> batch_slab_;
   std::vector<MsgKey> flush_scratch_;  // recycled flush staging buffer
 
+  /// Backpressure state (all empty/inert unless bp_.enabled).
+  BackpressureConfig bp_{};
+  PullOrder pull_order_ = PullOrder::random;
+  bool congested_ = false;
+  /// Purged payload/IHAVE keys awaiting re-advertisement, insertion-
+  /// ordered with a packed (key,dst) dedupe set alongside.
+  std::vector<DeferredEntry> drop_backlog_;
+  compact::FlatMap<std::uint64_t, char> drop_backlog_set_;
+  sim::EventHandle readvertise_timer_{};
+  /// IWANT replies deferred by the per-destination cap, same shape.
+  std::vector<DeferredEntry> deferred_replies_;
+  compact::FlatMap<std::uint64_t, char> deferred_replies_set_;
+  /// Payload replies sent per destination during the current congestion
+  /// episode; cleared when the low watermark is reached.
+  compact::FlatMap<NodeId, std::uint32_t> replies_in_flight_;
+  /// Recycled staging for the two flushes (separate buffers: a flush can
+  /// re-enter note_drop via the transport purge path).
+  std::vector<DeferredEntry> drop_flush_scratch_;
+  std::vector<DeferredEntry> reply_flush_scratch_;
+  compact::FlatMap<MsgKey, std::uint32_t> demand_scratch_;
+
   SchedulerStats stats_;
   SendListener send_listener_;
   AcceptListener accept_listener_;
   RttObserver rtt_observer_;
   LazyListener lazy_listener_;
+  BackpressureListener bp_listener_;
 };
 
 }  // namespace esm::core

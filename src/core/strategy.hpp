@@ -42,6 +42,19 @@ struct RequestPolicy {
   std::uint32_t max_rounds = 5;
 };
 
+/// Ordering policy for pull-request scheduling past the saturation knee
+/// (Sanghavi et al., "Gossiping with Multiple Messages"): with many
+/// messages in flight, *which* advertised-but-missing key is served or
+/// fetched first dominates goodput.
+///   random — keep arrival order (the gossip's arrival order is already a
+///            uniform random draw; consuming no extra RNG keeps runs
+///            bit-identical with older builds);
+///   rarest — rarest-first: requesters fetch the key with the fewest known
+///            advertisers first, and servers flush deferred work for the
+///            most-demanded key first (demand observed at a server is the
+///            mirror image of rarity among its peers).
+enum class PullOrder : std::uint8_t { random, rarest };
+
 /// Per-node transmission strategy.
 class TransmissionStrategy {
  public:

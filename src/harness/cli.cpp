@@ -43,6 +43,16 @@ Workload and network:
   --bandwidth BPS     per-node egress bandwidth                (default 100M)
   --buffer BYTES      egress buffer bound, 0 = unbounded       (default 0)
   --purge POLICY      newest | oldest: what to drop when full  (default newest)
+  --backpressure M    on | off: egress watermark backpressure into the
+                      scheduler — defer eager pushes to IHAVE above the
+                      high watermark, cap IWANT replies per destination,
+                      re-advertise purged payloads. Needs --buffer > 0
+                                                               (default off)
+  --bp-high F         high watermark, fraction of --buffer     (default 0.75)
+  --bp-low F          low watermark, fraction of --buffer      (default 0.50)
+  --bp-replies N      IWANT replies per destination while congested
+                                                               (default 4)
+  --pull-sched P      random | rarest: pull-request scheduling (default random)
   --slow F            fraction of nodes provisioned slow       (default 0)
   --slow-bandwidth B  bandwidth of slow nodes
   --adaptive-fanout   scale fanout by node bandwidth
@@ -294,6 +304,33 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
         error = "--purge: unknown policy: " + v;
         return std::nullopt;
       }
+    } else if (flag == "--backpressure") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "on") {
+        c.backpressure = true;
+      } else if (v == "off") {
+        c.backpressure = false;
+      } else {
+        error = "--backpressure: expected on or off, got: " + v;
+        return std::nullopt;
+      }
+    } else if (flag == "--bp-high") {
+      if (!next_double(flag, c.bp_high_watermark)) return std::nullopt;
+    } else if (flag == "--bp-low") {
+      if (!next_double(flag, c.bp_low_watermark)) return std::nullopt;
+    } else if (flag == "--bp-replies") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      c.bp_max_replies_per_dst = static_cast<std::uint32_t>(u64);
+    } else if (flag == "--pull-sched") {
+      if (!next_value(flag, v)) return std::nullopt;
+      if (v == "random") {
+        c.pull_sched = core::PullOrder::random;
+      } else if (v == "rarest") {
+        c.pull_sched = core::PullOrder::rarest;
+      } else {
+        error = "--pull-sched: unknown policy: " + v;
+        return std::nullopt;
+      }
     } else if (flag == "--slow") {
       if (!next_double(flag, c.slow_fraction)) return std::nullopt;
     } else if (flag == "--slow-bandwidth") {
@@ -427,6 +464,10 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
     error = "--senders: required when other workload flags are given";
     return std::nullopt;
   }
+  if (c.backpressure && c.egress_buffer_bytes == 0) {
+    error = "--backpressure on: requires a bounded egress buffer (--buffer)";
+    return std::nullopt;
+  }
   if ((wl_senders > 0 || wl_aux_seen) && !options.workload_path.empty()) {
     error = "--workload: cannot be combined with inline workload flags";
     return std::nullopt;
@@ -498,6 +539,12 @@ bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
     config.num_messages = static_cast<std::uint32_t>(value);
   } else if (name == "seed") {
     config.seed = static_cast<std::uint64_t>(value);
+  } else if (name == "backpressure") {
+    if (value != 0.0 && config.egress_buffer_bytes == 0) {
+      error = "backpressure: requires a bounded egress buffer (--buffer)";
+      return false;
+    }
+    config.backpressure = value != 0.0;
   } else if (name == "senders") {
     if (value < 1.0) {
       error = "senders: must be >= 1";
@@ -625,7 +672,13 @@ std::string format_result_kv(const ExperimentResult& result) {
      << "\n"
      << "egress_peak_depth=" << result.egress_peak_depth << "\n"
      << "egress_peak_queued_bytes=" << result.egress_peak_queued_bytes
-     << "\n";
+     << "\n"
+     << "eager_deferred=" << result.eager_deferred << "\n"
+     << "replies_deferred=" << result.replies_deferred << "\n"
+     << "drops_readvertised=" << result.drops_readvertised << "\n"
+     << "iwants_purged=" << result.iwants_purged << "\n"
+     << "watermark_episodes=" << result.watermark_episodes << "\n"
+     << "watermark_residency_ms=" << result.watermark_residency_ms << "\n";
   if (result.tree_stats) os << format_tree_kv(*result.tree_stats);
   if (!result.phase_reports.empty()) {
     os << "faults_injected=" << result.faults_injected << "\n"

@@ -7,6 +7,7 @@
 
 #include "common/types.hpp"
 #include "core/gossip.hpp"
+#include "core/strategy.hpp"
 #include "fault/scenario.hpp"
 #include "load/workload.hpp"
 #include "net/path_model.hpp"
@@ -117,6 +118,20 @@ struct ExperimentConfig {
   /// capacity setting of §1/§7.
   double slow_fraction = 0.0;
   std::uint64_t slow_bandwidth_bps = 0;
+  /// Egress backpressure into the scheduler (--backpressure): watermark
+  /// crossings on the bounded egress buffer defer eager pushes to IHAVE,
+  /// cap IWANT replies per destination, and feed purged payload/IHAVE
+  /// keys back into the advertise path. Requires egress_buffer_bytes > 0
+  /// to have any effect; off by default so legacy runs are bit-identical.
+  bool backpressure = false;
+  /// Watermark hysteresis band, as fractions of egress_buffer_bytes.
+  double bp_high_watermark = 0.75;
+  double bp_low_watermark = 0.50;
+  /// IWANT replies allowed per destination while congested.
+  std::uint32_t bp_max_replies_per_dst = 4;
+  /// Pull-request scheduling policy past the knee (--pull-sched): random
+  /// keeps arrival order; rarest is Sanghavi-style rarest-first.
+  core::PullOrder pull_sched = core::PullOrder::random;
   /// Extension (§7, [17]): scale each node's gossip fanout by its
   /// provisioned bandwidth (mean fanout preserved, clamped to [3, 2f]),
   /// instead of the uniform fanout the paper uses throughout.

@@ -338,6 +338,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   topts.jitter = config.jitter;
   topts.egress_buffer_bytes = config.egress_buffer_bytes;
   topts.purge_policy = config.purge_policy;
+  if (config.backpressure && config.egress_buffer_bytes > 0) {
+    topts.high_watermark = config.bp_high_watermark;
+    topts.low_watermark = config.bp_low_watermark;
+  }
   if (config.slow_fraction > 0.0) {
     topts.node_bandwidth_bps.assign(config.num_nodes, config.bandwidth_bps);
     std::vector<NodeId> everyone(config.num_nodes);
@@ -584,6 +588,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         &msg_arena);
     stack->scheduler->reserve(expected_window);
     stack->scheduler->set_ihave_batch_window(config.ihave_batch_window);
+    stack->scheduler->set_pull_order(config.pull_sched);
+    if (config.backpressure) {
+      core::PayloadScheduler::BackpressureConfig bp;
+      bp.enabled = true;
+      bp.max_replies_per_dst = config.bp_max_replies_per_dst;
+      bp.readvertise_delay = config.retransmission_period;
+      stack->scheduler->set_backpressure(bp);
+      stack->scheduler->set_backpressure_listener(
+          [&goodput](core::PayloadScheduler::BpEvent event) {
+            if (event == core::PayloadScheduler::BpEvent::kEagerDeferred) {
+              goodput.on_defer();
+            } else if (event ==
+                       core::PayloadScheduler::BpEvent::kDropReadvertised) {
+              goodput.on_drop_recovery();
+            }
+          });
+    }
     if (stack->piggyback) {
       core::PiggybackMonitor* piggyback = stack->piggyback.get();
       stack->scheduler->set_rtt_observer(
@@ -736,6 +757,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           }
           if (stack->scheduler->handle_packet(src, packet)) return;
           // Unknown packet type: drop (future protocols may coexist).
+        });
+  }
+
+  // Backpressure loop: the transport's watermark crossings flip each
+  // scheduler's congestion flag (the low-watermark edge also flushes its
+  // deferred work), and purged packets re-enter the owning scheduler's
+  // advertise path. Installed only when enabled, so legacy runs keep the
+  // listener-free fast path.
+  if (config.backpressure && config.egress_buffer_bytes > 0) {
+    transport.set_watermark_listener(
+        [&nodes, &goodput, &sim](NodeId src, bool above_high) {
+          goodput.on_watermark(sim.now(), above_high);
+          nodes[src]->scheduler->set_congested(above_high);
+        });
+    transport.set_purge_listener(
+        [&nodes](NodeId src, NodeId dst, const net::PacketPtr& packet,
+                 bool /*is_payload*/) {
+          nodes[src]->scheduler->on_egress_purge(dst, *packet);
         });
   }
 
@@ -1125,6 +1164,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       static_cast<double>(egress_totals.max_sojourn_us) / 1000.0;
   result.egress_peak_depth = egress_totals.peak_depth;
   result.egress_peak_queued_bytes = egress_totals.peak_queued_bytes;
+  // Backpressure accounting (all zero when --backpressure off).
+  for (const auto& stack : nodes) {
+    const core::SchedulerStats& ss = stack->scheduler->stats();
+    result.eager_deferred += ss.eager_deferred;
+    result.replies_deferred += ss.replies_deferred;
+    result.drops_readvertised += ss.drops_readvertised;
+    result.iwants_purged += ss.iwants_purged;
+  }
+  result.watermark_episodes = gp.watermark_episodes;
+  result.watermark_residency_ms = gp.watermark_residency_ms;
 
   result.payload_per_delivery =
       total_deliveries == 0
@@ -1300,6 +1349,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                    static_cast<double>(egress_totals.peak_queued_bytes));
     gagg.gauge_max("transport.egress_max_sojourn_us",
                    static_cast<double>(egress_totals.max_sojourn_us));
+    if (config.backpressure) {
+      // Keyed only when the feature is on, so metrics documents of
+      // backpressure-off runs stay byte-identical with older builds.
+      gagg.add_counter("backpressure.eager_deferred", result.eager_deferred);
+      gagg.add_counter("backpressure.replies_deferred",
+                       result.replies_deferred);
+      gagg.add_counter("backpressure.drops_readvertised",
+                       result.drops_readvertised);
+      gagg.add_counter("backpressure.iwants_purged", result.iwants_purged);
+      gagg.add_counter("backpressure.watermark_episodes",
+                       gp.watermark_episodes);
+      gagg.gauge_max("backpressure.watermark_residency_ms",
+                     gp.watermark_residency_ms);
+    }
     if (result.tree_stats) {
       // Only merge-exact quantities go into the metrics document: counters
       // (sum), histograms (bucket-add) and one max-semantics gauge, so the

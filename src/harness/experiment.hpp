@@ -102,6 +102,19 @@ struct ExperimentResult {
   double egress_queue_delay_max_ms = 0.0;
   std::uint64_t egress_peak_depth = 0;
   std::uint64_t egress_peak_queued_bytes = 0;
+  // --- backpressure (all zero with --backpressure off) ---
+  /// Eager pushes degraded to IHAVE above the high watermark.
+  std::uint64_t eager_deferred = 0;
+  /// IWANT replies deferred by the per-destination congestion cap.
+  std::uint64_t replies_deferred = 0;
+  /// Purged payload/IHAVE keys re-advertised (drop-aware recovery).
+  std::uint64_t drops_readvertised = 0;
+  /// Own IWANT packets purged in egress queues (self-healing, counted).
+  std::uint64_t iwants_purged = 0;
+  /// Rising watermark crossings across all nodes.
+  std::uint64_t watermark_episodes = 0;
+  /// Node-milliseconds spent above the high watermark.
+  double watermark_residency_ms = 0.0;
   /// Messages garbage-collected during the run (0 when GC is disabled).
   std::uint64_t messages_garbage_collected = 0;
   /// Largest per-node known-set size at the end of the run — bounded when

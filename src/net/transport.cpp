@@ -107,11 +107,23 @@ Transport::Transport(sim::Simulator& sim, const LatencyModel& latency,
       silenced_(num_nodes, false),
       egress_(num_nodes),
       egress_stats_(num_nodes),
+      congested_(num_nodes, false),
       stats_(num_nodes) {
   ESM_CHECK(options.loss_rate >= 0.0 && options.loss_rate < 1.0,
             "loss rate must be in [0, 1)");
   ESM_CHECK(options.jitter >= 0.0 && options.jitter < 1.0,
             "jitter must be in [0, 1)");
+  if (options_.egress_buffer_bytes > 0 && options_.high_watermark > 0.0 &&
+      options_.low_watermark > 0.0) {
+    ESM_CHECK(options_.low_watermark < options_.high_watermark &&
+                  options_.high_watermark <= 1.0,
+              "watermarks must satisfy 0 < low < high <= 1");
+    const double cap = static_cast<double>(options_.egress_buffer_bytes);
+    high_watermark_bytes_ =
+        static_cast<std::uint64_t>(cap * options_.high_watermark);
+    low_watermark_bytes_ =
+        static_cast<std::uint64_t>(cap * options_.low_watermark);
+  }
 }
 
 void Transport::register_handler(NodeId node, Handler handler) {
@@ -161,13 +173,18 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
   }
 
   // Egress queueing with bounded buffer and purge policy (§5.2, [13]).
+  // Purged packets are additionally handed to the purge listener so the
+  // protocol layer can react; those notifications are deferred until the
+  // queue mutation is complete (the listener may re-enter send()).
   Egress& egress = egress_[src];
+  std::vector<Queued> purged;
   if (options_.egress_buffer_bytes > 0) {
     if (item.bytes > options_.egress_buffer_bytes) {
       ++buffer_drops_;
       if (drop_listener_) {
         drop_listener_(src, dst, is_payload, DropReason::kBuffer);
       }
+      if (purge_listener_) notify_purge(src, item);
       return;  // can never fit
     }
     if (options_.purge_policy == TransportOptions::PurgePolicy::drop_newest) {
@@ -176,6 +193,7 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
         if (drop_listener_) {
           drop_listener_(src, dst, is_payload, DropReason::kBuffer);
         }
+        if (purge_listener_) notify_purge(src, item);
         return;
       }
     } else {  // drop_oldest: purge stale packets until the fresh one fits.
@@ -191,6 +209,7 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
           drop_listener_(src, victim->dst, victim->is_payload,
                          DropReason::kBuffer);
         }
+        if (purge_listener_) purged.push_back(std::move(*victim));
         egress.queue.erase(victim);
         ++buffer_drops_;
       }
@@ -198,6 +217,10 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
         ++buffer_drops_;
         if (drop_listener_) {
           drop_listener_(src, dst, is_payload, DropReason::kBuffer);
+        }
+        if (purge_listener_) {
+          for (const Queued& victim : purged) notify_purge(src, victim);
+          notify_purge(src, item);
         }
         return;  // even an empty (modulo head) buffer cannot take it
       }
@@ -210,6 +233,10 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
   es.peak_depth = std::max<std::uint64_t>(es.peak_depth, egress.queue.size());
   es.peak_queued_bytes = std::max(es.peak_queued_bytes, egress.queued_bytes);
   if (!egress.draining) drain(src);
+  // Queue state is final for this send: purge notifications first (so a
+  // watermark-triggered flush sees the full drop backlog), then hysteresis.
+  for (const Queued& victim : purged) notify_purge(src, victim);
+  update_watermark(src);
 }
 
 void Transport::drain(NodeId src) {
@@ -231,6 +258,10 @@ void Transport::drain(NodeId src) {
     Queued item = std::move(e.queue.front());
     e.queue.pop_front();
     e.queued_bytes -= item.bytes;
+    // The pop may cross the low watermark; the listener's deferred-work
+    // flush re-enters send() while draining stays true, so new packets
+    // queue behind the in-service slot without double-scheduling.
+    update_watermark(src);
     if (!silenced_[src]) {
       const std::uint64_t sojourn =
           static_cast<std::uint64_t>(sim_.now() - item.enqueued_at);
@@ -305,6 +336,46 @@ void Transport::transmit(NodeId src, Queued item) {
       handlers_[dst](src, item.packet);
     }
   });
+}
+
+void Transport::notify_purge(NodeId src, const Queued& item) {
+  PacketPtr packet = item.packet;
+  if (packet == nullptr && options_.codec != nullptr) {
+    packet = options_.codec->decode(item.encoded);
+  }
+  if (packet != nullptr) {
+    purge_listener_(src, item.dst, packet, item.is_payload);
+  }
+}
+
+void Transport::update_watermark(NodeId src) {
+  if (high_watermark_bytes_ == 0 || !watermark_listener_) return;
+  const Egress& egress = egress_[src];
+  if (!congested_[src] && egress.queued_bytes >= high_watermark_bytes_) {
+    congested_[src] = true;
+    watermark_listener_(src, true);
+  } else if (congested_[src] && egress.queued_bytes <= low_watermark_bytes_) {
+    congested_[src] = false;
+    watermark_listener_(src, false);
+  }
+}
+
+Transport::BackpressureView Transport::backpressure(NodeId node) const {
+  ESM_CHECK(node < egress_.size(), "node id out of range");
+  const Egress& egress = egress_[node];
+  BackpressureView view;
+  view.queued_bytes = egress.queued_bytes;
+  view.depth = egress.queue.size();
+  view.capacity_bytes = options_.egress_buffer_bytes;
+  view.congested = congested_[node];
+  return view;
+}
+
+bool Transport::egress_accounting_consistent(NodeId node) const {
+  const Egress& egress = egress_.at(node);
+  std::uint64_t bytes = 0;
+  for (const Queued& item : egress.queue) bytes += item.bytes;
+  return bytes == egress.queued_bytes;
 }
 
 Transport::EgressStats Transport::egress_totals() const {

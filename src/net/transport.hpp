@@ -130,6 +130,13 @@ struct TransportOptions {
   ///                 age-based purging approximates).
   enum class PurgePolicy { drop_newest, drop_oldest };
   PurgePolicy purge_policy = PurgePolicy::drop_newest;
+  /// Egress occupancy watermarks as fractions of egress_buffer_bytes, the
+  /// hysteresis band for backpressure into the protocol layer. Both must
+  /// be set (0 < low < high <= 1) together with a bounded buffer for the
+  /// watermark listener to arm; with either at 0 the feature is inert and
+  /// the transport behaves exactly as before.
+  double high_watermark = 0.0;
+  double low_watermark = 0.0;
   /// Uniform multiplicative jitter on the one-way delay: the delay is
   /// multiplied by a factor in [1 - jitter, 1 + jitter].
   double jitter = 0.0;
@@ -258,6 +265,60 @@ class Transport {
     drop_listener_ = std::move(listener);
   }
 
+  /// Instantaneous view of one node's egress queue, for protocol-layer
+  /// backpressure decisions at send time. Pure observation: no RNG draws,
+  /// no scheduled events, no queue mutation.
+  struct BackpressureView {
+    std::uint64_t queued_bytes = 0;
+    std::size_t depth = 0;
+    std::uint64_t capacity_bytes = 0;  // 0 = unbounded buffer
+    bool congested = false;            // current watermark hysteresis state
+    double occupancy() const {
+      return capacity_bytes == 0
+                 ? 0.0
+                 : static_cast<double>(queued_bytes) /
+                       static_cast<double>(capacity_bytes);
+    }
+  };
+  BackpressureView backpressure(NodeId node) const;
+
+  /// Watermark hysteresis hook: fired with above_high=true when a node's
+  /// egress occupancy first reaches the high watermark, and with
+  /// above_high=false when it later drains to the low watermark. Requires
+  /// a bounded buffer and both watermark fractions set; never fires (and
+  /// costs nothing) otherwise. The listener may re-enter send().
+  using WatermarkListener = std::function<void(NodeId src, bool above_high)>;
+  void set_watermark_listener(WatermarkListener listener) {
+    watermark_listener_ = std::move(listener);
+  }
+
+  /// Packet-carrying purge hook: fired for every packet the bounded egress
+  /// buffer purges (DropReason::kBuffer), with the actual packet object so
+  /// the protocol layer can re-enter the advertise/retry path for the keys
+  /// it carried. In codec mode the purged bytes are decoded back into a
+  /// packet first (purges are off the hot path by definition). Listeners
+  /// are invoked only after the queue mutation completes, so they may
+  /// re-enter send(). Complements (does not replace) the DropListener.
+  using PurgeListener = std::function<void(NodeId src, NodeId dst,
+                                           const PacketPtr& packet,
+                                           bool is_payload)>;
+  void set_purge_listener(PurgeListener listener) {
+    purge_listener_ = std::move(listener);
+  }
+
+  /// Current egress queue accounting (satellite views of BackpressureView,
+  /// used by the accounting-invariant tests).
+  std::size_t egress_depth(NodeId node) const {
+    return egress_.at(node).queue.size();
+  }
+  std::uint64_t egress_queued_bytes(NodeId node) const {
+    return egress_.at(node).queued_bytes;
+  }
+  /// Recomputes queued_bytes from the queued items and compares with the
+  /// incremental counter — the invariant the drop-oldest purge must keep
+  /// while protecting the in-service head. Test/debug helper, O(depth).
+  bool egress_accounting_consistent(NodeId node) const;
+
  private:
   /// One packet waiting on a node's egress link.
   struct Queued {
@@ -280,6 +341,12 @@ class Transport {
   void transmit(NodeId src, Queued item);
   /// Starts/continues draining a node's egress queue.
   void drain(NodeId src);
+  /// Hands a purged item's packet to the purge listener (decoding first in
+  /// codec mode). Only called with the listener installed.
+  void notify_purge(NodeId src, const Queued& item);
+  /// Re-evaluates the watermark hysteresis state for `src` and fires the
+  /// listener on a crossing. No-op unless watermarks are armed.
+  void update_watermark(NodeId src);
   LinkFault& link_fault(NodeId a, NodeId b);
   void prune_link_fault(NodeId a, NodeId b);
 
@@ -305,6 +372,13 @@ class Transport {
   std::vector<Egress> egress_;
   std::vector<EgressStats> egress_stats_;
   EgressListener egress_listener_;
+  /// Watermark hysteresis: byte thresholds (0 = disarmed) and per-node
+  /// congestion state.
+  std::uint64_t high_watermark_bytes_ = 0;
+  std::uint64_t low_watermark_bytes_ = 0;
+  std::vector<bool> congested_;
+  WatermarkListener watermark_listener_;
+  PurgeListener purge_listener_;
   TrafficStats stats_;
   std::uint64_t packets_lost_ = 0;
   std::uint64_t buffer_drops_ = 0;

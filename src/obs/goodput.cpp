@@ -29,6 +29,24 @@ void GoodputTracker::on_delivery(SimTime now) {
   ++delivered_by_bucket_[bucket_of(now)];
 }
 
+void GoodputTracker::on_watermark(SimTime now, bool above) {
+  // Residency is clamped to the measurement window: congestion during
+  // warmup changes the node count but accrues no time before start_.
+  const SimTime t = std::max(now, start_);
+  const SimTime since = std::max(last_watermark_change_, start_);
+  if (congested_nodes_ > 0 && t > since) {
+    watermark_residency_us_ +=
+        static_cast<std::uint64_t>(t - since) * congested_nodes_;
+  }
+  last_watermark_change_ = t;
+  if (above) {
+    ++congested_nodes_;
+    if (now >= start_) ++watermark_episodes_;
+  } else if (congested_nodes_ > 0) {
+    --congested_nodes_;
+  }
+}
+
 GoodputReport GoodputTracker::finalize(SimTime end) const {
   GoodputReport report;
   report.offered_msgs = offered_msgs_;
@@ -49,18 +67,42 @@ GoodputReport GoodputTracker::finalize(SimTime end) const {
     report.redundancy_ratio = static_cast<double>(payload_sends_) /
                               static_cast<double>(deliveries_);
   }
+  report.eager_deferred = eager_deferred_;
+  report.drop_recovery_episodes = drop_recovery_episodes_;
+  report.watermark_episodes = watermark_episodes_;
+  // Close the residency tail for nodes still congested at window end.
+  std::uint64_t residency_us = watermark_residency_us_;
+  const SimTime since = std::max(last_watermark_change_, start_);
+  if (congested_nodes_ > 0 && end > since) {
+    residency_us +=
+        static_cast<std::uint64_t>(end - since) * congested_nodes_;
+  }
+  report.watermark_residency_ms =
+      static_cast<double>(residency_us) / static_cast<double>(kMillisecond);
 
   // Knee: earliest run of kKneeRun consecutive buckets whose cumulative
-  // backlog exceeds max(bucket's expected volume, kKneeFloor).
+  // backlog exceeds max(bucket's expected volume, kKneeFloor). A fully
+  // idle bucket (nothing offered AND nothing delivered) proves the
+  // in-flight queue has drained: whatever backlog remains was purged and
+  // will never arrive, so it is written off rather than latching
+  // "saturated" for the rest of the run (burst-then-idle workloads).
   std::uint64_t cum_expected = 0, cum_delivered = 0;
+  std::uint64_t drained_floor = 0;
   std::uint32_t behind_run = 0;
   const std::size_t buckets =
       std::min(expected_by_bucket_.size(), delivered_by_bucket_.size());
   for (std::size_t b = 0; b < buckets; ++b) {
     cum_expected += expected_by_bucket_[b];
     cum_delivered += delivered_by_bucket_[b];
-    const std::uint64_t backlog =
+    if (expected_by_bucket_[b] == 0 && delivered_by_bucket_[b] == 0) {
+      drained_floor =
+          cum_expected > cum_delivered ? cum_expected - cum_delivered : 0;
+      behind_run = 0;
+      continue;
+    }
+    std::uint64_t backlog =
         cum_expected > cum_delivered ? cum_expected - cum_delivered : 0;
+    backlog -= std::min(backlog, drained_floor);
     const std::uint64_t threshold =
         std::max(expected_by_bucket_[b], kKneeFloor);
     if (backlog > threshold) {

@@ -42,6 +42,18 @@ struct GoodputReport {
   /// Start of the saturation knee, relative to measurement start; < 0
   /// when the run never saturates.
   double knee_time_ms = -1.0;
+  // --- backpressure accounting (all zero with backpressure off) ----------
+  /// Eager payload pushes degraded to lazy IHAVE above the high watermark.
+  std::uint64_t eager_deferred = 0;
+  /// Purged payload/IHAVE keys that re-entered the advertise path.
+  std::uint64_t drop_recovery_episodes = 0;
+  /// Rising watermark crossings (congestion episodes entered) across all
+  /// nodes.
+  std::uint64_t watermark_episodes = 0;
+  /// Total node-time spent above the high watermark, in milliseconds
+  /// (node-milliseconds: two nodes congested for 1 s each contribute
+  /// 2000 ms).
+  double watermark_residency_ms = 0.0;
 };
 
 class GoodputTracker {
@@ -65,6 +77,17 @@ class GoodputTracker {
   /// A payload packet hit the wire (eager push or pull reply).
   void on_payload() { ++payload_sends_; }
 
+  /// An eager push was degraded to IHAVE by backpressure.
+  void on_defer() { ++eager_deferred_; }
+
+  /// A purged payload/IHAVE key re-entered the advertise path.
+  void on_drop_recovery() { ++drop_recovery_episodes_; }
+
+  /// A node crossed the egress watermark at `now` (above=true: rising
+  /// past the high mark; false: drained to the low mark). Accumulates
+  /// node-time spent congested across all nodes.
+  void on_watermark(SimTime now, bool above);
+
   /// Computes rates over [start, end) and runs knee detection. `end` is
   /// the absolute sim time the measurement window closed.
   GoodputReport finalize(SimTime end) const;
@@ -77,6 +100,14 @@ class GoodputTracker {
   std::uint64_t expected_deliveries_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t payload_sends_ = 0;
+  std::uint64_t eager_deferred_ = 0;
+  std::uint64_t drop_recovery_episodes_ = 0;
+  /// Watermark residency: nodes currently congested, the time of the last
+  /// state change, accumulated congested node-time, and rising edges.
+  std::uint64_t congested_nodes_ = 0;
+  SimTime last_watermark_change_ = 0;
+  std::uint64_t watermark_residency_us_ = 0;
+  std::uint64_t watermark_episodes_ = 0;
   /// Per-second buckets of expected-delivery and delivery volume.
   std::vector<std::uint64_t> expected_by_bucket_;
   std::vector<std::uint64_t> delivered_by_bucket_;

@@ -1,5 +1,6 @@
 #include "pull/pull_gossip.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/check.hpp"
@@ -45,6 +46,7 @@ core::AppMessage PullNode::multicast(std::uint32_t payload_bytes,
 void PullNode::accept(const core::AppMessage& msg) {
   const MsgKey key = arena_->store(msg);
   fetching_.erase(key);
+  advert_count_.erase(key);
   if (!known_.set(key)) {
     ++duplicate_payloads_;
     return;
@@ -112,10 +114,12 @@ bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
           dynamic_cast<const PullAdvertisePacket*>(packet.get())) {
     const SimTime timeout =
         params_.refetch_timeout > 0 ? params_.refetch_timeout : params_.period;
-    auto fetch = std::make_shared<PullFetchPacket>();
+    const bool rarest = params_.order == core::PullOrder::rarest;
+    fetch_scratch_.clear();
     for (const MsgId& id : advertise->ids) {
       const MsgKey key = arena_->intern(id);
       if (known_.test(key)) continue;
+      if (rarest) ++advert_count_[key];
       const auto [stamp, inserted] = fetching_.try_emplace(key);
       if (inserted) {
         *stamp = sim_.now();
@@ -126,10 +130,25 @@ bool PullNode::handle_packet(NodeId src, const net::PacketPtr& packet) {
         *stamp = sim_.now();
         ++refetches_;
       }
-      if (fetch_listener_) fetch_listener_(id, /*refetch=*/!inserted);
-      fetch->ids.push_back(id);
+      fetch_scratch_.push_back({id, key, /*refetch=*/!inserted});
     }
-    if (!fetch->ids.empty()) {
+    if (rarest && fetch_scratch_.size() > 1) {
+      // Rarest-first (PullParams::order): fewest observed advertisements
+      // first; stable so equally-rare ids keep advertise order.
+      std::stable_sort(fetch_scratch_.begin(), fetch_scratch_.end(),
+                       [this](const FetchCandidate& a,
+                              const FetchCandidate& b) {
+                         return *advert_count_.find(a.key) <
+                                *advert_count_.find(b.key);
+                       });
+    }
+    if (!fetch_scratch_.empty()) {
+      auto fetch = std::make_shared<PullFetchPacket>();
+      fetch->ids.reserve(fetch_scratch_.size());
+      for (const FetchCandidate& c : fetch_scratch_) {
+        if (fetch_listener_) fetch_listener_(c.id, c.refetch);
+        fetch->ids.push_back(c.id);
+      }
       const std::size_t bytes = fetch->wire_bytes();
       transport_.send(self_, src, std::move(fetch), bytes,
                       /*is_payload=*/false);
@@ -161,6 +180,7 @@ void PullNode::garbage_collect(const std::vector<MsgId>& ids) {
     if (key == kInvalidMsgKey) continue;
     known_.reset(key);
     fetching_.erase(key);
+    advert_count_.erase(key);
   }
 }
 

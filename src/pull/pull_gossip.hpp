@@ -27,6 +27,7 @@
 #include "common/types.hpp"
 #include "core/message.hpp"
 #include "core/msg_arena.hpp"
+#include "core/strategy.hpp"
 #include "net/transport.hpp"
 #include "overlay/peer_sampler.hpp"
 #include "sim/simulator.hpp"
@@ -80,6 +81,12 @@ struct PullParams {
   /// If the fetch or its reply is dropped, a later advertisement may
   /// re-fetch once this much time has passed. 0 = one poll `period`.
   SimTime refetch_timeout = 0;
+  /// Fetch scheduling after a lazy advertise (Sanghavi-style): `random`
+  /// fetches in advertise order (bit-identical with older builds);
+  /// `rarest` fetches the id with the fewest advertisements observed so
+  /// far first — under a saturated serving egress the head of the fetch
+  /// is served first and survives purging, so rare messages spread.
+  core::PullOrder order = core::PullOrder::random;
 };
 
 /// One node of the pull-gossip protocol.
@@ -109,6 +116,7 @@ class PullNode {
   void insert(const core::AppMessage& msg) {
     const MsgKey key = arena_->store(msg);
     fetching_.erase(key);
+    advert_count_.erase(key);
     known_.set(key);
   }
 
@@ -163,6 +171,17 @@ class PullNode {
   /// advertisers, but only for `refetch_timeout`: a dropped fetch or
   /// reply must not suppress recovery forever.
   compact::FlatMap<MsgKey, SimTime> fetching_;
+  /// Advertisements observed per still-missing key (rarest-first fetch
+  /// ordering only; erased on receipt/GC). Counting distinct observations
+  /// approximates how replicated the message already is around us.
+  compact::FlatMap<MsgKey, std::uint32_t> advert_count_;
+  /// Staging for fetch candidates while ordering (recycled).
+  struct FetchCandidate {
+    MsgId id;
+    MsgKey key = kInvalidMsgKey;
+    bool refetch = false;
+  };
+  std::vector<FetchCandidate> fetch_scratch_;
   sim::PeriodicTimer timer_;
   std::uint64_t duplicate_payloads_ = 0;
   std::uint64_t refetches_ = 0;

@@ -152,6 +152,30 @@ TEST(Cli, RejectsUnknownEnumValues) {
   EXPECT_FALSE(parse_cli({"--kill-mode", "all"}, error));
 }
 
+TEST(Cli, BackpressureFlagsParseAndValidate) {
+  const auto options =
+      parse({"--buffer", "32768", "--backpressure", "on", "--bp-high", "0.8",
+             "--bp-low", "0.4", "--bp-replies", "2", "--pull-sched", "rarest"});
+  ASSERT_TRUE(options);
+  EXPECT_TRUE(options->config.backpressure);
+  EXPECT_DOUBLE_EQ(options->config.bp_high_watermark, 0.8);
+  EXPECT_DOUBLE_EQ(options->config.bp_low_watermark, 0.4);
+  EXPECT_EQ(options->config.bp_max_replies_per_dst, 2u);
+  EXPECT_EQ(options->config.pull_sched, core::PullOrder::rarest);
+  // Defaults: off, legacy pull order.
+  EXPECT_FALSE(parse({})->config.backpressure);
+  EXPECT_EQ(parse({})->config.pull_sched, core::PullOrder::random);
+
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--backpressure", "maybe"}, error));
+  EXPECT_FALSE(parse_cli({"--pull-sched", "newest"}, error));
+  // Backpressure needs a bounded buffer to watch.
+  EXPECT_FALSE(parse_cli({"--backpressure", "on"}, error));
+  EXPECT_NE(error.find("--buffer"), std::string::npos);
+  // Flag order must not matter for the cross-flag check.
+  EXPECT_TRUE(parse({"--backpressure", "on", "--buffer", "16384"}));
+}
+
 TEST(Cli, ScenarioFlagStoresPath) {
   const auto options = parse({"--scenario", "examples/kill_best_nodes.scn"});
   ASSERT_TRUE(options);

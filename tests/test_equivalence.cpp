@@ -153,6 +153,20 @@ std::string render_goodput(const ExperimentResult& r) {
   return out;
 }
 
+/// The backpressure block appended by the backpressure-on goldens. Kept
+/// out of render()/render_goodput() so every pre-backpressure fingerprint
+/// stays byte-identical to its original capture.
+std::string render_backpressure(const ExperimentResult& r) {
+  std::string out;
+  add(out, "eager_deferred", r.eager_deferred);
+  add(out, "replies_deferred", r.replies_deferred);
+  add(out, "drops_readvertised", r.drops_readvertised);
+  add(out, "iwants_purged", r.iwants_purged);
+  add(out, "watermark_episodes", r.watermark_episodes);
+  add(out, "watermark_residency_ms", r.watermark_residency_ms);
+  return out;
+}
+
 ExperimentConfig base100() {
   ExperimentConfig c;
   c.seed = 4242;
@@ -271,12 +285,7 @@ TEST(Equivalence, N2048StaticLazy) {
 
 // --- heavy-traffic workload golden ---------------------------------------
 
-TEST(Equivalence, HeavyWorkloadSaturated) {
-  // Canned heavy-load run: four publishers (poisson/fixed/burst mix, one
-  // pinned into a fraction topic) pushing through a tight serialized
-  // egress with a drop-oldest buffer. Pins the full rendering including
-  // the goodput/egress block — covers the workload generator, bandwidth
-  // serialization and goodput tracker end to end.
+ExperimentConfig heavy_config() {
   ExperimentConfig c = base100();
   c.num_messages = 0;  // workload replaces the legacy source loop
   c.bandwidth_bps = 4'000'000;
@@ -298,11 +307,48 @@ TEST(Equivalence, HeavyWorkloadSaturated) {
     wl.publishers.push_back(pub);
   }
   c.workload = wl;
-  const ExperimentResult r = run_experiment(c);
+  return c;
+}
+
+TEST(Equivalence, HeavyWorkloadSaturated) {
+  // Canned heavy-load run: four publishers (poisson/fixed/burst mix, one
+  // pinned into a fraction topic) pushing through a tight serialized
+  // egress with a drop-oldest buffer. Pins the full rendering including
+  // the goodput/egress block — covers the workload generator, bandwidth
+  // serialization and goodput tracker end to end.
+  const ExperimentResult r = run_experiment(heavy_config());
   const std::string rendering = render(r) + render_goodput(r);
   EXPECT_EQ(fnv1a(rendering), 10260051092629557157ULL)
       << "heavy 4-publisher saturated workload drifted; new rendering:\n"
       << rendering;
+}
+
+/// heavy_config() pushed past its knee: half the bandwidth, half the
+/// buffer. The legacy golden's egress peaks at ~26 KB of its 48 KB bound
+/// (a near miss, no purges), so the backpressure goldens tighten both to
+/// make watermark crossings and purges actually happen.
+ExperimentConfig saturated_heavy_config() {
+  ExperimentConfig c = heavy_config();
+  c.bandwidth_bps = 2'000'000;
+  c.egress_buffer_bytes = 24 * 1024;
+  return c;
+}
+
+TEST(Equivalence, HeavyWorkloadSaturatedBackpressure) {
+  // Backpressure-on twin of HeavyWorkloadSaturated: same publisher mix
+  // over a genuinely saturated egress, with the watermark loop closed.
+  // Pins the full rendering plus the backpressure block.
+  ExperimentConfig c = saturated_heavy_config();
+  c.backpressure = true;
+  const ExperimentResult r = run_experiment(c);
+  const std::string rendering =
+      render(r) + render_goodput(r) + render_backpressure(r);
+  EXPECT_EQ(fnv1a(rendering), 8385663769898990067ULL)
+      << "backpressure-on heavy workload drifted; new rendering:\n"
+      << rendering;
+  // The twin must actually exercise the fix, not coast under the knee.
+  EXPECT_GT(r.eager_deferred, 0u);
+  EXPECT_GT(r.watermark_episodes, 0u);
 }
 
 // --- metrics JSON byte-identity ------------------------------------------
@@ -340,6 +386,37 @@ TEST(Equivalence, JobsInvariance) {
     EXPECT_EQ(fingerprint(serial[i]), fingerprint(parallel[i]))
         << "run " << i << " differs across --jobs";
   }
+}
+
+TEST(Equivalence, JobsInvarianceBackpressureModes) {
+  // Every --backpressure × --pull-sched combination is bit-for-bit
+  // identical at any --jobs count, and turning the pull-sched knob with
+  // backpressure OFF changes nothing at all (rarest-first only reorders
+  // congestion-deferred work, which cannot exist without backpressure).
+  std::vector<ExperimentConfig> configs;
+  for (const bool bp : {false, true}) {
+    for (const core::PullOrder order :
+         {core::PullOrder::random, core::PullOrder::rarest}) {
+      ExperimentConfig c = saturated_heavy_config();
+      c.backpressure = bp;
+      c.pull_sched = order;
+      configs.push_back(c);
+    }
+  }
+  const auto full_print = [](const ExperimentResult& r) {
+    return fnv1a(render(r) + render_goodput(r) + render_backpressure(r));
+  };
+  const auto serial = run_experiments(configs, 1);
+  const auto parallel = run_experiments(configs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(full_print(serial[i]), full_print(parallel[i]))
+        << "combination " << i << " differs across --jobs";
+  }
+  // off/random == off/rarest: the knob is inert without backpressure.
+  EXPECT_EQ(full_print(serial[0]), full_print(serial[1]));
+  // on-runs really diverge from off-runs (the fix engages).
+  EXPECT_NE(full_print(serial[0]), full_print(serial[2]));
 }
 
 TEST(Equivalence, GossipRankDeterminism) {

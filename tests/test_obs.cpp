@@ -245,6 +245,63 @@ TEST(GoodputTracker, FloorIgnoresSingleDigitStragglers) {
   EXPECT_LT(r.knee_time_ms, 0.0);
 }
 
+TEST(GoodputTracker, BurstThenIdleDoesNotLatchSaturation) {
+  // Regression for the knee latch: a burst loses 100 deliveries to purged
+  // payloads, then the system goes fully idle (the queue has drained —
+  // those deliveries will never arrive) and later keeps up perfectly. The
+  // carried backlog used to latch every subsequent bucket as "behind";
+  // the idle bucket must write it off instead.
+  GoodputTracker t(0);
+  t.on_offered(0, 300);
+  for (int d = 0; d < 200; ++d) t.on_delivery(100 * kMillisecond);
+  // Buckets 1-2: fully idle. Buckets 3-6: offered and delivered in step.
+  for (int b = 3; b <= 6; ++b) {
+    t.on_offered(b * kSecond, 50);
+    for (int d = 0; d < 50; ++d) t.on_delivery(b * kSecond + 1);
+  }
+  const GoodputReport r = t.finalize(7 * kSecond);
+  EXPECT_LT(r.knee_time_ms, 0.0);
+}
+
+TEST(GoodputTracker, GenuineSaturationAfterIdleGapStillDetected) {
+  // The write-off only covers backlog that existed when the queue
+  // drained: offers after the idle gap that go undelivered accumulate
+  // fresh backlog and must still trip the knee.
+  GoodputTracker t(0);
+  t.on_offered(0, 300);
+  for (int d = 0; d < 200; ++d) t.on_delivery(100 * kMillisecond);
+  // Idle buckets 1-2 write off the 100 purged deliveries; buckets 3-6
+  // offer 100 each and deliver nothing.
+  for (int b = 3; b <= 6; ++b) t.on_offered(b * kSecond, 100);
+  const GoodputReport r = t.finalize(7 * kSecond);
+  // Fresh backlog passes the per-bucket threshold from bucket 4; the run
+  // of 3 completes at bucket 6 and points back at 4000 ms.
+  EXPECT_DOUBLE_EQ(r.knee_time_ms, 4000.0);
+}
+
+TEST(GoodputTracker, WatermarkResidencyAccumulatesNodeTime) {
+  GoodputTracker t(0);
+  // Node A congested [1s, 4s), node B congested [2s, 3s): 3000 + 1000
+  // node-ms, two rising edges.
+  t.on_watermark(1 * kSecond, true);
+  t.on_watermark(2 * kSecond, true);
+  t.on_watermark(3 * kSecond, false);
+  t.on_watermark(4 * kSecond, false);
+  const GoodputReport r = t.finalize(10 * kSecond);
+  EXPECT_EQ(r.watermark_episodes, 2u);
+  EXPECT_DOUBLE_EQ(r.watermark_residency_ms, 4000.0);
+}
+
+TEST(GoodputTracker, WatermarkResidencyClampsToWindowAndClosesTail) {
+  GoodputTracker t(5 * kSecond);
+  // Congested since warmup (before the window): counts as congested from
+  // the window start, and the still-open episode is closed at finalize.
+  t.on_watermark(1 * kSecond, true);
+  const GoodputReport r = t.finalize(8 * kSecond);
+  EXPECT_EQ(r.watermark_episodes, 0u);  // the rising edge predates start
+  EXPECT_DOUBLE_EQ(r.watermark_residency_ms, 3000.0);
+}
+
 TEST(RunMetrics, ArenaGaugesExported) {
   // Satellite pin: the message-arena high-water mark must appear as
   // arena.* gauges in every metrics collection, alongside the always-on

@@ -209,6 +209,71 @@ TEST(PullGossip, LazyPullSurvivesLossViaRefetch) {
   EXPECT_EQ(swarm.total_delivered(), 15u);
 }
 
+TEST(PullGossip, RarestFirstFetchesLeastAdvertisedFirst) {
+  // Sanghavi-style rarest-first (--pull-sched rarest): when one advertise
+  // offers several unknown ids, the node fetches the id it has seen
+  // advertised fewest times first — the rarest payload is the one most at
+  // risk of disappearing past the saturation knee.
+  PullParams p = lazy_params();
+  p.order = core::PullOrder::rarest;
+  Swarm swarm(3, p);
+  for (auto& node : swarm.nodes) node->stop();
+  std::vector<std::uint64_t> fetched;
+  swarm.nodes[2]->set_fetch_listener(
+      [&](const MsgId& id, bool) { fetched.push_back(id.lo); });
+  const MsgId a{1, 1};
+  const MsgId b{2, 2};
+  auto adv_a = std::make_shared<PullAdvertisePacket>();
+  adv_a->ids.push_back(a);
+  // Two peers advertise `a`: its observed-advertisement count reaches 2
+  // (the in-flight fetch suppresses the duplicate request).
+  swarm.nodes[2]->handle_packet(0, adv_a);
+  swarm.nodes[2]->handle_packet(1, adv_a);
+  ASSERT_EQ(fetched, (std::vector<std::uint64_t>{1}));
+  // Past the re-fetch timeout, a single advertise offers both: `b` has
+  // been seen once vs `a` three times, so `b` is fetched first.
+  swarm.sim.run_until(150 * kMillisecond);
+  auto adv_ab = std::make_shared<PullAdvertisePacket>();
+  adv_ab->ids.push_back(a);
+  adv_ab->ids.push_back(b);
+  swarm.nodes[2]->handle_packet(0, adv_ab);
+  EXPECT_EQ(fetched, (std::vector<std::uint64_t>{1, 2, 1}));
+}
+
+TEST(PullGossip, RandomOrderKeepsAdvertiseOrder) {
+  // Default policy (--pull-sched random): candidates are requested in
+  // advertise order, exactly as before the scheduling knob existed.
+  Swarm swarm(3, lazy_params());
+  for (auto& node : swarm.nodes) node->stop();
+  std::vector<std::uint64_t> fetched;
+  swarm.nodes[2]->set_fetch_listener(
+      [&](const MsgId& id, bool) { fetched.push_back(id.lo); });
+  const MsgId a{1, 1};
+  const MsgId b{2, 2};
+  auto adv_a = std::make_shared<PullAdvertisePacket>();
+  adv_a->ids.push_back(a);
+  swarm.nodes[2]->handle_packet(0, adv_a);
+  swarm.nodes[2]->handle_packet(1, adv_a);
+  swarm.sim.run_until(150 * kMillisecond);
+  auto adv_ab = std::make_shared<PullAdvertisePacket>();
+  adv_ab->ids.push_back(a);
+  adv_ab->ids.push_back(b);
+  swarm.nodes[2]->handle_packet(0, adv_ab);
+  EXPECT_EQ(fetched, (std::vector<std::uint64_t>{1, 1, 2}));
+}
+
+TEST(PullGossip, RarestFirstStillDeliversEverywhere) {
+  PullParams p = lazy_params();
+  p.order = core::PullOrder::rarest;
+  Swarm swarm(20, p);
+  for (int i = 0; i < 5; ++i) {
+    swarm.nodes[static_cast<NodeId>(i)]->multicast(
+        64, static_cast<std::uint32_t>(i), swarm.sim.now());
+  }
+  swarm.sim.run_until(30 * kSecond);
+  for (const auto& d : swarm.delivered) EXPECT_EQ(d.size(), 5u);
+}
+
 TEST(PullGossip, RejectsBadParams) {
   Swarm swarm(3, eager_params());
   PullParams bad;

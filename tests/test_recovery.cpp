@@ -120,5 +120,80 @@ TEST(MetricsDeterminism, JsonIdenticalAcrossJobCounts) {
   EXPECT_NE(serial.find("\"phases\":["), std::string::npos);
 }
 
+// --- saturation-induced delivery loss (egress backpressure fix) ----------
+
+/// Small swarm pushed past its serialization limit: four burst publishers
+/// into a tight drop-oldest egress buffer. Without backpressure the purge
+/// silently destroys payloads (and the IHAVEs that would advertise them),
+/// so deliveries are lost without any recovery machinery noticing.
+ExperimentConfig saturated_config(std::uint64_t seed) {
+  ExperimentConfig c;
+  c.seed = seed;
+  c.num_nodes = 30;
+  c.num_messages = 0;  // workload replaces the legacy source loop
+  c.warmup = 10 * kSecond;
+  c.topology.num_underlay_vertices = 400;
+  c.topology.num_transit_domains = 3;
+  c.topology.transit_per_domain = 6;
+  c.bandwidth_bps = 2'000'000;
+  c.egress_buffer_bytes = 32 * 1024;
+  c.purge_policy = net::TransportOptions::PurgePolicy::drop_oldest;
+  load::WorkloadSpec wl;
+  wl.duration = 4 * kSecond;
+  for (int p = 0; p < 4; ++p) {
+    load::PublisherSpec pub;
+    pub.arrival = load::ArrivalKind::burst;
+    pub.rate = 40.0;
+    wl.publishers.push_back(pub);
+  }
+  c.workload = wl;
+  return c;
+}
+
+TEST(SaturationRegression, DropOldestSaturationLosesDeliveries) {
+  // Pre-fix behavior (--backpressure off): the purge bites and delivery
+  // falls short of 1.0 — lost payloads whose advertisements were also
+  // purged are unrecoverable. None of the backpressure machinery runs.
+  const ExperimentResult r = run_experiment(saturated_config(1));
+  EXPECT_GT(r.buffer_drops, 0u);
+  EXPECT_LT(r.mean_delivery_fraction, 1.0);
+  EXPECT_EQ(r.eager_deferred, 0u);
+  EXPECT_EQ(r.drops_readvertised, 0u);
+  EXPECT_EQ(r.watermark_episodes, 0u);
+}
+
+TEST(SaturationRegression, BackpressureRestoresFullDelivery) {
+  // Same swarm, same burst, --backpressure on: eager pushes degrade to
+  // IHAVE above the high watermark, so the egress queue never overflows
+  // and every live node delivers everything.
+  ExperimentConfig c = saturated_config(1);
+  c.backpressure = true;
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_DOUBLE_EQ(r.mean_delivery_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.atomic_delivery_fraction, 1.0);
+  EXPECT_EQ(r.buffer_drops, 0u);
+  EXPECT_EQ(r.recovery_stalled, 0u);
+  EXPECT_GT(r.eager_deferred, 0u);
+  EXPECT_GT(r.watermark_episodes, 0u);
+  EXPECT_GT(r.watermark_residency_ms, 0.0);
+}
+
+TEST(SaturationRegression, DropAwareRecoveryReadvertisesPurgedPayloads) {
+  // A buffer so tight that drops still happen despite the deferral: the
+  // purge listener feeds the destroyed payload/IHAVE keys back into the
+  // scheduler, which re-advertises them once the queue drains — delivery
+  // still reaches 1.0 because recovery is re-armed instead of silent.
+  ExperimentConfig c = saturated_config(1);
+  c.backpressure = true;
+  c.egress_buffer_bytes = 8 * 1024;
+  c.bp_high_watermark = 0.9;
+  c.bp_low_watermark = 0.6;
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_GT(r.buffer_drops, 0u);
+  EXPECT_GT(r.drops_readvertised, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_delivery_fraction, 1.0);
+  EXPECT_EQ(r.recovery_stalled, 0u);
+}
+
 }  // namespace
 }  // namespace esm::harness

@@ -524,6 +524,183 @@ TEST(Transport, OversizedPacketAlwaysDropped) {
   EXPECT_TRUE(f.received[1].empty());
 }
 
+TEST(Transport, BackpressureViewTracksQueueAndCapacity) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;  // 1 byte/ms
+  opts.egress_buffer_bytes = 10'000;
+  Fixture f(2, opts);
+  Transport::BackpressureView idle = f.transport.backpressure(0);
+  EXPECT_EQ(idle.queued_bytes, 0u);
+  EXPECT_EQ(idle.depth, 0u);
+  EXPECT_EQ(idle.capacity_bytes, 10'000u);
+  EXPECT_EQ(idle.occupancy(), 0.0);
+  EXPECT_FALSE(idle.congested);
+  f.transport.send(0, 1, make_packet(0), 1000, true);
+  f.transport.send(0, 1, make_packet(1), 1000, true);
+  const Transport::BackpressureView busy = f.transport.backpressure(0);
+  EXPECT_EQ(busy.queued_bytes, 2000u);
+  EXPECT_EQ(busy.depth, 2u);
+  EXPECT_NEAR(busy.occupancy(), 0.2, 1e-12);
+  f.sim.run();
+  EXPECT_EQ(f.transport.backpressure(0).queued_bytes, 0u);
+  EXPECT_EQ(f.transport.backpressure(0).depth, 0u);
+}
+
+TEST(Transport, UnboundedBufferReportsZeroOccupancy) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;
+  Fixture f(2, opts);
+  f.transport.send(0, 1, make_packet(), 1000, true);
+  const Transport::BackpressureView v = f.transport.backpressure(0);
+  EXPECT_EQ(v.capacity_bytes, 0u);
+  EXPECT_EQ(v.occupancy(), 0.0);
+  EXPECT_FALSE(v.congested);
+  f.sim.run();
+}
+
+TEST(Transport, WatermarkListenerFiresWithHysteresis) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;  // 1 byte/ms
+  opts.egress_buffer_bytes = 10'000;
+  opts.high_watermark = 0.75;  // 7500 bytes
+  opts.low_watermark = 0.50;   // 5000 bytes
+  Fixture f(2, opts);
+  std::vector<std::pair<SimTime, bool>> events;
+  f.transport.set_watermark_listener([&](NodeId src, bool above) {
+    EXPECT_EQ(src, 0u);
+    events.push_back({f.sim.now(), above});
+  });
+  // Eight 1000-byte packets queued at t=0: the queue crosses the high
+  // mark (7500) on the 8th send, exactly once despite further growth.
+  for (int i = 0; i < 8; ++i) {
+    f.transport.send(0, 1, make_packet(i), 1000, true);
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], (std::pair<SimTime, bool>{0, true}));
+  EXPECT_TRUE(f.transport.backpressure(0).congested);
+  // Drain at 1 packet/s: after three departures queued_bytes hits the low
+  // mark (5000) and exactly one falling event fires.
+  f.sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].second, false);
+  EXPECT_EQ(events[1].first, 3000 * kMillisecond);
+  EXPECT_FALSE(f.transport.backpressure(0).congested);
+  // A fresh burst re-arms: a second rising edge is a new episode.
+  for (int i = 0; i < 8; ++i) {
+    f.transport.send(0, 1, make_packet(i), 1000, true);
+  }
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[2].second);
+  f.sim.run();
+  EXPECT_EQ(events.size(), 4u);
+}
+
+TEST(Transport, WatermarksInertWithoutBoundedBuffer) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;
+  opts.high_watermark = 0.75;
+  opts.low_watermark = 0.50;  // no egress_buffer_bytes: stays disarmed
+  Fixture f(2, opts);
+  int events = 0;
+  f.transport.set_watermark_listener([&](NodeId, bool) { ++events; });
+  for (int i = 0; i < 50; ++i) {
+    f.transport.send(0, 1, make_packet(i), 1000, true);
+  }
+  f.sim.run();
+  EXPECT_EQ(events, 0);
+  EXPECT_EQ(f.received[1].size(), 50u);
+}
+
+TEST(Transport, InvalidWatermarksRejected) {
+  sim::Simulator sim;
+  ConstantLatencyModel lat(1);
+  TransportOptions inverted;
+  inverted.egress_buffer_bytes = 1000;
+  inverted.high_watermark = 0.4;
+  inverted.low_watermark = 0.6;
+  EXPECT_THROW(Transport(sim, lat, 2, inverted, Rng(1)), CheckFailure);
+  TransportOptions above_one;
+  above_one.egress_buffer_bytes = 1000;
+  above_one.high_watermark = 1.5;
+  above_one.low_watermark = 0.5;
+  EXPECT_THROW(Transport(sim, lat, 2, above_one, Rng(1)), CheckFailure);
+}
+
+TEST(Transport, PurgeListenerReportsDroppedPacketIdentity) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;
+  opts.egress_buffer_bytes = 2500;
+  opts.purge_policy = TransportOptions::PurgePolicy::drop_oldest;
+  Fixture f(2, opts);
+  std::vector<std::pair<int, bool>> purged;  // (tag, is_payload)
+  f.transport.set_purge_listener(
+      [&](NodeId src, NodeId dst, const PacketPtr& pkt, bool is_payload) {
+        EXPECT_EQ(src, 0u);
+        EXPECT_EQ(dst, 1u);
+        const auto* tp = dynamic_cast<const TestPacket*>(pkt.get());
+        ASSERT_NE(tp, nullptr);
+        purged.push_back({tp->tag, is_payload});
+      });
+  // Same shape as DropOldestKeepsFreshest: head (0) survives in service,
+  // the stale middle (1, 2, 3) is purged one victim per arrival, the
+  // freshest (4) is delivered.
+  for (int i = 0; i < 5; ++i) {
+    f.transport.send(0, 1, make_packet(i), 1000, i != 2);
+  }
+  f.sim.run();
+  ASSERT_EQ(purged.size(), 3u);
+  EXPECT_EQ(purged[0], (std::pair<int, bool>{1, true}));
+  EXPECT_EQ(purged[1], (std::pair<int, bool>{2, false}));
+  EXPECT_EQ(purged[2], (std::pair<int, bool>{3, true}));
+  EXPECT_EQ(f.transport.buffer_drops(), 3u);
+}
+
+TEST(Transport, PurgeListenerCoversRefusalAndOversized) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;
+  opts.egress_buffer_bytes = 2500;
+  opts.purge_policy = TransportOptions::PurgePolicy::drop_newest;
+  Fixture f(2, opts);
+  std::vector<int> purged;
+  f.transport.set_purge_listener(
+      [&](NodeId, NodeId, const PacketPtr& pkt, bool) {
+        purged.push_back(dynamic_cast<const TestPacket*>(pkt.get())->tag);
+      });
+  // Tail drop refuses the arriving packet itself.
+  for (int i = 0; i < 4; ++i) {
+    f.transport.send(0, 1, make_packet(i), 1000, true);
+  }
+  EXPECT_EQ(purged, (std::vector<int>{2, 3}));
+  // Oversized packets can never fit and are reported too.
+  f.transport.send(0, 1, make_packet(99), 5000, true);
+  EXPECT_EQ(purged.back(), 99);
+  f.sim.run();
+}
+
+TEST(Transport, DropOldestKeepsAccountingConsistentUnderOverload) {
+  // Satellite invariant pin: the in-service head guard means a purge never
+  // touches the transmitting slot, and `queued_bytes` must equal the sum
+  // of queued packet sizes after every mutation of the egress queue.
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;
+  opts.egress_buffer_bytes = 2500;
+  opts.purge_policy = TransportOptions::PurgePolicy::drop_oldest;
+  Fixture f(2, opts);
+  for (int i = 0; i < 200; ++i) {
+    f.transport.send(0, 1, make_packet(i), 1000, true);
+    ASSERT_TRUE(f.transport.egress_accounting_consistent(0));
+    ASSERT_LE(f.transport.egress_queued_bytes(0), 2500u);
+    ASSERT_GE(f.transport.egress_depth(0), 1u);  // head never purged
+  }
+  f.sim.run();
+  EXPECT_TRUE(f.transport.egress_accounting_consistent(0));
+  EXPECT_EQ(f.transport.egress_depth(0), 0u);
+  EXPECT_EQ(f.transport.egress_queued_bytes(0), 0u);
+  // Head survived and the freshest packet survived — 198 purged.
+  EXPECT_EQ(f.transport.buffer_drops(), 198u);
+  ASSERT_EQ(f.received[1].size(), 2u);
+}
+
 TEST(Transport, JitterStaysWithinBounds) {
   TransportOptions opts;
   opts.jitter = 0.2;

@@ -9,7 +9,11 @@
 //     fraction at the 50k-node / 32-publisher heavy-traffic point. This
 //     is a *deterministic simulation output*, so any drop at all is a
 //     behavioral change; the shared margin merely absorbs intentional
-//     protocol tuning between baseline refreshes.
+//     protocol tuning between baseline refreshes;
+//   * load_sweep_bp.goodput_on_msgs_per_s dropped more than the allowed
+//     fraction at the saturated burst point with --backpressure on —
+//     the same determinism argument applies, and this gate specifically
+//     protects the egress-backpressure + drop-recovery path.
 //
 // CI runs:
 //
@@ -153,6 +157,41 @@ int main(int argc, char** argv) {
                    "esm_bench_guard: REGRESSION — heavy-traffic goodput "
                    "dropped %.1f%% (allowed %.0f%%)\n",
                    100.0 * (1.0 - fresh_gp / base_gp), 100.0 * max_drop);
+      ++failures;
+    }
+  }
+
+  // Gate 3: backpressure-on goodput at the saturated burst point. Like
+  // gate 2 this is a deterministic simulation output; a drop means the
+  // backpressure path itself regressed (deferrals too aggressive, drop
+  // recovery broken), not that the machine got slower.
+  double base_bp = 0.0;
+  if (!extract(base_json, "load_sweep_bp", "goodput_on_msgs_per_s",
+               base_bp)) {
+    std::printf(
+        "esm_bench_guard: baseline %s has no load_sweep_bp section — "
+        "backpressure gate not armed yet\n",
+        args[1].c_str());
+  } else {
+    double fresh_bp = 0.0;
+    if (!extract(fresh_json, "load_sweep_bp", "goodput_on_msgs_per_s",
+                 fresh_bp)) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: %s has no load_sweep_bp section — run "
+                   "esm_bench_report with --load-sweep\n",
+                   args[0].c_str());
+      return 2;
+    }
+    const double floor = base_bp * (1.0 - max_drop);
+    std::printf(
+        "backpressure point: fresh %.1f goodput msgs/s vs baseline %.1f "
+        "(floor %.1f, max drop %.0f%%)\n",
+        fresh_bp, base_bp, floor, 100.0 * max_drop);
+    if (fresh_bp < floor) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: REGRESSION — backpressure-on goodput "
+                   "dropped %.1f%% (allowed %.0f%%)\n",
+                   100.0 * (1.0 - fresh_bp / base_bp), 100.0 * max_drop);
       ++failures;
     }
   }

@@ -161,6 +161,25 @@ esm::harness::ExperimentConfig load_config(std::uint32_t nodes,
   return c;
 }
 
+/// The backpressure on/off pair: the knee-sweep pipe (300 nodes, 8
+/// publishers, 2 Mb/s, 32 KB drop-oldest) driven by on/off burst arrivals
+/// at an in-burst rate ~2x the sustained knee, under the default eager
+/// strategy. This is the regime the backpressure fix targets: transient
+/// saturation purges payloads without it, and defers eager pushes to the
+/// lazy path with it. Both modes are recorded so the guard can gate the
+/// backpressure-on goodput across commits.
+esm::harness::ExperimentConfig bp_load_config(bool backpressure) {
+  using namespace esm;
+  harness::ExperimentConfig c =
+      load_config(300, 8, 40.0, 10 * kSecond, 2'000'000, 32 * 1024);
+  c.strategy = harness::StrategySpec::make_flat(1.0);
+  for (auto& pub : c.workload.publishers) {
+    pub.arrival = load::ArrivalKind::burst;
+  }
+  c.backpressure = backpressure;
+  return c;
+}
+
 bool run_load_point(const esm::harness::ExperimentConfig& c, double rate,
                     LoadPoint& out) {
   using namespace esm;
@@ -344,6 +363,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  LoadPoint bp_off, bp_on;
+  if (with_load) {
+    if (!run_load_point(bp_load_config(false), 40.0, bp_off)) return 1;
+    if (!run_load_point(bp_load_config(true), 40.0, bp_on)) return 1;
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -423,6 +447,22 @@ int main(int argc, char** argv) {
             ? static_cast<double>(load_50k.events) / load_50k.wall_s
             : 0.0,
         load_50k.wall_s);
+    out << buf;
+    // Flat object (the guard's extractor does not parse nesting): the
+    // saturated burst point in both --backpressure modes.
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"load_sweep_bp\": {\"nodes\": 300, \"publishers\": 8, "
+        "\"rate\": 40, "
+        "\"goodput_off_msgs_per_s\": %.3f, "
+        "\"goodput_on_msgs_per_s\": %.3f, "
+        "\"deliveries_off\": %.5f, \"deliveries_on\": %.5f, "
+        "\"buffer_drops_off\": %llu, \"buffer_drops_on\": %llu, "
+        "\"wall_s_off\": %.3f, \"wall_s_on\": %.3f},\n",
+        bp_off.goodput_per_s, bp_on.goodput_per_s, bp_off.deliveries,
+        bp_on.deliveries, static_cast<unsigned long long>(bp_off.buffer_drops),
+        static_cast<unsigned long long>(bp_on.buffer_drops), bp_off.wall_s,
+        bp_on.wall_s);
     out << buf;
   }
   out << "  \"results\": [\n";
