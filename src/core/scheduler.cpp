@@ -22,6 +22,19 @@ PayloadScheduler::PayloadScheduler(sim::Simulator& sim,
   ESM_CHECK(static_cast<bool>(receive_), "receive up-call must be callable");
 }
 
+PayloadScheduler::~PayloadScheduler() {
+  // Timers capture `this`; a scheduler torn down while its simulator still
+  // holds events must disarm them all or a later fire is use-after-free.
+  // Slot order is fine here — cancellation is order-insensitive.
+  pending_index_.for_each([this](MsgKey, const auto& idx) {
+    if (pending_slab_[idx].timer.valid()) sim_.cancel(pending_slab_[idx].timer);
+  });
+  ihave_outbox_.for_each([this](NodeId, const auto& idx) {
+    if (batch_slab_[idx].timer.valid()) sim_.cancel(batch_slab_[idx].timer);
+  });
+  if (readvertise_timer_.valid()) sim_.cancel(readvertise_timer_);
+}
+
 void PayloadScheduler::reserve(std::size_t expected_messages) {
   received_.reserve(expected_messages);
   cache_.reserve(expected_messages);
@@ -178,15 +191,27 @@ void PayloadScheduler::request_timer_fired(MsgKey key) {
     // reply was lost. Cycle through the already-asked advertisers again
     // (in ask order) up to max_rounds full passes.
     if (p.head == 0 || p.round + 1 >= policy.max_rounds) {
-      ++stats_.recovery_gave_up;
-      if (lazy_listener_) {
-        lazy_listener_(arena_->id(key), LazyEvent::kGaveUp, kInvalidNode);
+      if (p.head != 0 && p.purged > 0) {
+        // Some of the budget was spent on IWANTs our own egress purged —
+        // requests that never reached anyone. Refund one extra pass per
+        // purge batch: the recovery keeps cycling as long as purges keep
+        // eating its requests, and gives up only after a full pass whose
+        // requests actually left the node went unanswered.
+        p.purged = 0;
+        ++p.round;
+        p.head = 0;
+      } else {
+        ++stats_.recovery_gave_up;
+        if (lazy_listener_) {
+          lazy_listener_(arena_->id(key), LazyEvent::kGaveUp, kInvalidNode);
+        }
+        clear(key);
+        return;
       }
-      clear(key);
-      return;
+    } else {
+      ++p.round;
+      p.head = 0;
     }
-    ++p.round;
-    p.head = 0;
   }
 
   const auto queued = std::span<const NodeId>(p.peers).subspan(p.head);
@@ -341,9 +366,16 @@ void PayloadScheduler::on_egress_purge(NodeId dst, const net::Packet& packet) {
     }
     return;
   }
-  if (dynamic_cast<const IWantPacket*>(&packet) != nullptr) {
+  if (const auto* iwant = dynamic_cast<const IWantPacket*>(&packet)) {
     ++stats_.iwants_purged;
     if (bp_listener_) bp_listener_(BpEvent::kIWantPurged);
+    // Credit the recovery the purged request belonged to (if it is still
+    // live — the payload may have arrived via another path meanwhile), so
+    // the retry-budget check refunds the wasted pass instead of giving up.
+    const MsgKey key = arena_->find(iwant->id);
+    if (key != kInvalidMsgKey) {
+      if (Pending* p = find_pending(key)) ++p->purged;
+    }
   }
 }
 

@@ -77,8 +77,12 @@ struct SchedulerStats {
   /// Purged payload/IHAVE ids that re-entered the advertise path via the
   /// transport's purge notification (drop-aware recovery).
   std::uint64_t drops_readvertised = 0;
-  /// Own IWANT packets purged in the egress queue. Self-healing — the
-  /// pending request timer re-fires regardless — so only counted.
+  /// Own IWANT packets purged in the egress queue. Counted here, and the
+  /// affected recovery earns a retry-budget refund: a purged request
+  /// never reached its target, so the pass that sent it must not count
+  /// against RequestPolicy::max_rounds (without this, disabling the pull
+  /// layer leaves the requester stalled once the budget burns down on
+  /// requests that never left the node).
   std::uint64_t iwants_purged = 0;
 };
 
@@ -95,6 +99,11 @@ class PayloadScheduler {
   PayloadScheduler(sim::Simulator& sim, net::Transport& transport, NodeId self,
                    TransmissionStrategy& strategy, ReceiveFn receive,
                    MessageArena* arena = nullptr);
+
+  /// Cancels every timer still armed in the simulator (pending-request,
+  /// IHAVE-batch and readvertise timers), so a scheduler destroyed before
+  /// its simulator drains cannot have a queued fire run into a dead object.
+  ~PayloadScheduler();
 
   /// The arena this scheduler interns through (shared or private). The
   /// gossip layer keys its K set off the same table.
@@ -220,8 +229,10 @@ class PayloadScheduler {
   /// Transport purge callback: a packet this node had queued was purged by
   /// the bounded egress buffer. Payload and IHAVE keys re-enter the
   /// advertise path (flushed at the low watermark or after
-  /// readvertise_delay); a purged IWANT is only counted — its pending
-  /// timer re-fires regardless.
+  /// readvertise_delay); a purged IWANT credits its pending recovery with
+  /// a retry-budget refund — the request never left this node, so the
+  /// retransmission timer keeps cycling the advertisers instead of giving
+  /// up after max_rounds passes spent on purged requests.
   void on_egress_purge(NodeId dst, const net::Packet& packet);
 
   /// Backpressure decision points, for the goodput tracker's defer/
@@ -253,6 +264,13 @@ class PayloadScheduler {
     std::uint32_t head = 0;
     sim::EventHandle timer{};
     std::uint32_t round = 0;      // completed passes over sources
+    /// IWANTs for this message purged at our own egress since the last
+    /// budget refund. A purged request never reached its target, so the
+    /// retry pass that sent it proved nothing about the advertisers; the
+    /// exhausted-budget check refunds one extra pass per purge batch
+    /// instead of giving up (critical when the pull layer is off and no
+    /// other mechanism would refetch).
+    std::uint32_t purged = 0;
     bool requested_before = false;  // at least one IWANT sent
     NodeId last_request_target = kInvalidNode;
     SimTime last_request_time = 0;
@@ -262,6 +280,7 @@ class PayloadScheduler {
       head = 0;
       timer = sim::EventHandle{};
       round = 0;
+      purged = 0;
       requested_before = false;
       last_request_target = kInvalidNode;
       last_request_time = 0;

@@ -100,6 +100,12 @@ Execution:
   --jobs N            worker threads for --reps and sweeps; 0 or absent =
                       hardware concurrency. Results are bit-for-bit
                       identical at every job count.
+  --shards N          partition the nodes of EACH run across N worker
+                      threads advancing through conservative time windows
+                      (default 1 = the single-threaded engine). Results
+                      are bit-for-bit identical at every shard count >= 2;
+                      composes with --jobs. Incompatible with --scenario,
+                      --churn, --trace*, --tree-stats and --metrics-out.
 
 Output:
   --kv                print key=value lines instead of the table
@@ -270,6 +276,13 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       c.mean_interval = static_cast<SimTime>(u64) * kMillisecond;
     } else if (flag == "--seed") {
       if (!next_u64(flag, c.seed)) return std::nullopt;
+    } else if (flag == "--shards") {
+      if (!next_u64(flag, u64)) return std::nullopt;
+      if (u64 < 1) {
+        error = "--shards: must be >= 1";
+        return std::nullopt;
+      }
+      c.shards = static_cast<std::uint32_t>(u64);
     } else if (flag == "--path-model") {
       if (!next_value(flag, v)) return std::nullopt;
       if (v == "dense") {
@@ -468,6 +481,31 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
     error = "--backpressure on: requires a bounded egress buffer (--buffer)";
     return std::nullopt;
   }
+  // --shards v1 gates (parse-time view; run_experiment re-checks the
+  // final config, catching flags the tools apply after parsing).
+  if (c.shards >= 2) {
+    if (!c.scenario.empty() || !options.scenario_path.empty()) {
+      error = "--shards: scenario scripts need the single-threaded engine";
+      return std::nullopt;
+    }
+    if (c.churn_rate > 0.0) {
+      error = "--shards: --churn needs the single-threaded engine";
+      return std::nullopt;
+    }
+    if (c.collect_trace || c.collect_tree_stats || c.trace_sink != nullptr) {
+      error = "--shards: trace collection needs the single-threaded engine";
+      return std::nullopt;
+    }
+    if (c.collect_metrics) {
+      error = "--shards: metrics collection needs the single-threaded engine";
+      return std::nullopt;
+    }
+    if (c.strategy.noise > 0.0) {
+      error = "--shards: --noise needs the single-threaded engine (the "
+              "shared calibration is order-dependent)";
+      return std::nullopt;
+    }
+  }
   if ((wl_senders > 0 || wl_aux_seen) && !options.workload_path.empty()) {
     error = "--workload: cannot be combined with inline workload flags";
     return std::nullopt;
@@ -539,6 +577,12 @@ bool apply_sweep_param(ExperimentConfig& config, const std::string& name,
     config.num_messages = static_cast<std::uint32_t>(value);
   } else if (name == "seed") {
     config.seed = static_cast<std::uint64_t>(value);
+  } else if (name == "shards") {
+    if (value < 1.0) {
+      error = "shards: must be >= 1";
+      return false;
+    }
+    config.shards = static_cast<std::uint32_t>(value);
   } else if (name == "backpressure") {
     if (value != 0.0 && config.egress_buffer_bytes == 0) {
       error = "backpressure: requires a bounded egress buffer (--buffer)";

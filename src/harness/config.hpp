@@ -177,6 +177,19 @@ struct ExperimentConfig {
   /// Extra time after the last multicast for retransmissions to settle.
   SimTime drain = 8 * kSecond;
 
+  /// Intra-run parallelism (--shards): partition nodes across this many
+  /// worker threads driven through conservative time windows
+  /// (sim::ShardedSimulator). 1 = the single-threaded engine, bit-for-bit
+  /// the legacy results. >= 2 runs the sharded engine, whose results are
+  /// bit-identical at ANY shard count but may order same-microsecond
+  /// arrival ties differently from the legacy engine. Composes freely
+  /// with the runner's --jobs (shards parallelize one run, jobs
+  /// parallelize across runs). v1 gates: incompatible with scenario
+  /// scripts, churn, strategy noise (the shared calibration is
+  /// order-dependent) and trace/tree-stats/metrics collection (warm-up
+  /// kills are fine — they happen between windows).
+  std::uint32_t shards = 1;
+
   // Failure injection (§6.3): kill_fraction of nodes silenced right after
   // warm-up, before logging starts.
   double kill_fraction = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <string>
 
@@ -108,6 +109,18 @@ SimTime PathModel::latency_quantile(double p) const {
   return values[pos];
 }
 
+SimTime PathModel::min_latency_lower_bound() const {
+  const std::uint32_t n = num_clients();
+  if (n < 2) return 0;
+  SimTime best = std::numeric_limits<SimTime>::max();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) best = std::min(best, latency(a, b));
+    }
+  }
+  return best;
+}
+
 std::vector<double> PathModel::closeness_sums() const {
   const std::uint32_t n = num_clients();
   std::vector<double> sums(n, 0.0);
@@ -198,6 +211,21 @@ SimTime OnDemandPathModel::latency(NodeId a, NodeId b) const {
   if (a == b) return 0;
   const Row& r = row(attach_of_client_[a]);
   return access_weight_[a] + r.lat[attach_of_client_[b]] + access_weight_[b];
+}
+
+SimTime OnDemandPathModel::min_latency_lower_bound() const {
+  if (n_ < 2) return 0;
+  SimTime lo1 = std::numeric_limits<SimTime>::max();  // smallest
+  SimTime lo2 = std::numeric_limits<SimTime>::max();  // second smallest
+  for (const SimTime w : access_weight_) {
+    if (w < lo1) {
+      lo2 = lo1;
+      lo1 = w;
+    } else if (w < lo2) {
+      lo2 = w;
+    }
+  }
+  return lo1 + lo2;
 }
 
 std::uint16_t OnDemandPathModel::hops(NodeId a, NodeId b) const {

@@ -92,6 +92,14 @@ class PathModel {
   /// p-quantile (0..1) of the pairwise one-way latency distribution.
   virtual SimTime latency_quantile(double p) const;
 
+  /// Lower bound on latency(a, b) over all ordered pairs a != b — the
+  /// sharded engine derives its conservative window width (lookahead)
+  /// from this. Need not be tight, but must never exceed the true
+  /// minimum. The default scans all pairs (Θ(N²) point queries — fine at
+  /// dense scale); structured models override with a cheap bound.
+  /// Returns 0 for fewer than two clients.
+  virtual SimTime min_latency_lower_bound() const;
+
   /// Per-node closeness sums: sums[a] = Σ_b latency(a, b) over b != a,
   /// accumulated in ascending-b order. rank_by_closeness and the gossip
   /// rank oracle divide/negate these, so the accumulation order is part
@@ -120,6 +128,11 @@ class OnDemandPathModel final : public PathModel {
   std::size_t memory_bytes() const override;
   std::uint64_t rows_computed() const override { return rows_computed_; }
   std::uint64_t row_evictions() const override { return row_evictions_; }
+
+  /// Exact-decomposition bound: latency(a, b) = w_a + router_path + w_b
+  /// with router_path >= 0, so the sum of the two smallest client access
+  /// weights bounds every pair from below. O(N), touches no rows.
+  SimTime min_latency_lower_bound() const override;
 
   /// Distinct stub routers clients attach to (the row-cache key space).
   std::uint32_t num_attach_vertices() const {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "sim/sharded.hpp"
 
 namespace esm::net {
 namespace {
@@ -56,6 +59,25 @@ void TrafficStats::reset() {
   total_bytes_ = 0;
 }
 
+void TrafficStats::merge(const TrafficStats& other) {
+  ESM_CHECK(node_sent_payload_.size() == other.node_sent_payload_.size(),
+            "cannot merge traffic stats over different node counts");
+  for (const auto& [k, c] : other.links_) {
+    LinkCounters& mine = links_[k];
+    mine.packets += c.packets;
+    mine.bytes += c.bytes;
+    mine.payload_packets += c.payload_packets;
+    mine.payload_bytes += c.payload_bytes;
+  }
+  for (std::size_t n = 0; n < node_sent_payload_.size(); ++n) {
+    node_sent_payload_[n] += other.node_sent_payload_[n];
+    node_sent_packets_[n] += other.node_sent_packets_[n];
+  }
+  total_payload_packets_ += other.total_payload_packets_;
+  total_packets_ += other.total_packets_;
+  total_bytes_ += other.total_bytes_;
+}
+
 const LinkCounters& TrafficStats::link(NodeId src, NodeId dst) const {
   static const LinkCounters kEmpty{};
   const auto it = links_.find(key(src, dst));
@@ -108,21 +130,77 @@ Transport::Transport(sim::Simulator& sim, const LatencyModel& latency,
       egress_(num_nodes),
       egress_stats_(num_nodes),
       congested_(num_nodes, false),
-      stats_(num_nodes) {
+      stats_(1, TrafficStats(num_nodes)),
+      counters_(1) {
   ESM_CHECK(options.loss_rate >= 0.0 && options.loss_rate < 1.0,
             "loss rate must be in [0, 1)");
   ESM_CHECK(options.jitter >= 0.0 && options.jitter < 1.0,
             "jitter must be in [0, 1)");
   if (options_.egress_buffer_bytes > 0 && options_.high_watermark > 0.0 &&
       options_.low_watermark > 0.0) {
-    ESM_CHECK(options_.low_watermark < options_.high_watermark &&
+    ESM_CHECK(options_.low_watermark <= options_.high_watermark &&
                   options_.high_watermark <= 1.0,
-              "watermarks must satisfy 0 < low < high <= 1");
+              "watermarks must satisfy 0 < low <= high <= 1");
     const double cap = static_cast<double>(options_.egress_buffer_bytes);
     high_watermark_bytes_ =
         static_cast<std::uint64_t>(cap * options_.high_watermark);
     low_watermark_bytes_ =
         static_cast<std::uint64_t>(cap * options_.low_watermark);
+  }
+}
+
+void Transport::bind_shards(sim::ShardedSimulator& world,
+                            std::vector<const LatencyModel*> shard_latency) {
+  ESM_CHECK(world_ == nullptr, "transport is already bound to a shard world");
+  ESM_CHECK(shard_latency.empty() || shard_latency.size() == world.num_shards(),
+            "need one latency model per shard (or none)");
+  for (const LatencyModel* model : shard_latency) {
+    ESM_CHECK(model != nullptr, "per-shard latency model must not be null");
+  }
+  world_ = &world;
+  shard_latency_ = std::move(shard_latency);
+  const std::uint32_t num_nodes = static_cast<std::uint32_t>(handlers_.size());
+  node_rng_.reserve(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) node_rng_.push_back(rng_.split(n));
+  send_seq_.assign(num_nodes, 0);
+  stats_.assign(world.num_shards(), TrafficStats(num_nodes));
+  counters_.assign(world.num_shards(), SlotCounters{});
+}
+
+std::uint32_t Transport::slot_of(NodeId node) const {
+  return world_ == nullptr ? 0 : world_->shard_of(node);
+}
+
+sim::Simulator& Transport::sim_for(NodeId node) {
+  return world_ == nullptr ? sim_ : world_->shard_for(node);
+}
+
+Rng& Transport::rng_for(NodeId src) {
+  return world_ == nullptr ? rng_ : node_rng_[src];
+}
+
+const LatencyModel& Transport::latency_for(NodeId src) const {
+  if (world_ == nullptr || shard_latency_.empty()) return latency_;
+  return *shard_latency_[world_->shard_of(src)];
+}
+
+void Transport::schedule_delivery(NodeId src, NodeId dst, SimTime arrival,
+                                  sim::EventCallback cb) {
+  if (world_ == nullptr) {
+    sim_.schedule_at(arrival, std::move(cb));
+    return;
+  }
+  // Key the arrival by (source, per-source send counter): unique per run,
+  // so same-microsecond arrivals at a node order by protocol history, not
+  // by which shard merged them first — the sharded determinism contract.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) + 1) << 32 | send_seq_[src]++;
+  const std::uint32_t from = world_->shard_of(src);
+  const std::uint32_t to = world_->shard_of(dst);
+  if (from == to) {
+    world_->shard(to).schedule_at_keyed(arrival, key, std::move(cb));
+  } else {
+    world_->post(from, to, arrival, key, std::move(cb));
   }
 }
 
@@ -145,7 +223,7 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
     return;
   }
   if (!partition_.empty() && partition_[src] != partition_[dst]) {
-    ++partition_drops_;
+    ++counters_[slot_of(src)].partition_drops;
     if (drop_listener_) {
       drop_listener_(src, dst, is_payload, DropReason::kPartition);
     }
@@ -180,7 +258,7 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
   std::vector<Queued> purged;
   if (options_.egress_buffer_bytes > 0) {
     if (item.bytes > options_.egress_buffer_bytes) {
-      ++buffer_drops_;
+      ++counters_[slot_of(src)].buffer_drops;
       if (drop_listener_) {
         drop_listener_(src, dst, is_payload, DropReason::kBuffer);
       }
@@ -189,7 +267,7 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
     }
     if (options_.purge_policy == TransportOptions::PurgePolicy::drop_newest) {
       if (egress.queued_bytes + item.bytes > options_.egress_buffer_bytes) {
-        ++buffer_drops_;
+        ++counters_[slot_of(src)].buffer_drops;
         if (drop_listener_) {
           drop_listener_(src, dst, is_payload, DropReason::kBuffer);
         }
@@ -211,10 +289,10 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
         }
         if (purge_listener_) purged.push_back(std::move(*victim));
         egress.queue.erase(victim);
-        ++buffer_drops_;
+        ++counters_[slot_of(src)].buffer_drops;
       }
       if (egress.queued_bytes + item.bytes > options_.egress_buffer_bytes) {
-        ++buffer_drops_;
+        ++counters_[slot_of(src)].buffer_drops;
         if (drop_listener_) {
           drop_listener_(src, dst, is_payload, DropReason::kBuffer);
         }
@@ -226,7 +304,7 @@ void Transport::send(NodeId src, NodeId dst, PacketPtr packet,
       }
     }
   }
-  item.enqueued_at = sim_.now();
+  item.enqueued_at = sim_for(src).now();
   egress.queued_bytes += item.bytes;
   egress.queue.push_back(std::move(item));
   EgressStats& es = egress_stats_[src];
@@ -252,7 +330,7 @@ void Transport::drain(NodeId src) {
           (static_cast<double>(egress.queue.front().bytes) * 8.0 * kSecond) /
           static_cast<double>(bandwidth)),
       1);
-  sim_.schedule_after(tx_time, [this, src] {
+  sim_for(src).schedule_after(tx_time, [this, src] {
     Egress& e = egress_[src];
     ESM_CHECK(!e.queue.empty(), "drain fired on an empty egress queue");
     Queued item = std::move(e.queue.front());
@@ -264,7 +342,7 @@ void Transport::drain(NodeId src) {
     update_watermark(src);
     if (!silenced_[src]) {
       const std::uint64_t sojourn =
-          static_cast<std::uint64_t>(sim_.now() - item.enqueued_at);
+          static_cast<std::uint64_t>(sim_for(src).now() - item.enqueued_at);
       EgressStats& es = egress_stats_[src];
       ++es.serialized_packets;
       es.total_sojourn_us += sojourn;
@@ -279,7 +357,8 @@ void Transport::drain(NodeId src) {
 }
 
 void Transport::transmit(NodeId src, Queued item) {
-  stats_.record_send(src, item.dst, item.bytes, item.is_payload);
+  stats_[slot_of(src)].record_send(src, item.dst, item.bytes,
+                                   item.is_payload);
 
   // Fault-injected modifiers compose with the base network model: extra
   // loss as an independent drop process, delay factors multiplicatively.
@@ -295,34 +374,38 @@ void Transport::transmit(NodeId src, Queued item) {
     }
   }
 
-  if (options_.loss_rate > 0.0 && rng_.chance(options_.loss_rate)) {
-    ++packets_lost_;
+  if (options_.loss_rate > 0.0 && rng_for(src).chance(options_.loss_rate)) {
+    ++counters_[slot_of(src)].packets_lost;
     if (drop_listener_) {
       drop_listener_(src, item.dst, item.is_payload, DropReason::kLoss);
     }
     return;
   }
-  if (extra_loss > 0.0 && rng_.chance(extra_loss)) {
-    ++packets_lost_;
-    ++fault_drops_;
+  if (extra_loss > 0.0 && rng_for(src).chance(extra_loss)) {
+    SlotCounters& counters = counters_[slot_of(src)];
+    ++counters.packets_lost;
+    ++counters.fault_drops;
     if (drop_listener_) {
       drop_listener_(src, item.dst, item.is_payload, DropReason::kFault);
     }
     return;
   }
 
-  SimTime delay = latency_.one_way(src, item.dst);
+  SimTime delay = latency_for(src).one_way(src, item.dst);
   if (delay_factor != 1.0) {
     delay = static_cast<SimTime>(static_cast<double>(delay) * delay_factor);
   }
   if (options_.jitter > 0.0) {
     delay = static_cast<SimTime>(static_cast<double>(delay) *
-                                 rng_.uniform(1.0 - options_.jitter,
-                                              1.0 + options_.jitter));
+                                 rng_for(src).uniform(
+                                     1.0 - options_.jitter,
+                                     1.0 + options_.jitter));
   }
-  const SimTime arrival = sim_.now() + std::max<SimTime>(delay, 1);
+  const SimTime arrival =
+      sim_for(src).now() + std::max<SimTime>(delay, 1);
   const NodeId dst = item.dst;
-  sim_.schedule_at(arrival, [this, src, dst, item = std::move(item)] {
+  schedule_delivery(src, dst, arrival, [this, src, dst,
+                                        item = std::move(item)] {
     if (silenced_[dst]) {  // firewalled: nothing gets in
       if (drop_listener_) {
         drop_listener_(src, dst, item.is_payload, DropReason::kSilenced);
@@ -351,7 +434,19 @@ void Transport::notify_purge(NodeId src, const Queued& item) {
 void Transport::update_watermark(NodeId src) {
   if (high_watermark_bytes_ == 0 || !watermark_listener_) return;
   const Egress& egress = egress_[src];
-  if (!congested_[src] && egress.queued_bytes >= high_watermark_bytes_) {
+  // Boundary semantics: the rising edge fires AT the high watermark
+  // (>=) and the falling edge AT the low watermark (<=), so an occupancy
+  // draining to precisely low_watermark_bytes_ decongests. When the two
+  // byte thresholds coincide (high == low configs, or distinct fractions
+  // truncating to the same byte value) inclusive edges on both sides
+  // would flap — congest and decongest on consecutive updates at the
+  // shared boundary — so the rising edge becomes strict (>) there: an
+  // episode opens only once occupancy actually exceeds the single mark.
+  const bool rising =
+      high_watermark_bytes_ == low_watermark_bytes_
+          ? egress.queued_bytes > high_watermark_bytes_
+          : egress.queued_bytes >= high_watermark_bytes_;
+  if (!congested_[src] && rising) {
     congested_[src] = true;
     watermark_listener_(src, true);
   } else if (congested_[src] && egress.queued_bytes <= low_watermark_bytes_) {
@@ -376,6 +471,40 @@ bool Transport::egress_accounting_consistent(NodeId node) const {
   std::uint64_t bytes = 0;
   for (const Queued& item : egress.queue) bytes += item.bytes;
   return bytes == egress.queued_bytes;
+}
+
+TrafficStats Transport::merged_stats() const {
+  TrafficStats merged(static_cast<std::uint32_t>(handlers_.size()));
+  for (const TrafficStats& slot : stats_) merged.merge(slot);
+  return merged;
+}
+
+void Transport::reset_stats() {
+  for (TrafficStats& slot : stats_) slot.reset();
+}
+
+std::uint64_t Transport::packets_lost() const {
+  std::uint64_t total = 0;
+  for (const SlotCounters& c : counters_) total += c.packets_lost;
+  return total;
+}
+
+std::uint64_t Transport::buffer_drops() const {
+  std::uint64_t total = 0;
+  for (const SlotCounters& c : counters_) total += c.buffer_drops;
+  return total;
+}
+
+std::uint64_t Transport::fault_drops() const {
+  std::uint64_t total = 0;
+  for (const SlotCounters& c : counters_) total += c.fault_drops;
+  return total;
+}
+
+std::uint64_t Transport::partition_drops() const {
+  std::uint64_t total = 0;
+  for (const SlotCounters& c : counters_) total += c.partition_drops;
+  return total;
 }
 
 Transport::EgressStats Transport::egress_totals() const {

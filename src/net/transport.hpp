@@ -26,6 +26,10 @@
 #include "net/latency_model.hpp"
 #include "sim/simulator.hpp"
 
+namespace esm::sim {
+class ShardedSimulator;
+}
+
 namespace esm::net {
 
 /// Base class for everything that travels through the transport. Protocol
@@ -69,6 +73,11 @@ class TrafficStats {
 
   /// Clears all counters (used to exclude warm-up traffic).
   void reset();
+
+  /// Adds every counter of `other` into this instance (same node count).
+  /// Used to combine per-shard accounting into one run-wide view; link
+  /// sets are unioned, so disjoint per-shard sources merge exactly.
+  void merge(const TrafficStats& other);
 
   const LinkCounters& link(NodeId src, NodeId dst) const;
   std::uint64_t total_payload_packets() const { return total_payload_packets_; }
@@ -132,9 +141,12 @@ struct TransportOptions {
   PurgePolicy purge_policy = PurgePolicy::drop_newest;
   /// Egress occupancy watermarks as fractions of egress_buffer_bytes, the
   /// hysteresis band for backpressure into the protocol layer. Both must
-  /// be set (0 < low < high <= 1) together with a bounded buffer for the
+  /// be set (0 < low <= high <= 1) together with a bounded buffer for the
   /// watermark listener to arm; with either at 0 the feature is inert and
-  /// the transport behaves exactly as before.
+  /// the transport behaves exactly as before. The rising edge fires at
+  /// occupancy >= high, the falling edge at occupancy <= low; when the
+  /// two byte thresholds coincide the rising edge is strict (> high) so
+  /// the single boundary cannot flap.
   double high_watermark = 0.0;
   double low_watermark = 0.0;
   /// Uniform multiplicative jitter on the one-way delay: the delay is
@@ -155,6 +167,22 @@ class Transport {
   Transport(sim::Simulator& sim, const LatencyModel& latency,
             std::uint32_t num_nodes, TransportOptions options, Rng rng);
 
+  /// Switches the transport into sharded mode: all per-node scheduling
+  /// (egress drains, deliveries) routes through `world`'s shard
+  /// simulators, cross-shard deliveries travel through its mailboxes
+  /// keyed by (source, per-source send counter), and all mutable
+  /// accounting splits into per-shard slots so shard workers never share
+  /// a cache line of transport state. Each node's loss/jitter draws move
+  /// to a private stream split from the constructor's Rng by node id.
+  /// Call once, after construction and before any traffic; `world` must
+  /// outlive the transport. `shard_latency` supplies one latency model
+  /// per shard when the shared model is not safe for concurrent reads
+  /// (the on-demand path cache mutates under latency()); leave it empty
+  /// to share the constructor's model across all shards.
+  void bind_shards(sim::ShardedSimulator& world,
+                   std::vector<const LatencyModel*> shard_latency = {});
+  bool sharded() const { return world_ != nullptr; }
+
   /// Installs the receive handler for `node` (its protocol stack mux).
   void register_handler(NodeId node, Handler handler);
 
@@ -169,8 +197,9 @@ class Transport {
   /// group id per node. heal_partition() removes the split.
   void set_partition(const std::vector<int>& group_of_node);
   void heal_partition();
-  /// Packets dropped because their endpoints were in different groups.
-  std::uint64_t partition_drops() const { return partition_drops_; }
+  /// Packets dropped because their endpoints were in different groups
+  /// (summed across shard slots).
+  std::uint64_t partition_drops() const;
 
   /// Additional loss applied on top of options_.loss_rate, composed as
   /// independent drop processes: p = 1 - (1-loss_rate)(1-extra). Global
@@ -193,8 +222,9 @@ class Transport {
   /// can pin that orientation-independence.
   double link_extra_loss(NodeId src, NodeId dst) const;
   double link_delay_factor(NodeId src, NodeId dst) const;
-  /// Packets dropped by the *extra* (fault-injected) loss process.
-  std::uint64_t fault_drops() const { return fault_drops_; }
+  /// Packets dropped by the *extra* (fault-injected) loss process
+  /// (summed across shard slots).
+  std::uint64_t fault_drops() const;
 
   /// Silences a node (fail-by-firewall, §6.3).
   void silence(NodeId node);
@@ -205,14 +235,24 @@ class Transport {
   bool is_silenced(NodeId node) const { return silenced_.at(node); }
   std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(silenced_.size()); }
 
-  TrafficStats& stats() { return stats_; }
-  const TrafficStats& stats() const { return stats_; }
+  /// Traffic accounting. In unsharded mode there is a single slot and
+  /// these are the complete story; in sharded mode they expose slot 0
+  /// only — use merged_stats() for the run-wide view.
+  TrafficStats& stats() { return stats_.front(); }
+  const TrafficStats& stats() const { return stats_.front(); }
 
-  /// Packets dropped by the loss process so far.
-  std::uint64_t packets_lost() const { return packets_lost_; }
+  /// Sum of all per-shard traffic slots (a copy; O(links) to build).
+  TrafficStats merged_stats() const;
+
+  /// Clears traffic counters in every shard slot. stats().reset() only
+  /// touches slot 0, which is everything in unsharded mode.
+  void reset_stats();
+
+  /// Packets dropped by the loss process so far (summed across shards).
+  std::uint64_t packets_lost() const;
 
   /// Packets dropped at the sender because the egress buffer was full.
-  std::uint64_t buffer_drops() const { return buffer_drops_; }
+  std::uint64_t buffer_drops() const;
 
   /// Effective egress bandwidth of a node (override or default).
   std::uint64_t node_bandwidth(NodeId node) const;
@@ -337,6 +377,30 @@ class Transport {
     bool neutral() const { return extra_loss == 0.0 && delay_factor == 1.0; }
   };
 
+  /// Drop counters, one slot per shard (a single slot unsharded). Split
+  /// so concurrent shard workers never write the same counter; accessors
+  /// sum the slots.
+  struct SlotCounters {
+    std::uint64_t packets_lost = 0;
+    std::uint64_t buffer_drops = 0;
+    std::uint64_t fault_drops = 0;
+    std::uint64_t partition_drops = 0;
+  };
+
+  /// Accounting slot for a node: its shard in sharded mode, 0 otherwise.
+  std::uint32_t slot_of(NodeId node) const;
+  /// Simulator owning a node's events (its shard sim, or the ctor's).
+  sim::Simulator& sim_for(NodeId node);
+  /// RNG for a node's loss/jitter draws (its private stream, or the
+  /// shared one — the legacy draw sequence is part of the goldens).
+  Rng& rng_for(NodeId src);
+  /// Latency model for packets leaving `src` (per-shard when provided).
+  const LatencyModel& latency_for(NodeId src) const;
+  /// Schedules a delivery at `arrival`: plain FIFO unsharded; keyed by
+  /// (src, send counter) and routed via shard sims/mailboxes sharded.
+  void schedule_delivery(NodeId src, NodeId dst, SimTime arrival,
+                         sim::EventCallback cb);
+
   /// Transmits over the wire: accounting, loss, propagation, delivery.
   void transmit(NodeId src, Queued item);
   /// Starts/continues draining a node's egress queue.
@@ -354,11 +418,15 @@ class Transport {
   const LatencyModel& latency_;
   TransportOptions options_;
   Rng rng_;
+  /// Sharded-mode routing state; all empty/null in unsharded mode.
+  sim::ShardedSimulator* world_ = nullptr;
+  std::vector<const LatencyModel*> shard_latency_;
+  std::vector<Rng> node_rng_;             // per-node draw streams
+  std::vector<std::uint32_t> send_seq_;   // per-src delivery key counters
   std::vector<Handler> handlers_;
   std::vector<bool> silenced_;
   /// Partition group per node; empty = no partition.
   std::vector<int> partition_;
-  std::uint64_t partition_drops_ = 0;
   /// Per-node egress queues (bandwidth model). A deque, NOT a vector:
   /// drain pops the head per transmitted packet and the drop-oldest purge
   /// erases at (or one past) the front, so under sustained overload a
@@ -373,21 +441,23 @@ class Transport {
   std::vector<EgressStats> egress_stats_;
   EgressListener egress_listener_;
   /// Watermark hysteresis: byte thresholds (0 = disarmed) and per-node
-  /// congestion state.
+  /// congestion state. One byte per node, NOT vector<bool>: in sharded
+  /// mode each node's flag is touched only by its own shard's thread, and
+  /// packed bits would share words across shards.
   std::uint64_t high_watermark_bytes_ = 0;
   std::uint64_t low_watermark_bytes_ = 0;
-  std::vector<bool> congested_;
+  std::vector<std::uint8_t> congested_;
   WatermarkListener watermark_listener_;
   PurgeListener purge_listener_;
-  TrafficStats stats_;
-  std::uint64_t packets_lost_ = 0;
-  std::uint64_t buffer_drops_ = 0;
+  /// One traffic slot per shard (a single slot unsharded), indexed by
+  /// slot_of(src) at record time.
+  std::vector<TrafficStats> stats_;
+  std::vector<SlotCounters> counters_;
   /// Fault-injection modifiers. Keyed by directed (src<<32)|dst; the
   /// setters install both directions so lookups stay O(1) on the hot path.
   double global_extra_loss_ = 0.0;
   double global_delay_factor_ = 1.0;
   std::unordered_map<std::uint64_t, LinkFault> link_faults_;
-  std::uint64_t fault_drops_ = 0;
   DropListener drop_listener_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace esm::obs {
 
 std::size_t GoodputTracker::bucket_of(SimTime now) {
@@ -44,6 +46,48 @@ void GoodputTracker::on_watermark(SimTime now, bool above) {
     if (now >= start_) ++watermark_episodes_;
   } else if (congested_nodes_ > 0) {
     --congested_nodes_;
+  }
+}
+
+void GoodputTracker::merge(const GoodputTracker& other) {
+  ESM_CHECK(start_ == other.start_,
+            "cannot merge goodput trackers with different start times");
+  offered_msgs_ += other.offered_msgs_;
+  expected_deliveries_ += other.expected_deliveries_;
+  deliveries_ += other.deliveries_;
+  payload_sends_ += other.payload_sends_;
+  eager_deferred_ += other.eager_deferred_;
+  drop_recovery_episodes_ += other.drop_recovery_episodes_;
+  watermark_episodes_ += other.watermark_episodes_;
+
+  // Advance both residency clocks to the later of the two last-change
+  // times, then sum: each side's congested node count accrues linearly,
+  // so accruing the earlier side up to the common timestamp makes the
+  // single merged (congested_nodes, last_change) pair exact. finalize()
+  // closes the remaining joint tail.
+  const SimTime common = std::max(last_watermark_change_,
+                                  other.last_watermark_change_);
+  auto accrued_to = [this, common](const GoodputTracker& t) {
+    const SimTime since = std::max(t.last_watermark_change_, start_);
+    std::uint64_t us = t.watermark_residency_us_;
+    if (t.congested_nodes_ > 0 && common > since) {
+      us += static_cast<std::uint64_t>(common - since) * t.congested_nodes_;
+    }
+    return us;
+  };
+  watermark_residency_us_ = accrued_to(*this) + accrued_to(other);
+  congested_nodes_ += other.congested_nodes_;
+  last_watermark_change_ = common;
+
+  const std::size_t buckets = std::max(expected_by_bucket_.size(),
+                                       other.expected_by_bucket_.size());
+  expected_by_bucket_.resize(buckets, 0);
+  delivered_by_bucket_.resize(buckets, 0);
+  for (std::size_t b = 0; b < other.expected_by_bucket_.size(); ++b) {
+    expected_by_bucket_[b] += other.expected_by_bucket_[b];
+  }
+  for (std::size_t b = 0; b < other.delivered_by_bucket_.size(); ++b) {
+    delivered_by_bucket_[b] += other.delivered_by_bucket_[b];
   }
 }
 

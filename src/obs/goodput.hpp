@@ -88,6 +88,14 @@ class GoodputTracker {
   /// node-time spent congested across all nodes.
   void on_watermark(SimTime now, bool above);
 
+  /// Folds another tracker's accounting into this one. Built for sharded
+  /// runs where each shard owns a tracker fed only by its own nodes'
+  /// events: counters and per-second buckets sum, and the two watermark
+  /// residency clocks are first advanced to a common timestamp so the
+  /// still-congested tails combine exactly (finalize() then closes the
+  /// merged tail once). Both trackers must share the same start time.
+  void merge(const GoodputTracker& other);
+
   /// Computes rates over [start, end) and runs knee detection. `end` is
   /// the absolute sim time the measurement window closed.
   GoodputReport finalize(SimTime end) const;

@@ -1,0 +1,162 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace esm::sim {
+
+ShardedSimulator::ShardedSimulator(std::uint32_t num_shards)
+    : outbox_(num_shards) {
+  ESM_CHECK(num_shards >= 1, "need at least one shard");
+  for (std::uint32_t s = 0; s < num_shards; ++s) shards_.emplace_back();
+}
+
+void ShardedSimulator::set_lookahead(SimTime lookahead) {
+  ESM_CHECK(lookahead >= 1, "lookahead must be at least one microsecond");
+  lookahead_ = lookahead;
+}
+
+void ShardedSimulator::post(std::uint32_t from, std::uint32_t to, SimTime t,
+                            std::uint64_t key, EventCallback cb) {
+  ESM_CHECK(from < outbox_.size() && to < shards_.size(),
+            "shard index out of range");
+  outbox_[from].push_back(Staged{t, key, to, std::move(cb)});
+}
+
+void ShardedSimulator::merge_mailboxes() {
+  merge_scratch_.clear();
+  for (std::vector<Staged>& box : outbox_) {
+    for (Staged& s : box) merge_scratch_.push_back(std::move(s));
+    box.clear();
+  }
+  if (merge_scratch_.empty()) return;
+  // Canonical merge order: (time, key). Keys are unique per timestamp
+  // under the determinism contract, so the per-shard insertion sequence
+  // (and with it the FIFO tie-break) is independent of which source shard
+  // staged each event — the stable sort only matters if a caller violates
+  // uniqueness, in which case source-shard order still makes the run
+  // reproducible for a fixed shard count.
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const Staged& a, const Staged& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.key < b.key;
+                   });
+  for (Staged& s : merge_scratch_) {
+    // schedule_at_keyed rejects t < the shard's clock, which is exactly
+    // the causality check: a staged arrival inside the window that just
+    // ran would mean the lookahead bound was wrong.
+    shards_[s.to].schedule_at_keyed(s.time, s.key, std::move(s.cb));
+  }
+  merge_scratch_.clear();
+}
+
+void ShardedSimulator::run_until(SimTime end) {
+  ESM_CHECK(lookahead_ >= 1, "set_lookahead() must be called before running");
+  ESM_CHECK(end >= now_, "run_until target is in the past");
+
+  // Pick up anything staged between runs (assembly-time sends).
+  merge_mailboxes();
+
+  const std::uint32_t n = num_shards();
+
+  // Window state published by the coordinator before the start barrier
+  // and read by workers after it — the barrier is the synchronization.
+  SimTime window_end = now_;
+  bool final_window = false;
+  bool stop = false;
+  std::exception_ptr worker_error;
+  std::mutex error_mu;
+
+  std::barrier<> start_barrier(static_cast<std::ptrdiff_t>(n) + 1);
+  std::barrier<> end_barrier(static_cast<std::ptrdiff_t>(n) + 1);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    workers.emplace_back([&, s] {
+      for (;;) {
+        start_barrier.arrive_and_wait();
+        if (stop) break;
+        try {
+          if (final_window) {
+            shards_[s].run_until(window_end);
+          } else {
+            shards_[s].run_strictly_until(window_end);
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!worker_error) worker_error = std::current_exception();
+        }
+        end_barrier.arrive_and_wait();
+      }
+    });
+  }
+
+  // Coordinator-side failures (a control event throwing, or a merge-time
+  // causality check) are captured rather than thrown through the loop:
+  // the workers are parked at the start barrier whenever coordinator code
+  // runs, so the shutdown path below must always execute or their
+  // joinable threads would terminate the process.
+  std::exception_ptr coordinator_error;
+  try {
+    for (;;) {
+      // Control events due exactly now run first, on this thread, with
+      // all workers parked: they may touch any shard race-free.
+      control_.run_until(now_);
+      if (now_ >= end || worker_error) break;
+
+      // Next window: bounded by the lookahead, the run target, and the
+      // next control event (windows always break exactly on control
+      // work).
+      window_end = std::min(now_ + lookahead_, end);
+      window_end = std::min(window_end, control_.next_event_time());
+      final_window = window_end == end;
+
+      start_barrier.arrive_and_wait();
+      // ... workers execute their windows ...
+      end_barrier.arrive_and_wait();
+
+      merge_mailboxes();
+      now_ = window_end;
+    }
+  } catch (...) {
+    coordinator_error = std::current_exception();
+  }
+
+  stop = true;
+  start_barrier.arrive_and_wait();
+  for (std::thread& w : workers) w.join();
+  if (coordinator_error) std::rethrow_exception(coordinator_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+
+  // Inclusive tail: arrivals merged after the final window can land
+  // exactly on `end` (transmit at t < end, t + delay == end), and the
+  // single-threaded engine's run_until executes boundary events. Their
+  // own cross-shard posts are at >= end + lookahead, so one sequential
+  // pass reaches a fixpoint; events on different shards at `end` are
+  // independent by the lookahead argument, so coordinator-thread order
+  // (shard 0..S-1) is canonical.
+  for (Simulator& s : shards_) s.run_until(end);
+  now_ = end;
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t total = control_.events_executed();
+  for (const Simulator& s : shards_) total += s.events_executed();
+  return total;
+}
+
+std::size_t ShardedSimulator::events_pending() const {
+  std::size_t total = control_.events_pending();
+  for (const Simulator& s : shards_) total += s.events_pending();
+  for (const std::vector<Staged>& box : outbox_) total += box.size();
+  return total;
+}
+
+}  // namespace esm::sim

@@ -1,0 +1,120 @@
+// Sharded discrete-event execution: conservative time windows over a set
+// of per-shard Simulators.
+//
+// The single-threaded engine caps intra-run scale: one 50k-node heavy run
+// is one core, no matter how many the host has. This engine partitions
+// nodes across `num_shards` worker threads (node n lives on shard
+// n % num_shards), each owning a private Simulator, and advances them in
+// lockstep through conservative windows of width `lookahead` — the
+// minimum cross-shard one-way packet latency. Within a window a shard
+// only executes events that cannot be affected by the other shards, so
+// workers run lock-free on disjoint state; cross-shard packets are staged
+// in per-shard mailboxes and merged at the window barrier.
+//
+// Determinism contract: results are bit-for-bit identical at any shard
+// count, provided
+//   * every cross-node event (a packet delivery) is scheduled with an
+//     ordering key that is unique per (timestamp, key) and derived from
+//     protocol history, not from wall-clock interleaving — the transport
+//     keys deliveries by (source node, per-source send counter);
+//   * all other scheduling is node-local (a node's events only schedule
+//     further events for the same node, or sends through the transport).
+// Under those rules each shard's (time, key, seq) event order composes
+// into one canonical global order that does not depend on where the
+// shard boundaries fall.
+//
+// A separate control Simulator carries run-global actors (GC sweeps,
+// censuses): the window schedule always breaks exactly at the next
+// control event, which then runs on the coordinator thread while the
+// workers are parked at the barrier — it may read and mutate any shard's
+// state race-free. Control events at time t run before shard events at t.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace esm::sim {
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(std::uint32_t num_shards);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Owning shard of a node id (fixed modulo partition).
+  std::uint32_t shard_of(NodeId node) const { return node % num_shards(); }
+
+  Simulator& shard(std::uint32_t s) { return shards_[s]; }
+  Simulator& shard_for(NodeId node) { return shards_[shard_of(node)]; }
+
+  /// The control simulator for run-global periodic work. Its events run on
+  /// the coordinator thread between windows; they may touch any shard's
+  /// state and schedule/cancel events on any shard simulator.
+  Simulator& control() { return control_; }
+
+  /// Sets the conservative window width: a lower bound on the one-way
+  /// latency of any cross-shard packet. Must be >= 1 (the transport's
+  /// minimum delivery delay) and set before run_until().
+  void set_lookahead(SimTime lookahead);
+  SimTime lookahead() const { return lookahead_; }
+
+  /// Stages a cross-shard event: `cb` will be scheduled on shard `to` at
+  /// time `t` with ordering key `key` when the current window's barrier
+  /// merges mailboxes. Callable from shard `from`'s worker during a
+  /// window, or from the coordinator/main thread between runs. The
+  /// lookahead guarantee must hold: `t` must be at or after the next
+  /// window boundary, or the merge-time schedule will reject it as
+  /// scheduling in the past.
+  void post(std::uint32_t from, std::uint32_t to, SimTime t,
+            std::uint64_t key, EventCallback cb);
+
+  /// Advances every shard and the control simulator to `end` through
+  /// barrier-synchronized windows. Events at exactly `end` execute (the
+  /// inclusive semantics of Simulator::run_until); cross-shard packets
+  /// staged by them are merged and left pending for a later call.
+  /// May be called repeatedly with increasing targets, scheduling into
+  /// shard sims between calls (single-threaded then).
+  void run_until(SimTime end);
+
+  /// Global committed time: every shard's clock after the last window.
+  SimTime now() const { return now_; }
+
+  /// Events executed across all shards plus the control simulator.
+  std::uint64_t events_executed() const;
+
+  /// Events still pending across all shards, the control simulator and
+  /// un-merged mailboxes.
+  std::size_t events_pending() const;
+
+ private:
+  struct Staged {
+    SimTime time;
+    std::uint64_t key;
+    std::uint32_t to;
+    EventCallback cb;
+  };
+
+  /// Drains every outbox into the destination shards in canonical
+  /// (time, key) order.
+  void merge_mailboxes();
+
+  std::deque<Simulator> shards_;  // deque: Simulator is pinned (non-movable)
+  Simulator control_;
+  SimTime lookahead_ = 0;
+  SimTime now_ = 0;
+  /// outbox_[s]: events staged by shard s's worker this window. Disjoint
+  /// per writer thread; read by the coordinator at the barrier.
+  std::vector<std::vector<Staged>> outbox_;
+  std::vector<Staged> merge_scratch_;
+};
+
+}  // namespace esm::sim

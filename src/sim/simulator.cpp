@@ -4,7 +4,8 @@
 
 namespace esm::sim {
 
-EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
+EventHandle Simulator::schedule_at_keyed(SimTime t, std::uint64_t key,
+                                         Callback cb) {
   ESM_CHECK(t >= now_, "cannot schedule an event in the past");
   ESM_CHECK(static_cast<bool>(cb), "event callback must be callable");
   std::uint32_t slot;
@@ -19,7 +20,7 @@ EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
   rec.cb = std::move(cb);
   rec.seq = next_seq_++;
   rec.active = true;
-  heap_.push(Entry{t, rec.seq, slot, rec.gen});
+  heap_.push(Entry{t, key, rec.seq, slot, rec.gen});
   ++pending_;
   return EventHandle{slot + 1, rec.gen};
 }
@@ -62,6 +63,11 @@ void Simulator::skip_cancelled() {
   }
 }
 
+SimTime Simulator::next_event_time() {
+  skip_cancelled();
+  return heap_.empty() ? kNoEvent : heap_.top().time;
+}
+
 bool Simulator::step() {
   skip_cancelled();
   if (heap_.empty()) return false;
@@ -89,6 +95,16 @@ void Simulator::run_until(SimTime t) {
   for (;;) {
     skip_cancelled();
     if (heap_.empty() || heap_.top().time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Simulator::run_strictly_until(SimTime t) {
+  ESM_CHECK(t >= now_, "run_strictly_until target is in the past");
+  for (;;) {
+    skip_cancelled();
+    if (heap_.empty() || heap_.top().time >= t) break;
     step();
   }
   now_ = t;

@@ -8,7 +8,12 @@
 // *every* source/destination pair, not only co-hosted ones (§5.3).
 //
 // Ordering guarantees: events fire in non-decreasing timestamp order; events
-// with equal timestamps fire in scheduling (FIFO) order. Scheduling in the
+// with equal timestamps fire in ascending ordering-key order, and among
+// equal keys in scheduling (FIFO) order. schedule_at() uses key 0, so a
+// purely unkeyed simulation is plain timestamp+FIFO. The sharded engine
+// (sim/sharded.hpp) keys cross-node deliveries by (source, send counter),
+// making the order of same-microsecond arrivals a function of the protocol
+// history rather than of which thread merged them first. Scheduling in the
 // past is rejected.
 //
 // Storage: event records live in a slab (vector + free list) addressed by
@@ -22,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <new>
 #include <queue>
 #include <type_traits>
@@ -157,7 +163,15 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `cb` to run at absolute time `t` (must be >= now()).
-  EventHandle schedule_at(SimTime t, Callback cb);
+  EventHandle schedule_at(SimTime t, Callback cb) {
+    return schedule_at_keyed(t, 0, std::move(cb));
+  }
+
+  /// Schedules `cb` at `t` with an explicit ordering key: among events
+  /// sharing a timestamp, smaller keys fire first (FIFO within a key).
+  /// Key 0 — everything scheduled through schedule_at()/schedule_after()
+  /// — therefore precedes any explicitly keyed event at the same time.
+  EventHandle schedule_at_keyed(SimTime t, std::uint64_t key, Callback cb);
 
   /// Schedules `cb` to run `delay` microseconds from now (delay >= 0).
   EventHandle schedule_after(SimTime delay, Callback cb);
@@ -176,8 +190,23 @@ class Simulator {
   /// (even if the queue drained earlier or further events remain).
   void run_until(SimTime t);
 
+  /// Runs events with timestamp strictly < `t`, then advances the clock
+  /// to `t`. The exclusive-end twin of run_until(), used by the sharded
+  /// engine's conservative windows: an event at exactly the window
+  /// boundary belongs to the next window, after the barrier has merged
+  /// any cross-shard arrivals that share its timestamp.
+  void run_strictly_until(SimTime t);
+
   /// Executes at most one event. Returns false if the queue was empty.
   bool step();
+
+  /// Sentinel returned by next_event_time() on an empty queue.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+  /// Timestamp of the earliest pending event, or kNoEvent when none is
+  /// queued. Non-const only because it discards cancelled heap entries on
+  /// the way to the answer.
+  SimTime next_event_time();
 
   /// Number of events executed so far (for stats and micro-benchmarks).
   std::uint64_t events_executed() const { return executed_; }
@@ -194,6 +223,7 @@ class Simulator {
   };
   struct Entry {
     SimTime time;
+    std::uint64_t key;  // ordering key: 0 for plain events
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
@@ -201,6 +231,7 @@ class Simulator {
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };

@@ -176,6 +176,35 @@ TEST(Cli, BackpressureFlagsParseAndValidate) {
   EXPECT_TRUE(parse({"--backpressure", "on", "--buffer", "16384"}));
 }
 
+TEST(Cli, ShardsFlagParsesAndGates) {
+  EXPECT_EQ(parse({})->config.shards, 1u);
+  EXPECT_EQ(parse({"--shards", "4"})->config.shards, 4u);
+  // Composes with --scenario/--churn/--tree-stats only at shards == 1.
+  EXPECT_TRUE(parse({"--shards", "1", "--churn", "2"}));
+
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--shards", "0"}, error));
+  EXPECT_FALSE(parse_cli({"--shards", "2", "--scenario", "x.scn"}, error));
+  EXPECT_NE(error.find("--shards"), std::string::npos);
+  EXPECT_FALSE(parse_cli({"--shards", "2", "--churn", "2"}, error));
+  EXPECT_FALSE(parse_cli({"--shards", "2", "--tree-stats"}, error));
+  // The shared noise calibration is order-dependent — single-threaded only.
+  EXPECT_FALSE(parse_cli({"--shards", "2", "--noise", "0.5"}, error));
+  EXPECT_NE(error.find("--noise"), std::string::npos);
+  EXPECT_TRUE(parse({"--shards", "1", "--noise", "0.5"}));
+  // Flag order must not matter for the cross-flag gates.
+  EXPECT_FALSE(parse_cli({"--churn", "2", "--shards", "2"}, error));
+  EXPECT_FALSE(parse_cli({"--noise", "0.5", "--shards", "2"}, error));
+}
+
+TEST(Cli, ShardsSweepParam) {
+  ExperimentConfig config;
+  std::string error;
+  EXPECT_TRUE(apply_sweep_param(config, "shards", 8.0, error));
+  EXPECT_EQ(config.shards, 8u);
+  EXPECT_FALSE(apply_sweep_param(config, "shards", 0.0, error));
+}
+
 TEST(Cli, ScenarioFlagStoresPath) {
   const auto options = parse({"--scenario", "examples/kill_best_nodes.scn"});
   ASSERT_TRUE(options);

@@ -419,6 +419,72 @@ TEST(Equivalence, JobsInvarianceBackpressureModes) {
   EXPECT_NE(full_print(serial[0]), full_print(serial[2]));
 }
 
+// --- sharded engine: shard-count × jobs invariance matrix -----------------
+
+TEST(Equivalence, ShardCountInvarianceMatrix) {
+  // Three canned scenarios (the batching golden plus both heavy-workload
+  // goldens) × --shards {1, 2, 4, 8} × --jobs {1, 4}. The pinned
+  // contract:
+  //   * the sharded engine (shards >= 2) is bit-identical at EVERY shard
+  //     count and EVERY jobs count — one absolute fingerprint per
+  //     scenario pins its canonical event order;
+  //   * shards == 1 is the legacy engine byte-for-byte (the goldens above
+  //     pin it); it may differ from the sharded engine only in
+  //     same-microsecond arrival tie ordering, so no cross-engine
+  //     equality is asserted here.
+  struct Scenario {
+    const char* label;
+    std::uint64_t sharded_fp;
+    ExperimentConfig config;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    ExperimentConfig c = base100();
+    c.strategy = StrategySpec::make_flat(0.2);
+    c.ihave_batch_window = 20 * kMillisecond;
+    scenarios.push_back({"flat batched", 9375248610818417151ULL, c});
+  }
+  scenarios.push_back(
+      {"heavy saturated", 7599652059359661393ULL, heavy_config()});
+  {
+    ExperimentConfig c = saturated_heavy_config();
+    c.backpressure = true;
+    scenarios.push_back(
+        {"heavy saturated backpressure", 571881640632054520ULL, c});
+  }
+  const auto full_print = [](const ExperimentResult& r) {
+    return fnv1a(render(r) + render_goodput(r) + render_backpressure(r));
+  };
+  const std::uint32_t shard_counts[] = {1, 2, 4, 8};
+  for (const Scenario& sc : scenarios) {
+    std::vector<ExperimentConfig> configs;
+    for (const std::uint32_t shards : shard_counts) {
+      ExperimentConfig c = sc.config;
+      c.shards = shards;
+      configs.push_back(c);
+    }
+    // jobs=4 over sharded runs is the composition case: worker threads of
+    // concurrent runs and shard workers within each run coexist.
+    const auto serial = run_experiments(configs, 1);
+    const auto parallel = run_experiments(configs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(full_print(serial[i]), full_print(parallel[i]))
+          << sc.label << ": shards=" << shard_counts[i]
+          << " differs across --jobs";
+    }
+    for (std::size_t i = 2; i < serial.size(); ++i) {
+      EXPECT_EQ(full_print(serial[i]), full_print(serial[1]))
+          << sc.label << ": sharded engine differs between shards="
+          << shard_counts[1] << " and shards=" << shard_counts[i];
+    }
+    EXPECT_EQ(full_print(serial[1]), sc.sharded_fp)
+        << sc.label << " (sharded engine) drifted; new rendering:\n"
+        << render(serial[1]) + render_goodput(serial[1]) +
+               render_backpressure(serial[1]);
+  }
+}
+
 TEST(Equivalence, GossipRankDeterminism) {
   // Gossip-rank runs are not pinned across the layout change (see header
   // comment) but must stay deterministic: identical runs, identical

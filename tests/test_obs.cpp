@@ -302,6 +302,60 @@ TEST(GoodputTracker, WatermarkResidencyClampsToWindowAndClosesTail) {
   EXPECT_DOUBLE_EQ(r.watermark_residency_ms, 3000.0);
 }
 
+TEST(GoodputTracker, MergeMatchesSingleTrackerOnPartitionedEvents) {
+  // Sharded-run shape: the same event stream split across two trackers
+  // by node ownership must merge into exactly what one tracker fed the
+  // union would report — including the knee, which only exists in the
+  // combined per-second buckets.
+  GoodputTracker whole(0), a(0), b(0);
+  for (int bkt = 0; bkt <= 4; ++bkt) {
+    const SimTime at = bkt * kSecond;
+    whole.on_offered(at, 100);
+    (bkt % 2 == 0 ? a : b).on_offered(at, 100);
+    const int delivered = bkt == 0 ? 100 : 0;  // then it falls behind
+    for (int d = 0; d < delivered; ++d) {
+      whole.on_delivery(at + 1);
+      (d % 2 == 0 ? a : b).on_delivery(at + 1);
+    }
+  }
+  for (int p = 0; p < 40; ++p) {
+    whole.on_payload();
+    a.on_payload();
+  }
+  a.merge(b);
+  const GoodputReport merged = a.finalize(5 * kSecond);
+  const GoodputReport reference = whole.finalize(5 * kSecond);
+  EXPECT_EQ(merged.offered_msgs, reference.offered_msgs);
+  EXPECT_EQ(merged.expected_deliveries, reference.expected_deliveries);
+  EXPECT_EQ(merged.deliveries, reference.deliveries);
+  EXPECT_EQ(merged.payload_sends, reference.payload_sends);
+  EXPECT_DOUBLE_EQ(merged.goodput_msgs_per_s, reference.goodput_msgs_per_s);
+  EXPECT_DOUBLE_EQ(merged.redundancy_ratio, reference.redundancy_ratio);
+  EXPECT_DOUBLE_EQ(merged.knee_time_ms, reference.knee_time_ms);
+  EXPECT_DOUBLE_EQ(reference.knee_time_ms, 2000.0);
+}
+
+TEST(GoodputTracker, MergeCombinesOpenWatermarkTailsExactly) {
+  // Shard A's node congests at 1s and never drains; shard B's node is
+  // congested [2s, 3s). A reference tracker observing both nodes reports
+  // 9000 + 1000 node-ms at end = 10s; the merged pair must agree even
+  // though the two open tails last changed at different times.
+  GoodputTracker whole(0), a(0), b(0);
+  whole.on_watermark(1 * kSecond, true);
+  a.on_watermark(1 * kSecond, true);
+  whole.on_watermark(2 * kSecond, true);
+  b.on_watermark(2 * kSecond, true);
+  whole.on_watermark(3 * kSecond, false);
+  b.on_watermark(3 * kSecond, false);
+  a.merge(b);
+  const GoodputReport merged = a.finalize(10 * kSecond);
+  const GoodputReport reference = whole.finalize(10 * kSecond);
+  EXPECT_EQ(merged.watermark_episodes, reference.watermark_episodes);
+  EXPECT_DOUBLE_EQ(merged.watermark_residency_ms,
+                   reference.watermark_residency_ms);
+  EXPECT_DOUBLE_EQ(reference.watermark_residency_ms, 10000.0);
+}
+
 TEST(RunMetrics, ArenaGaugesExported) {
   // Satellite pin: the message-arena high-water mark must appear as
   // arena.* gauges in every metrics collection, alongside the always-on

@@ -479,6 +479,146 @@ TEST(Scheduler, PurgedIWantIsCountedNotRearmed) {
   EXPECT_EQ(f.schedulers[0]->stats().drops_readvertised, 0u);
 }
 
+TEST(Scheduler, PurgedIWantRefundsRetryBudget) {
+  // Regression for the stall PR 8 left open: with the pull layer off, a
+  // requester whose IWANTs were purged at its own egress burned its retry
+  // budget on requests that never left the node, then gave up with no
+  // other mechanism to refetch. The purge credit refunds those passes;
+  // the control arm below pins the honest-budget give-up shape (which was
+  // the outcome of BOTH arms before the fix).
+  RequestPolicy policy;
+  policy.first_request_delay = 0;
+  policy.retransmission_period = kPeriod;
+  policy.max_rounds = 2;
+  auto lazy = [](const MsgId&, Round, NodeId) { return false; };
+  {
+    Fixture f(2, lazy, policy);
+    f.schedulers[1]->set_backpressure(bp_config());
+    const AppMessage m = f.msg(1);
+    f.schedulers[0]->l_send(m, 1, 1);
+    // The advertiser goes dark after its IHAVE is out: both budgeted
+    // IWANTs (sent t=10ms and t=410ms) are dropped on arrival.
+    f.sim.schedule_at(15 * kMillisecond, [&] { f.transport.silence(0); });
+    // The second (budget-exhausting) IWANT is purged at node 1's egress.
+    f.sim.schedule_at(500 * kMillisecond, [&] {
+      auto iwant = std::make_shared<IWantPacket>();
+      iwant->id = m.id;
+      f.schedulers[1]->on_egress_purge(0, *iwant);
+    });
+    f.sim.schedule_at(600 * kMillisecond, [&] { f.transport.revive(0); });
+    f.sim.run();
+    // The refunded pass at t=810ms reaches the revived advertiser:
+    // IWANT (10ms) + MSG (10ms) completes the recovery.
+    ASSERT_EQ(f.received[1].size(), 1u);
+    EXPECT_EQ(f.received[1][0].at, 830 * kMillisecond);
+    EXPECT_EQ(f.schedulers[1]->stats().requests_sent, 3u);
+    EXPECT_EQ(f.schedulers[1]->stats().iwant_retries, 2u);
+    EXPECT_EQ(f.schedulers[1]->stats().iwants_purged, 1u);
+    EXPECT_EQ(f.schedulers[1]->stats().recovery_gave_up, 0u);
+    EXPECT_EQ(f.schedulers[1]->pending_requests(), 0u);
+  }
+  {
+    // Control: no purge means the budget was genuinely spent on requests
+    // that reached the network, so the recovery is abandoned on schedule.
+    Fixture f(2, lazy, policy);
+    f.schedulers[1]->set_backpressure(bp_config());
+    f.schedulers[0]->l_send(f.msg(1), 1, 1);
+    f.sim.schedule_at(15 * kMillisecond, [&] { f.transport.silence(0); });
+    f.sim.schedule_at(600 * kMillisecond, [&] { f.transport.revive(0); });
+    f.sim.run();
+    EXPECT_TRUE(f.received[1].empty());
+    EXPECT_EQ(f.schedulers[1]->stats().recovery_gave_up, 1u);
+    EXPECT_EQ(f.schedulers[1]->pending_requests(), 0u);
+  }
+}
+
+TEST(Scheduler, PurgeCreditRequiresBackpressureEnabled) {
+  // Without set_backpressure the purge notification is inert (PR 8
+  // contract): no credit accrues and the give-up schedule is unchanged.
+  RequestPolicy policy;
+  policy.first_request_delay = 0;
+  policy.retransmission_period = kPeriod;
+  policy.max_rounds = 2;
+  Fixture f(2, [](const MsgId&, Round, NodeId) { return false; }, policy);
+  const AppMessage m = f.msg(1);
+  f.schedulers[0]->l_send(m, 1, 1);
+  f.sim.schedule_at(15 * kMillisecond, [&] { f.transport.silence(0); });
+  f.sim.schedule_at(500 * kMillisecond, [&] {
+    auto iwant = std::make_shared<IWantPacket>();
+    iwant->id = m.id;
+    f.schedulers[1]->on_egress_purge(0, *iwant);
+  });
+  f.sim.schedule_at(600 * kMillisecond, [&] { f.transport.revive(0); });
+  f.sim.run();
+  EXPECT_TRUE(f.received[1].empty());
+  EXPECT_EQ(f.schedulers[1]->stats().iwants_purged, 0u);
+  EXPECT_EQ(f.schedulers[1]->stats().recovery_gave_up, 1u);
+}
+
+TEST(Scheduler, ReadvertiseTimerNoopsAfterEarlyFlush) {
+  // The fallback readvertise timer is NOT cancelled when decongestion
+  // flushes the backlog first — it fires later into an empty backlog as a
+  // counted no-op event (cancelling would change fingerprinted event
+  // totals). Pin that a stale fire neither duplicates the advertisement
+  // nor re-arms anything.
+  Fixture f(3, [](const MsgId&, Round, NodeId peer) { return peer == 2; });
+  f.schedulers[0]->set_backpressure(bp_config());
+  const AppMessage m = f.msg(1);
+  f.schedulers[0]->l_send(m, 1, 2);  // eager; seeds node 0's cache
+  auto purged = std::make_shared<DataPacket>();
+  purged->msg = m;
+  purged->round = 1;
+  f.schedulers[0]->on_egress_purge(1, *purged);  // backlog + fallback timer
+  // Decongestion flushes the backlog ahead of the 100ms fallback ...
+  f.schedulers[0]->set_congested(true);
+  f.schedulers[0]->set_congested(false);
+  EXPECT_EQ(f.schedulers[0]->stats().drops_readvertised, 1u);
+  // ... and the still-armed timer's later fire is a pure no-op.
+  f.sim.run();
+  EXPECT_EQ(f.schedulers[0]->stats().drops_readvertised, 1u);
+  EXPECT_EQ(f.schedulers[0]->stats().advertisements_sent, 1u);
+  ASSERT_EQ(f.received[1].size(), 1u);
+  EXPECT_EQ(f.schedulers[0]->pending_requests(), 0u);
+}
+
+TEST(Scheduler, DestructorCancelsArmedTimers) {
+  // A scheduler destroyed while its simulator still holds events must
+  // disarm every timer it owns (pending-request, IHAVE batch,
+  // readvertise fallback): a later fire into the destroyed object would
+  // be use-after-free.
+  sim::Simulator sim;
+  net::ConstantLatencyModel latency{kDelay};
+  net::Transport transport(sim, latency, 3, {}, Rng(3));
+  RequestPolicy policy;
+  policy.first_request_delay = kPeriod;
+  policy.retransmission_period = kPeriod;
+  FnStrategy strategy([](const MsgId&, Round, NodeId) { return false; },
+                      policy);
+  auto sched = std::make_unique<PayloadScheduler>(
+      sim, transport, 0, strategy, [](const AppMessage&, Round, NodeId) {});
+  sched->set_backpressure(bp_config());
+  sched->set_ihave_batch_window(50 * kMillisecond);
+  AppMessage m;
+  m.id = MsgId{7, 7};
+  m.origin = 0;
+  m.payload_bytes = 64;
+  m.multicast_time = 0;
+  sched->l_send(m, 1, 1);  // lazy + batch window: arms the batch timer
+  auto ihave = std::make_shared<IHavePacket>();
+  ihave->ids.push_back(MsgId{8, 8});
+  EXPECT_TRUE(sched->handle_packet(2, ihave));  // arms a pending timer
+  auto purged = std::make_shared<DataPacket>();
+  purged->msg = m;
+  purged->round = 1;
+  sched->on_egress_purge(2, *purged);  // arms the readvertise fallback
+  EXPECT_EQ(sched->pending_requests(), 1u);
+  EXPECT_EQ(sim.events_pending(), 3u);
+  sched.reset();
+  EXPECT_EQ(sim.events_pending(), 0u);
+  sim.run();  // nothing left to fire
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
 TEST(Scheduler, BackpressureDisabledIgnoresCongestionSignals) {
   Fixture f(2, [](const MsgId&, Round, NodeId) { return true; });
   // No set_backpressure call: signals must be inert.

@@ -38,6 +38,67 @@ TEST(Simulator, EqualTimestampsAreFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(Simulator, KeyedEventsOrderByKeyAtEqualTimestamps) {
+  // At a shared timestamp, ascending key wins regardless of scheduling
+  // order; FIFO only breaks ties within a key.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at_keyed(5, 30, [&] { order.push_back(30); });
+  sim.schedule_at_keyed(5, 10, [&] { order.push_back(10); });
+  sim.schedule_at_keyed(5, 20, [&] { order.push_back(20); });
+  sim.schedule_at_keyed(5, 10, [&] { order.push_back(11); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 30}));
+}
+
+TEST(Simulator, UnkeyedEventsFireBeforeKeyedAtEqualTimestamps) {
+  // schedule_at() is the key-0 case, so plain events (timers) precede any
+  // keyed event (deliveries) sharing their timestamp — even when the
+  // keyed event was scheduled first.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at_keyed(7, 1, [&] { order.push_back(2); });
+  sim.schedule_at(7, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, KeysDoNotReorderAcrossTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at_keyed(10, 1, [&] { order.push_back(1); });
+  sim.schedule_at_keyed(20, 99, [&] { order.push_back(2); });
+  sim.schedule_at_keyed(30, 1, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunStrictlyUntilExcludesBoundary) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(40, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(50, [&] { fired.push_back(sim.now()); });
+  sim.run_strictly_until(50);
+  EXPECT_EQ(fired, (std::vector<SimTime>{40}));
+  EXPECT_EQ(sim.now(), 50);
+  // The boundary event is still pending and fires on the next window.
+  sim.run_strictly_until(51);
+  EXPECT_EQ(fired, (std::vector<SimTime>{40, 50}));
+  EXPECT_EQ(sim.now(), 51);
+}
+
+TEST(Simulator, RunStrictlyUntilAdvancesEmptyQueue) {
+  Simulator sim;
+  sim.run_strictly_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+  EXPECT_THROW(sim.run_strictly_until(999), CheckFailure);
+  // Scheduling AT the advanced clock still works (>= now).
+  bool fired = false;
+  sim.schedule_at(1000, [&] { fired = true; });
+  sim.run_strictly_until(1001);
+  EXPECT_TRUE(fired);
+}
+
 TEST(Simulator, ScheduleAfterUsesCurrentTime) {
   Simulator sim;
   SimTime observed = -1;

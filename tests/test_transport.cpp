@@ -611,6 +611,60 @@ TEST(Transport, WatermarksInertWithoutBoundedBuffer) {
   EXPECT_EQ(f.received[1].size(), 50u);
 }
 
+TEST(Transport, WatermarkEdgesFireAtExactBoundaries) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;  // 1 byte/ms
+  opts.egress_buffer_bytes = 10'000;
+  opts.high_watermark = 0.75;  // 7500 bytes
+  opts.low_watermark = 0.50;   // 5000 bytes
+  Fixture f(2, opts);
+  std::vector<std::pair<SimTime, bool>> events;
+  f.transport.set_watermark_listener(
+      [&](NodeId, bool above) { events.push_back({f.sim.now(), above}); });
+  // Three 2500-byte packets land the queue at exactly 7500 = high: the
+  // rising edge is inclusive (>=) and fires on the third send.
+  for (int i = 0; i < 3; ++i) {
+    f.transport.send(0, 1, make_packet(i), 2500, true);
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].second);
+  EXPECT_EQ(events[0].first, 0);
+  // The first departure drains to exactly 5000 = low: the falling edge is
+  // inclusive (<=) and fires at the boundary, not one packet later.
+  f.sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[1].second);
+  EXPECT_EQ(events[1].first, 2500 * kMillisecond);
+}
+
+TEST(Transport, EqualWatermarksCongestOnlyAboveTheMark) {
+  TransportOptions opts;
+  opts.bandwidth_bps = 8'000;
+  opts.egress_buffer_bytes = 10'000;
+  opts.high_watermark = 0.5;  // both thresholds at 5000 bytes:
+  opts.low_watermark = 0.5;   // a valid zero-width hysteresis band
+  Fixture f(2, opts);
+  std::vector<bool> events;
+  f.transport.set_watermark_listener(
+      [&](NodeId, bool above) { events.push_back(above); });
+  // Touching the shared boundary exactly must not open an episode — with
+  // an inclusive rising edge this send would congest and the very next
+  // drain pop decongest, flapping at the boundary.
+  f.transport.send(0, 1, make_packet(0), 2500, true);
+  f.transport.send(0, 1, make_packet(1), 2500, true);
+  EXPECT_TRUE(events.empty());
+  EXPECT_FALSE(f.transport.backpressure(0).congested);
+  // Exceeding the mark opens the episode; draining back to it closes it.
+  f.transport.send(0, 1, make_packet(2), 2500, true);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0]);
+  EXPECT_TRUE(f.transport.backpressure(0).congested);
+  f.sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[1]);
+  EXPECT_FALSE(f.transport.backpressure(0).congested);
+}
+
 TEST(Transport, InvalidWatermarksRejected) {
   sim::Simulator sim;
   ConstantLatencyModel lat(1);

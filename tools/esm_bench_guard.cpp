@@ -131,6 +131,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Gate 1b: 50k-node scale throughput through the sharded engine
+  // (--shards 4). Same machine-relative argument as gate 1; this one
+  // additionally catches barrier-overhead regressions that leave the
+  // serial engine untouched.
+  double base_seps = 0.0;
+  if (!extract(base_json, "scale_50k_sharded4", "events_per_second",
+               base_seps)) {
+    std::printf(
+        "esm_bench_guard: baseline %s has no scale_50k_sharded4 section — "
+        "sharded throughput gate not armed yet\n",
+        args[1].c_str());
+  } else {
+    double fresh_seps = 0.0;
+    if (!extract(fresh_json, "scale_50k_sharded4", "events_per_second",
+                 fresh_seps)) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: %s has no scale_50k_sharded4 section — "
+                   "run esm_bench_report with --scale\n",
+                   args[0].c_str());
+      return 2;
+    }
+    const double floor = base_seps * (1.0 - max_drop);
+    std::printf(
+        "50k sharded point: fresh %.0f ev/s vs baseline %.0f ev/s "
+        "(floor %.0f, max drop %.0f%%)\n",
+        fresh_seps, base_seps, floor, 100.0 * max_drop);
+    if (fresh_seps < floor) {
+      std::fprintf(stderr,
+                   "esm_bench_guard: REGRESSION — 50k sharded events/s "
+                   "dropped %.1f%% (allowed %.0f%%)\n",
+                   100.0 * (1.0 - fresh_seps / base_seps), 100.0 * max_drop);
+      ++failures;
+    }
+  }
+
   // Gate 2: goodput at the 50k-node / 32-publisher heavy-traffic point.
   double base_gp = 0.0;
   if (!extract(base_json, "load_sweep", "goodput_msgs_per_s", base_gp)) {

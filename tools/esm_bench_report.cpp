@@ -63,13 +63,17 @@ struct ScalePoint {
 };
 
 /// The fixed large-N workload (mirrors bench_scale_large): lazy push on a
-/// static random overlay, 20 messages. Serial by design; these are the
-/// numbers the CI perf guard and the README scale table track.
-bool run_scale_point(std::uint32_t nodes, ScalePoint& out) {
+/// static random overlay, 20 messages. Serial by design at shards == 1;
+/// shards >= 2 runs the same workload through sim::ShardedSimulator and
+/// measures intra-run speedup. These are the numbers the CI perf guard
+/// and the README scale table track.
+bool run_scale_point(std::uint32_t nodes, ScalePoint& out,
+                     std::uint32_t shards = 1) {
   using namespace esm;
   harness::ExperimentConfig c;
   c.seed = 2007;
   c.num_nodes = nodes;
+  c.shards = shards;
   c.overlay_kind = harness::OverlayKind::static_random;
   c.strategy = harness::StrategySpec::make_flat(0.0);
   c.num_messages = 20;
@@ -331,8 +335,14 @@ int main(int argc, char** argv) {
   // point is the number the CI perf guard compares across commits, and
   // the --huge points back the README scale table. Ascending order keeps
   // each ru_maxrss reading attributable to its own run.
-  ScalePoint scale_50k, scale_200k, scale_1m;
-  if (with_scale && !run_scale_point(50'000u, scale_50k)) return 1;
+  ScalePoint scale_50k, scale_50k_sharded, scale_200k, scale_1m;
+  if (with_scale) {
+    if (!run_scale_point(50'000u, scale_50k)) return 1;
+    // Same workload through the sharded engine: the intra-run speedup the
+    // CI guard gates (results are bit-identical at any shard count, so
+    // only the wall clock differs).
+    if (!run_scale_point(50'000u, scale_50k_sharded, 4)) return 1;
+  }
   if (with_huge) {
     if (!run_scale_point(200'000u, scale_200k)) return 1;
     if (!run_scale_point(1'000'000u, scale_1m)) return 1;
@@ -409,7 +419,15 @@ int main(int argc, char** argv) {
                 static_cast<double>(total_alloc.bytes) / 1048576.0,
                 per_point ? "true" : "false");
   out << buf;
-  if (with_scale) write_scale_point(out, "scale_50k", scale_50k);
+  if (with_scale) {
+    write_scale_point(out, "scale_50k", scale_50k);
+    write_scale_point(out, "scale_50k_sharded4", scale_50k_sharded);
+    std::snprintf(buf, sizeof(buf), "  \"scale_50k_shard_speedup\": %.2f,\n",
+                  scale_50k_sharded.wall_s > 0.0
+                      ? scale_50k.wall_s / scale_50k_sharded.wall_s
+                      : 0.0);
+    out << buf;
+  }
   if (with_huge) {
     write_scale_point(out, "scale_200k", scale_200k);
     write_scale_point(out, "scale_1m", scale_1m);
@@ -497,15 +515,20 @@ int main(int argc, char** argv) {
       "peak RSS %.0f MB\n",
       wall_s, static_cast<unsigned long long>(total_events), events_per_sec,
       jobs, peak_rss_mb());
-  for (const ScalePoint* p : {&scale_50k, &scale_200k, &scale_1m}) {
+  for (const ScalePoint* p : {&scale_50k, &scale_50k_sharded, &scale_200k,
+                              &scale_1m}) {
     if (p->nodes == 0) continue;
     std::printf(
-        "scale %uk: %.3f s | %llu events | %.0f events/s | "
+        "scale %uk%s: %.3f s | %llu events | %.0f events/s | "
         "peak RSS %.0f MB | deliveries %.3f%%\n",
-        p->nodes / 1000, p->wall_s,
-        static_cast<unsigned long long>(p->events),
+        p->nodes / 1000, p == &scale_50k_sharded ? " (shards 4)" : "",
+        p->wall_s, static_cast<unsigned long long>(p->events),
         p->wall_s > 0.0 ? static_cast<double>(p->events) / p->wall_s : 0.0,
         p->peak_rss_mb, 100.0 * p->deliveries);
+  }
+  if (scale_50k_sharded.nodes != 0 && scale_50k_sharded.wall_s > 0.0) {
+    std::printf("scale 50k shard speedup: %.2fx\n",
+                scale_50k.wall_s / scale_50k_sharded.wall_s);
   }
   for (const LoadPoint& p : load_knee) {
     char knee[32];

@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
                  "esm_sweep: --param NAME and --values V1,V2,... are "
                  "required.\nSweepable: pi u rho best noise t0-ms loss kill "
                  "churn batch-ms interval-ms period-ms retry-rounds fanout "
-                 "nodes messages seed senders rate duration-ms burst-on-ms "
-                 "burst-off-ms.\nAll esm_run flags form the base "
+                 "nodes messages seed shards senders rate duration-ms "
+                 "burst-on-ms burst-off-ms.\nAll esm_run flags form the base "
                  "configuration;\n"
                  "--jobs N runs points concurrently (default: all cores).\n");
     return 2;
