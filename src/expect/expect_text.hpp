@@ -1,0 +1,40 @@
+// Text format for expectation files (`.exp`).
+//
+// Line-oriented like the `.scn`/`.wl` formats: `#` starts a comment,
+// blank lines are ignored, and every parse error names its 1-based line
+// ("expectation line N: ..."). One line = one predicate:
+//
+//   deliver   [phase=LABEL] min=FRACTION [within=TIME]
+//   latency   [phase=LABEL] [p=PCT|p=mean] max=TIME
+//   recovery  max_stalled=N | max_gave_up=N | max_episodes=N |
+//             max_iwants=N | max_ms=TIME          (>=1 key; each expands
+//                                                  to its own expectation)
+//   structure [phase=LABEL] min_share=FRACTION [top=FRACTION]
+//             [rank=self|oracle]
+//   jaccard   [phase=LABEL] min=FRACTION
+//   tree      [phase=LABEL] [complete] [unique] [relay_within=TIME|Nr]
+//             [max_depth=N]
+//   metric    NAME CMP VALUE        (CMP one of <= >= < > == !=)
+//
+// Times take a unit (us/ms/s); `relay_within` additionally accepts `Nr`
+// (N gossip rounds, e.g. `1r`). Fractions are in [0, 1]. Percentiles are
+// in (0, 100] or the word `mean`. Full predicate catalog: PROTOCOL.md §7c.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "expect/expect.hpp"
+
+namespace esm::expect {
+
+/// Parses an expectation stream. Throws std::runtime_error with
+/// "expectation line N: ..." on malformed input.
+ExpectationSet parse_expectations(std::istream& is);
+ExpectationSet parse_expectations(const std::string& text);
+
+/// Reads and parses `path`, prefixing errors with the path and stamping
+/// each expectation's `file` field for reports.
+ExpectationSet load_expectation_file(const std::string& path);
+
+}  // namespace esm::expect

@@ -105,7 +105,9 @@ Execution:
                       (default 1 = the single-threaded engine). Results
                       are bit-for-bit identical at every shard count >= 2;
                       composes with --jobs. Incompatible with --scenario,
-                      --churn, --trace*, --tree-stats and --metrics-out.
+                      --churn, --trace* and --tree-stats. Adds sim_shard_*
+                      output lines; --metrics-out emits the sim.shard.*
+                      execution block (no per-node lifecycle metrics).
 
 Output:
   --kv                print key=value lines instead of the table
@@ -119,13 +121,25 @@ Output:
   --metrics-out FILE  write per-node + aggregated metrics and recovery
                       lifecycle accounting as JSON (schema esm-metrics-v1;
                       merged across --reps, bit-for-bit identical at every
-                      --jobs count)
+                      --jobs count). FILE may be - for stdout (the summary
+                      is suppressed there).
   --trace FILE        buffer the run's event trace and write it as CSV at
                       the end (single run only); feed it to esm_trees for
                       offline tree analysis
   --trace-stream FILE stream trace rows to FILE while the run executes;
                       memory stays bounded at large N (single run only,
-                      incompatible with --trace and --tree-stats)
+                      incompatible with --trace and --tree-stats). FILE may
+                      be - for stdout (the summary is suppressed there).
+  --expect FILE       evaluate the declarative expectations in FILE (.exp,
+                      PROTOCOL.md section 7c) against the finished run:
+                      per-phase delivery/latency bounds, recovery bounds,
+                      structure assertions, tree-shape recognizers, scalar
+                      metric bounds. Repeatable (files compose); prints a
+                      per-expectation pass/fail report, adds expect.*
+                      counters to --metrics-out JSON, exits 3 on violation.
+                      Trace predicates imply buffered trace collection and
+                      need --shards 1; metric/recovery counter bounds work
+                      at any shard count. Single run only.
   --help              this text
 )";
 }
@@ -496,10 +510,8 @@ std::optional<CliOptions> parse_cli(const std::vector<std::string>& args,
       error = "--shards: trace collection needs the single-threaded engine";
       return std::nullopt;
     }
-    if (c.collect_metrics) {
-      error = "--shards: metrics collection needs the single-threaded engine";
-      return std::nullopt;
-    }
+    // collect_metrics is allowed: the sharded engine emits the sim.shard.*
+    // execution block (lifecycle instrumentation stays single-threaded).
     if (c.strategy.noise > 0.0) {
       error = "--shards: --noise needs the single-threaded engine (the "
               "shared calibration is order-dependent)";
@@ -723,6 +735,18 @@ std::string format_result_kv(const ExperimentResult& result) {
      << "iwants_purged=" << result.iwants_purged << "\n"
      << "watermark_episodes=" << result.watermark_episodes << "\n"
      << "watermark_residency_ms=" << result.watermark_residency_ms << "\n";
+  if (result.shards_used >= 2) {
+    // Conservative-window execution accounting. busy/barrier_wait are
+    // wall-clock diagnostics (nondeterministic); the rest is exact.
+    os << "sim_shard_count=" << result.shards_used << "\n"
+       << "sim_shard_windows=" << result.shard_windows << "\n"
+       << "sim_shard_lookahead_ms=" << result.shard_lookahead_ms << "\n"
+       << "sim_shard_mailbox_packets=" << result.shard_mailbox_packets << "\n"
+       << "sim_shard_mailbox_bytes=" << result.shard_mailbox_bytes << "\n"
+       << "sim_shard_busy_ms=" << result.shard_busy_ms << "\n"
+       << "sim_shard_barrier_wait_ms=" << result.shard_barrier_wait_ms
+       << "\n";
+  }
   if (result.tree_stats) os << format_tree_kv(*result.tree_stats);
   if (!result.phase_reports.empty()) {
     os << "faults_injected=" << result.faults_injected << "\n"

@@ -1129,6 +1129,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   stats::RunningStat delivery_fraction;
   std::uint64_t total_deliveries = 0;
   std::uint32_t atomic = 0;
+  result.expected_deliveries.reserve(messages.size());
   for (const MsgRecord& rec : messages) {
     total_deliveries += rec.deliveries;
     // Under churn the denominator is the live population at send time;
@@ -1136,6 +1137,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const std::uint32_t denom =
         rec.live_at_send > 0 ? rec.live_at_send
                              : static_cast<std::uint32_t>(live.size());
+    result.expected_deliveries.push_back(denom);
     delivery_fraction.add(std::min(
         1.0, static_cast<double>(rec.deliveries) / static_cast<double>(denom)));
     if (rec.deliveries >= denom) ++atomic;
@@ -1424,9 +1426,9 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config) {
             "engine");
   ESM_CHECK(!config.collect_tree_stats,
             "--shards >= 2: tree stats need the single-threaded engine");
-  ESM_CHECK(!config.collect_metrics,
-            "--shards >= 2: metrics collection needs the single-threaded "
-            "engine");
+  // collect_metrics is allowed: the sharded engine exports the sim.shard.*
+  // execution block (no per-node lifecycle instrumentation — that tracker
+  // is single-threaded).
   ESM_CHECK(config.strategy.noise == 0.0,
             "--shards >= 2: strategy noise needs the single-threaded engine "
             "(the shared calibration is order-dependent)");
@@ -2089,11 +2091,13 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config) {
   stats::RunningStat delivery_fraction;
   std::uint64_t total_deliveries = 0;
   std::uint32_t atomic = 0;
+  result.expected_deliveries.reserve(messages.size());
   for (const MsgRecord& rec : messages) {
     total_deliveries += rec.deliveries;
     const std::uint32_t denom =
         rec.live_at_send > 0 ? rec.live_at_send
                              : static_cast<std::uint32_t>(live.size());
+    result.expected_deliveries.push_back(denom);
     delivery_fraction.add(std::min(
         1.0, static_cast<double>(rec.deliveries) / static_cast<double>(denom)));
     if (rec.deliveries >= denom) ++atomic;
@@ -2255,6 +2259,36 @@ ExperimentResult run_experiment_sharded(const ExperimentConfig& config) {
     result.path_model_bytes += replica->memory_bytes();
     result.path_rows_computed += replica->rows_computed();
     result.path_row_evictions += replica->row_evictions();
+  }
+
+  // sharded: conservative-window execution accounting. Windows/mailbox
+  // counters and the lookahead are deterministic; the busy/wait wall-clock
+  // split is a diagnostic that varies run to run.
+  const sim::ShardedSimulator::Stats shard_stats = world.stats();
+  result.shards_used = num_shards;
+  result.shard_windows = shard_stats.windows;
+  result.shard_mailbox_packets = shard_stats.mailbox_packets;
+  result.shard_mailbox_bytes = shard_stats.mailbox_bytes;
+  result.shard_lookahead_ms = to_ms(lookahead);
+  for (std::uint64_t ns : shard_stats.busy_ns) {
+    result.shard_busy_ms += static_cast<double>(ns) / 1e6;
+  }
+  for (std::uint64_t ns : shard_stats.wait_ns) {
+    result.shard_barrier_wait_ms += static_cast<double>(ns) / 1e6;
+  }
+  if (config.collect_metrics) {
+    // The sharded metrics JSON carries only the execution block; per-node
+    // lifecycle instrumentation stays a single-threaded feature.
+    auto run_metrics = std::make_shared<obs::RunMetrics>();
+    obs::MetricsRegistry& agg = run_metrics->aggregate;
+    agg.add_counter("sim.shard.windows", shard_stats.windows);
+    agg.add_counter("sim.shard.mailbox_packets", shard_stats.mailbox_packets);
+    agg.add_counter("sim.shard.mailbox_bytes", shard_stats.mailbox_bytes);
+    agg.gauge_max("sim.shard.count", static_cast<double>(num_shards));
+    agg.gauge_max("sim.shard.lookahead_us", static_cast<double>(lookahead));
+    agg.gauge_max("sim.shard.busy_ms", result.shard_busy_ms);
+    agg.gauge_max("sim.shard.barrier_wait_ms", result.shard_barrier_wait_ms);
+    result.metrics = std::move(run_metrics);
   }
   return result;
 }

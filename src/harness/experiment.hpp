@@ -124,6 +124,19 @@ struct ExperimentResult {
   // --- bookkeeping ---
   std::uint32_t live_nodes = 0;
   std::uint64_t events_executed = 0;
+  // --- sharded-execution accounting (shards_used >= 2 only) ---
+  std::uint32_t shards_used = 1;
+  /// Conservative windows run (start/end barrier pairs).
+  std::uint64_t shard_windows = 0;
+  /// Cross-shard mailbox traffic staged at window barriers.
+  std::uint64_t shard_mailbox_packets = 0;
+  std::uint64_t shard_mailbox_bytes = 0;
+  /// Window width actually used (min cross-shard one-way latency).
+  double shard_lookahead_ms = 0.0;
+  /// Wall-clock split summed over worker threads: window execution vs
+  /// barrier waits. Diagnostics only — NOT deterministic across reruns.
+  double shard_busy_ms = 0.0;
+  double shard_barrier_wait_ms = 0.0;
   /// Path-model footprint: resident bytes of pairwise-path state (dense
   /// matrix or cached on-demand rows), Dijkstra row solves, and LRU
   /// evictions (0 for the dense model).
@@ -144,6 +157,10 @@ struct ExperimentResult {
   std::vector<net::Point> client_coords;
   /// Oracle best-node ranking actually used (empty when not ranked).
   std::vector<NodeId> best_nodes;
+  /// Live audience (nodes that could deliver, incl. the origin) per
+  /// message seq at its send time — the delivery-fraction denominator
+  /// used by --expect `deliver`/`tree complete` checks.
+  std::vector<std::uint32_t> expected_deliveries;
   /// Payload transmissions attributed to each message (index = seq). Lets
   /// benches plot convergence over time (e.g. the adaptive strategy's
   /// payload cost decaying as links are pruned).

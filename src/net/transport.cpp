@@ -185,7 +185,7 @@ const LatencyModel& Transport::latency_for(NodeId src) const {
 }
 
 void Transport::schedule_delivery(NodeId src, NodeId dst, SimTime arrival,
-                                  sim::EventCallback cb) {
+                                  std::uint32_t bytes, sim::EventCallback cb) {
   if (world_ == nullptr) {
     sim_.schedule_at(arrival, std::move(cb));
     return;
@@ -200,7 +200,7 @@ void Transport::schedule_delivery(NodeId src, NodeId dst, SimTime arrival,
   if (from == to) {
     world_->shard(to).schedule_at_keyed(arrival, key, std::move(cb));
   } else {
-    world_->post(from, to, arrival, key, std::move(cb));
+    world_->post(from, to, arrival, key, std::move(cb), bytes);
   }
 }
 
@@ -404,8 +404,9 @@ void Transport::transmit(NodeId src, Queued item) {
   const SimTime arrival =
       sim_for(src).now() + std::max<SimTime>(delay, 1);
   const NodeId dst = item.dst;
-  schedule_delivery(src, dst, arrival, [this, src, dst,
-                                        item = std::move(item)] {
+  const std::uint32_t wire_bytes = static_cast<std::uint32_t>(item.bytes);
+  schedule_delivery(src, dst, arrival, wire_bytes,
+                    [this, src, dst, item = std::move(item)] {
     if (silenced_[dst]) {  // firewalled: nothing gets in
       if (drop_listener_) {
         drop_listener_(src, dst, item.is_payload, DropReason::kSilenced);

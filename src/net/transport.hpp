@@ -398,8 +398,10 @@ class Transport {
   const LatencyModel& latency_for(NodeId src) const;
   /// Schedules a delivery at `arrival`: plain FIFO unsharded; keyed by
   /// (src, send counter) and routed via shard sims/mailboxes sharded.
+  /// `bytes` is the packet's wire size, billed to the cross-shard mailbox
+  /// accounting when the delivery crosses a shard boundary.
   void schedule_delivery(NodeId src, NodeId dst, SimTime arrival,
-                         sim::EventCallback cb);
+                         std::uint32_t bytes, sim::EventCallback cb);
 
   /// Transmits over the wire: accounting, loss, propagation, delivery.
   void transmit(NodeId src, Queued item);

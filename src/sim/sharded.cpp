@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -12,7 +13,11 @@
 namespace esm::sim {
 
 ShardedSimulator::ShardedSimulator(std::uint32_t num_shards)
-    : outbox_(num_shards) {
+    : outbox_(num_shards),
+      staged_packets_(num_shards, 0),
+      staged_bytes_(num_shards, 0),
+      busy_ns_(num_shards, 0),
+      wait_ns_(num_shards, 0) {
   ESM_CHECK(num_shards >= 1, "need at least one shard");
   for (std::uint32_t s = 0; s < num_shards; ++s) shards_.emplace_back();
 }
@@ -23,10 +28,13 @@ void ShardedSimulator::set_lookahead(SimTime lookahead) {
 }
 
 void ShardedSimulator::post(std::uint32_t from, std::uint32_t to, SimTime t,
-                            std::uint64_t key, EventCallback cb) {
+                            std::uint64_t key, EventCallback cb,
+                            std::uint32_t bytes) {
   ESM_CHECK(from < outbox_.size() && to < shards_.size(),
             "shard index out of range");
   outbox_[from].push_back(Staged{t, key, to, std::move(cb)});
+  ++staged_packets_[from];
+  staged_bytes_[from] += bytes;
 }
 
 void ShardedSimulator::merge_mailboxes() {
@@ -80,8 +88,15 @@ void ShardedSimulator::run_until(SimTime end) {
   workers.reserve(n);
   for (std::uint32_t s = 0; s < n; ++s) {
     workers.emplace_back([&, s] {
+      using Clock = std::chrono::steady_clock;
       for (;;) {
+        const Clock::time_point wait_from = Clock::now();
         start_barrier.arrive_and_wait();
+        const Clock::time_point window_from = Clock::now();
+        wait_ns_[s] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(window_from -
+                                                                 wait_from)
+                .count());
         if (stop) break;
         try {
           if (final_window) {
@@ -93,7 +108,16 @@ void ShardedSimulator::run_until(SimTime end) {
           const std::lock_guard<std::mutex> lock(error_mu);
           if (!worker_error) worker_error = std::current_exception();
         }
+        const Clock::time_point window_to = Clock::now();
+        busy_ns_[s] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(window_to -
+                                                                 window_from)
+                .count());
         end_barrier.arrive_and_wait();
+        wait_ns_[s] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 window_to)
+                .count());
       }
     });
   }
@@ -122,6 +146,7 @@ void ShardedSimulator::run_until(SimTime end) {
       // ... workers execute their windows ...
       end_barrier.arrive_and_wait();
 
+      ++windows_;
       merge_mailboxes();
       now_ = window_end;
     }
@@ -144,6 +169,16 @@ void ShardedSimulator::run_until(SimTime end) {
   // (shard 0..S-1) is canonical.
   for (Simulator& s : shards_) s.run_until(end);
   now_ = end;
+}
+
+ShardedSimulator::Stats ShardedSimulator::stats() const {
+  Stats stats;
+  stats.windows = windows_;
+  for (std::uint64_t v : staged_packets_) stats.mailbox_packets += v;
+  for (std::uint64_t v : staged_bytes_) stats.mailbox_bytes += v;
+  stats.busy_ns = busy_ns_;
+  stats.wait_ns = wait_ns_;
+  return stats;
 }
 
 std::uint64_t ShardedSimulator::events_executed() const {

@@ -73,9 +73,10 @@ class ShardedSimulator {
   /// window, or from the coordinator/main thread between runs. The
   /// lookahead guarantee must hold: `t` must be at or after the next
   /// window boundary, or the merge-time schedule will reject it as
-  /// scheduling in the past.
+  /// scheduling in the past. `bytes` is the wire size of the staged
+  /// packet, accounted in stats().mailbox_bytes (0 = unsized event).
   void post(std::uint32_t from, std::uint32_t to, SimTime t,
-            std::uint64_t key, EventCallback cb);
+            std::uint64_t key, EventCallback cb, std::uint32_t bytes = 0);
 
   /// Advances every shard and the control simulator to `end` through
   /// barrier-synchronized windows. Events at exactly `end` execute (the
@@ -94,6 +95,20 @@ class ShardedSimulator {
   /// Events still pending across all shards, the control simulator and
   /// un-merged mailboxes.
   std::size_t events_pending() const;
+
+  /// Execution counters for the conservative-window machinery, cumulative
+  /// across run_until() calls. The window/mailbox counters are
+  /// deterministic (functions of the event schedule); busy_ns/wait_ns are
+  /// wall-clock measurements and vary run to run — report them as
+  /// diagnostics, never feed them into reproducible output.
+  struct Stats {
+    std::uint64_t windows = 0;          // barrier-synchronized windows run
+    std::uint64_t mailbox_packets = 0;  // cross-shard events staged
+    std::uint64_t mailbox_bytes = 0;    // wire bytes of those events
+    std::vector<std::uint64_t> busy_ns;  // per shard: window execution time
+    std::vector<std::uint64_t> wait_ns;  // per shard: barrier wait time
+  };
+  Stats stats() const;
 
  private:
   struct Staged {
@@ -115,6 +130,14 @@ class ShardedSimulator {
   /// per writer thread; read by the coordinator at the barrier.
   std::vector<std::vector<Staged>> outbox_;
   std::vector<Staged> merge_scratch_;
+  /// Per-source-shard mailbox accounting; each slot is written only by its
+  /// owning worker thread (same discipline as outbox_), summed in stats().
+  std::vector<std::uint64_t> staged_packets_;
+  std::vector<std::uint64_t> staged_bytes_;
+  /// Per-shard wall-clock split, written by each worker between barriers.
+  std::vector<std::uint64_t> busy_ns_;
+  std::vector<std::uint64_t> wait_ns_;
+  std::uint64_t windows_ = 0;  // coordinator-only
 };
 
 }  // namespace esm::sim

@@ -9,10 +9,13 @@
 // mean ± 95% CI over the replications. See `esm_run --help` for every flag.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "expect/expect.hpp"
+#include "expect/expect_text.hpp"
 #include "harness/cli.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario_text.hpp"
@@ -23,18 +26,21 @@
 int main(int argc, char** argv) {
   using namespace esm;
   std::vector<std::string> args(argv + 1, argv + argc);
-  // --trace FILE, --trace-stream FILE, --metrics-out FILE and --reps N are
-  // handled here (file IO and replication are the tool's business, not the
-  // parser's). --trace buffers the run's events and writes them at the
-  // end; --trace-stream writes rows while the run executes, so memory
-  // stays bounded at large N.
+  // --trace FILE, --trace-stream FILE, --metrics-out FILE, --expect FILE
+  // and --reps N are handled here (file IO and replication are the tool's
+  // business, not the parser's). --trace buffers the run's events and
+  // writes them at the end; --trace-stream writes rows while the run
+  // executes, so memory stays bounded at large N. `-` means stdout for
+  // --metrics-out and --trace-stream.
   std::string trace_path;
   std::string trace_stream_path;
   std::string metrics_path;
+  std::vector<std::string> expect_paths;
   std::uint64_t reps = 1;
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--trace" || args[i] == "--trace-stream" ||
-        args[i] == "--metrics-out" || args[i] == "--reps") {
+        args[i] == "--metrics-out" || args[i] == "--expect" ||
+        args[i] == "--reps") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "esm_run: %s requires a value\n",
                      args[i].c_str());
@@ -46,6 +52,8 @@ int main(int argc, char** argv) {
         trace_stream_path = args[i + 1];
       } else if (args[i] == "--metrics-out") {
         metrics_path = args[i + 1];
+      } else if (args[i] == "--expect") {
+        expect_paths.push_back(args[i + 1]);
       } else {
         reps = std::strtoull(args[i + 1].c_str(), nullptr, 10);
         if (reps == 0) {
@@ -105,6 +113,11 @@ int main(int argc, char** argv) {
                  "--reps\n");
     return 2;
   }
+  if (reps > 1 && !expect_paths.empty()) {
+    std::fprintf(stderr,
+                 "esm_run: --expect evaluates a single run; drop --reps\n");
+    return 2;
+  }
   if (!trace_path.empty() && !trace_stream_path.empty()) {
     std::fprintf(stderr,
                  "esm_run: pick one of --trace (buffered) or --trace-stream "
@@ -117,16 +130,64 @@ int main(int argc, char** argv) {
                  "--trace instead of --trace-stream\n");
     return 2;
   }
+  if (metrics_path == "-" && trace_stream_path == "-") {
+    std::fprintf(stderr,
+                 "esm_run: --metrics-out - and --trace-stream - both write "
+                 "to stdout; pick one\n");
+    return 2;
+  }
+  if (!expect_paths.empty() && trace_stream_path == "-") {
+    std::fprintf(stderr,
+                 "esm_run: the --expect report and --trace-stream - share "
+                 "stdout; stream the trace to a file instead\n");
+    return 2;
+  }
+
+  expect::ExpectationSet expectations;
+  for (const std::string& path : expect_paths) {
+    try {
+      expectations.merge(expect::load_expectation_file(path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esm_run: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (expectations.needs_trace()) {
+    if (!trace_stream_path.empty()) {
+      std::fprintf(stderr,
+                   "esm_run: --expect trace predicates need the buffered "
+                   "trace; use --trace instead of --trace-stream\n");
+      return 2;
+    }
+    if (options->config.shards >= 2) {
+      std::fprintf(stderr,
+                   "esm_run: --expect trace predicates (deliver/latency/"
+                   "structure/jaccard/tree) need --shards 1; scalar metric "
+                   "and recovery bounds work at any shard count\n");
+      return 2;
+    }
+    // Trace-based expectations imply buffered trace collection.
+    options->config.collect_trace = true;
+  }
+
   std::ofstream trace_stream;
   if (!trace_stream_path.empty()) {
-    trace_stream.open(trace_stream_path);
-    if (!trace_stream) {
-      std::fprintf(stderr, "esm_run: cannot write %s\n",
-                   trace_stream_path.c_str());
-      return 1;
+    if (trace_stream_path == "-") {
+      options->config.trace_sink = &std::cout;
+    } else {
+      trace_stream.open(trace_stream_path);
+      if (!trace_stream) {
+        std::fprintf(stderr, "esm_run: cannot write %s\n",
+                     trace_stream_path.c_str());
+        return 1;
+      }
+      options->config.trace_sink = &trace_stream;
     }
-    options->config.trace_sink = &trace_stream;
   }
+  // Exactly one machine-readable stream may own stdout; the human summary
+  // moves aside when trace rows or the metrics JSON are sent there.
+  const bool suppress_stdout_summary =
+      trace_stream_path == "-" || metrics_path == "-";
 
   // Renders the emergent-structure summary (one row per headline metric).
   auto print_tree_table = [](const obs::TreeStats& t) {
@@ -173,6 +234,10 @@ int main(int argc, char** argv) {
   auto write_metrics =
       [&](const obs::RunMetrics& merged,
           const std::vector<std::vector<stats::PhaseReport>>& phase_runs) {
+        if (metrics_path == "-") {
+          std::cout << harness::format_metrics_json(merged, phase_runs);
+          return true;
+        }
         std::ofstream out(metrics_path);
         if (!out) {
           std::fprintf(stderr, "esm_run: cannot write %s\n",
@@ -280,10 +345,14 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_stream_path.empty() && result.trace) {
-    trace_stream.flush();
+    if (trace_stream_path == "-") {
+      std::cout.flush();
+    } else {
+      trace_stream.flush();
+    }
     std::fprintf(
         stderr, "trace streamed to %s (%llu deliveries, %llu payloads)\n",
-        trace_stream_path.c_str(),
+        trace_stream_path == "-" ? "stdout" : trace_stream_path.c_str(),
         static_cast<unsigned long long>(result.trace->delivery_count()),
         static_cast<unsigned long long>(result.trace->payload_count()));
   }
@@ -300,14 +369,41 @@ int main(int argc, char** argv) {
                  result.trace->payloads().size());
   }
 
+  // Expectation evaluation runs before the metrics write so the expect.*
+  // counters land in the esm-metrics-v1 JSON. Exit 3 on any violation.
+  expect::Report expect_report;
+  const bool have_expect = !expectations.empty();
+  if (have_expect) {
+    expect::EvalInput in;
+    in.trace = result.trace.get();
+    if (!result.phase_reports.empty()) in.phases = &result.phase_reports;
+    in.metrics = result.metrics.get();
+    in.scalars = expect::parse_scalars(harness::format_result_kv(result));
+    in.ranked = result.best_nodes;
+    in.expected_deliveries = result.expected_deliveries;
+    in.default_expected = result.live_nodes;
+    in.round = options->config.retransmission_period;
+    expect_report = expect::evaluate(expectations, in);
+    if (result.metrics) {
+      expect::add_report_counters(expect_report, result.metrics->aggregate);
+    }
+  }
+  const int exit_code = have_expect && !expect_report.ok() ? 3 : 0;
+
   if (!metrics_path.empty() && result.metrics) {
     if (!write_metrics(*result.metrics, {result.phase_reports})) return 1;
   }
 
   if (options->json) {
-    std::fputs(harness::format_result_kv(result).c_str(), stdout);
-    return 0;
+    if (!suppress_stdout_summary) {
+      std::fputs(harness::format_result_kv(result).c_str(), stdout);
+      if (have_expect) {
+        std::fputs(expect::format_report_kv(expect_report).c_str(), stdout);
+      }
+    }
+    return exit_code;
   }
+  if (suppress_stdout_summary) return exit_code;
 
   harness::Table table("experiment: " + options->config.strategy.describe());
   table.header({"metric", "value"});
@@ -410,5 +506,22 @@ int main(int argc, char** argv) {
     }
     phases.print();
   }
-  return 0;
+
+  if (have_expect) {
+    harness::Table expects("expectations: " + std::to_string(expect_report.passed) +
+                           " passed, " + std::to_string(expect_report.failed) +
+                           " failed, " + std::to_string(expect_report.skipped) +
+                           " skipped");
+    expects.header({"status", "where", "expectation", "observed", "bound",
+                    "detail"});
+    for (const expect::Outcome& out : expect_report.outcomes) {
+      expects.row({expect::to_string(out.status),
+                   (out.file.empty() ? std::string() : out.file + ":") +
+                       std::to_string(out.line),
+                   out.text, harness::Table::num(out.observed, 4),
+                   harness::Table::num(out.bound, 4), out.detail});
+    }
+    expects.print();
+  }
+  return exit_code;
 }
